@@ -1,0 +1,56 @@
+// Process-corner ablation: does the Soft-FET benefit survive CMOS process
+// corners? The PTM is a separate (BEOL) material, so its card is held fixed
+// while the transistors move through TT/SS/FF/SF/FS.
+#include "bench/bench_util.hpp"
+#include "core/characterize.hpp"
+#include "devices/ptm.hpp"
+#include "devices/tech40.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace softfet;
+  namespace t40 = devices::tech40;
+  bench::banner("Ablation", "Soft-FET benefit across CMOS process corners");
+
+  util::TextTable table({"corner", "I_MAX base [uA]", "I_MAX soft [uA]",
+                         "reduction [%]", "delay base [ps]",
+                         "delay soft [ps]", "penalty [x]"});
+  double min_reduction = 1e9;
+  double max_reduction = -1e9;
+  for (const auto corner : {t40::Corner::kTT, t40::Corner::kSS,
+                            t40::Corner::kFF, t40::Corner::kSF,
+                            t40::Corner::kFS}) {
+    cells::InverterTestbenchSpec spec;
+    spec.input_transition = 30e-12;
+    spec.input_rising = false;
+    spec.dut.nmos_model = t40::with_corner(t40::nmos(), corner);
+    spec.dut.pmos_model = t40::with_corner(t40::pmos(), corner);
+
+    const auto base = core::characterize_inverter(spec);
+    auto soft_spec = spec;
+    soft_spec.dut.ptm = devices::PtmParams{};
+    const auto soft = core::characterize_inverter(soft_spec);
+
+    const double reduction = 100.0 * (1.0 - soft.i_max / base.i_max);
+    min_reduction = std::min(min_reduction, reduction);
+    max_reduction = std::max(max_reduction, reduction);
+    table.add_row({t40::corner_name(corner),
+                   util::fmt_g(base.i_max * 1e6, 4),
+                   util::fmt_g(soft.i_max * 1e6, 4),
+                   util::fmt_g(reduction, 3),
+                   util::fmt_g(base.delay * 1e12, 4),
+                   util::fmt_g(soft.delay * 1e12, 4),
+                   util::fmt_g(soft.delay / base.delay, 3)});
+  }
+  bench::print_table(table);
+
+  std::printf("\nFindings:\n");
+  bench::claim("I_MAX reduction across all corners", "(robustness check)",
+               util::fmt_g(min_reduction, 3) + "% - " +
+                   util::fmt_g(max_reduction, 3) + "%");
+  std::printf(
+      "  The PTM thresholds are material constants, so the Soft-FET benefit\n"
+      "  tracks the transistor drive: fast corners switch harder and gain\n"
+      "  more from softening; slow corners start gentler and gain less.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Model ablation (DESIGN.md): how the PTM resistance-transition law affects
+// the Soft-FET figures of merit. The linear law recovers resistance sharply
+// after an MIT (crisp staircase steps); the logarithmic law lingers near
+// R_MET, letting the gate ride the input further down.
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "core/characterize.hpp"
+#include "devices/ptm.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace softfet;
+  bench::banner("Ablation", "PTM resistance law: linear vs logarithmic");
+
+  cells::InverterTestbenchSpec base;
+  base.input_transition = 30e-12;
+  base.input_rising = false;
+
+  const auto plain = core::characterize_inverter(base);
+
+  util::TextTable table({"law", "I_MAX [uA]", "reduction [%]", "di/dt [A/us]",
+                         "delay [ps]", "IMT count"});
+  core::TransitionMetrics linear_m;
+  core::TransitionMetrics log_m;
+  for (const auto law : {devices::PtmResistanceLaw::kLinear,
+                         devices::PtmResistanceLaw::kLogarithmic}) {
+    auto spec = base;
+    spec.dut.ptm = devices::PtmParams{};
+    spec.dut.ptm->law = law;
+    auto m = core::characterize_inverter(spec);
+    const bool linear = law == devices::PtmResistanceLaw::kLinear;
+    table.add_row({linear ? "linear" : "logarithmic",
+                   util::fmt_g(m.i_max * 1e6, 4),
+                   util::fmt_g(100.0 * (1.0 - m.i_max / plain.i_max), 3),
+                   util::fmt_g(m.max_didt / 1e6, 3),
+                   util::fmt_g(m.delay * 1e12, 4),
+                   std::to_string(m.imt_count)});
+    (linear ? linear_m : log_m) = std::move(m);
+  }
+  bench::print_table(table);
+
+  // The V_IMT sensitivity is where the laws really differ: the linear law
+  // preserves the paper's Fig. 6 dip, the logarithmic law flattens it
+  // (the gate collapses to the rail regardless of thresholds).
+  double lin_spread = 0.0;
+  double log_spread = 0.0;
+  for (const auto law : {devices::PtmResistanceLaw::kLinear,
+                         devices::PtmResistanceLaw::kLogarithmic}) {
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const double vimt : {0.35, 0.45, 0.5, 0.55}) {
+      auto spec = base;
+      spec.dut.ptm = devices::PtmParams{};
+      spec.dut.ptm->law = law;
+      spec.dut.ptm->v_imt = vimt;
+      const auto m = core::characterize_inverter(spec);
+      lo = std::min(lo, m.i_max);
+      hi = std::max(hi, m.i_max);
+    }
+    ((law == devices::PtmResistanceLaw::kLinear) ? lin_spread : log_spread) =
+        (hi - lo) / lo;
+  }
+
+  // Staircase crispness: with a low V_IMT the paper expects several
+  // transition pairs (Fig. 3 / Fig. 6); compare the IMT counts per law.
+  long lin_steps = 0;
+  long log_steps = 0;
+  for (const auto law : {devices::PtmResistanceLaw::kLinear,
+                         devices::PtmResistanceLaw::kLogarithmic}) {
+    auto spec = base;
+    spec.dut.ptm = devices::PtmParams{};
+    spec.dut.ptm->law = law;
+    spec.dut.ptm->v_imt = 0.3;
+    spec.dut.ptm->v_mit = 0.25;
+    const auto m = core::characterize_inverter(spec);
+    ((law == devices::PtmResistanceLaw::kLinear) ? lin_steps : log_steps) =
+        m.imt_count;
+  }
+
+  std::printf("\nFindings:\n");
+  bench::claim("I_MAX at default card (linear vs log)", "(design choice)",
+               util::fmt_g(linear_m.i_max * 1e6, 3) + " vs " +
+                   util::fmt_g(log_m.i_max * 1e6, 3) + " uA");
+  bench::claim("I_MAX sensitivity to V_IMT (min-max spread)",
+               "dip exists (Fig. 6)",
+               "linear " + util::fmt_g(100.0 * lin_spread, 3) + "% vs log " +
+                   util::fmt_g(100.0 * log_spread, 3) + "%");
+  bench::claim("staircase steps at low V_IMT (0.3/0.25)",
+               "multiple pairs (Fig. 3)",
+               "linear " + std::to_string(lin_steps) + " IMT vs log " +
+                   std::to_string(log_steps) + " IMT");
+  std::printf(
+      "  The library defaults to the linear law: its sharp early resistance\n"
+      "  recovery stops each metallic excursion near V_MIT, producing the\n"
+      "  paper's multi-step staircase at low thresholds. The logarithmic\n"
+      "  law lingers near R_MET during recovery, so V_G rides the input\n"
+      "  further per excursion and completes in fewer, larger steps.\n");
+  return 0;
+}

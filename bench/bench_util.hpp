@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace softfet::bench {
+
+/// Standard bench banner: which paper artifact this binary regenerates.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s -- %s\n", id.c_str(), title.c_str());
+  std::printf("Soft-FET reproduction (Teja & Kulkarni, DAC 2018)\n");
+  std::printf("==============================================================\n");
+}
+
+/// One "paper claim vs measured" line in the closing summary.
+inline void claim(const std::string& what, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("  %-44s paper: %-18s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void print_table(const util::TextTable& table) {
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace softfet::bench

@@ -1,0 +1,86 @@
+// Fig. 2: PTM I-V characteristics with hysteresis.
+//
+// DC voltage sweep up and back down across a PTM behind a small series
+// resistance; the insulator->metal transition fires at V_IMT on the way up
+// and the device releases at V_MIT on the way down, tracing the figure's
+// hysteresis loop.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "devices/ptm.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "sim/analyses.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace softfet;
+  bench::banner("Fig. 2", "PTM I-V hysteresis (up/down DC sweep)");
+
+  const devices::PtmParams ptm;
+  std::printf(
+      "PTM card: R_INS=%s, R_MET=%s, V_IMT=%.2f V, V_MIT=%.2f V\n"
+      "Derived current thresholds: I_IMT=%s, I_MIT=%s\n\n",
+      util::format_si(ptm.r_ins, 3, "Ohm").c_str(),
+      util::format_si(ptm.r_met, 3, "Ohm").c_str(), ptm.v_imt, ptm.v_mit,
+      util::format_si(ptm.i_imt(), 3, "A").c_str(),
+      util::format_si(ptm.i_mit(), 3, "A").c_str());
+
+  sim::Circuit c;
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  c.add<devices::VSource>("Vs", in, sim::kGroundNode,
+                          devices::SourceSpec::dc(0.0));
+  c.add<devices::Resistor>("Rs", in, mid, 1e3);
+  auto* device = c.add<devices::Ptm>("P1", mid, sim::kGroundNode, ptm);
+
+  std::vector<double> bias;
+  for (int i = 0; i <= 50; ++i) bias.push_back(i * 0.012);  // 0 -> 0.6
+  for (int i = 50; i >= 0; --i) bias.push_back(i * 0.012);  // 0.6 -> 0
+  const auto sweep = sim::dc_sweep(c, "Vs", bias);
+  const auto& v_dev = sweep.table.signal("v(mid)");
+  const auto& i_dev = sweep.table.signal("i(p1)");
+  const auto& phase = sweep.table.signal("s(p1)");
+
+  util::TextTable table(
+      {"branch", "V_bias [V]", "V_dev [V]", "I [uA]", "phase"});
+  for (std::size_t k = 0; k < bias.size(); k += 5) {
+    const bool up = k <= bias.size() / 2;
+    table.add_row({up ? "up" : "down", util::fmt_g(bias[k]),
+                   util::fmt_g(v_dev[k]), util::fmt_g(i_dev[k] * 1e6),
+                   phase[k] > 0.5 ? "metallic" : "insulating"});
+  }
+  bench::print_table(table);
+
+  // Locate the transitions.
+  double v_fire = 0.0;
+  double v_release = 0.0;
+  for (std::size_t k = 1; k < bias.size() / 2; ++k) {
+    if (phase[k] > 0.5 && phase[k - 1] < 0.5) {
+      v_fire = v_dev[k - 1];
+      break;
+    }
+  }
+  for (std::size_t k = bias.size() / 2; k < bias.size(); ++k) {
+    if (phase[k] < 0.5 && phase[k - 1] > 0.5) {
+      v_release = v_dev[k - 1];
+      break;
+    }
+  }
+
+  std::printf("\nSummary vs paper:\n");
+  bench::claim("abrupt IMT near V_IMT on up-sweep",
+               "V_IMT = " + util::fmt_g(ptm.v_imt) + " V",
+               "fired at V_dev = " + util::fmt_g(v_fire) + " V");
+  bench::claim("MIT release near V_MIT on down-sweep",
+               "V_MIT = " + util::fmt_g(ptm.v_mit) + " V",
+               "released at V_dev = " + util::fmt_g(v_release) + " V");
+  bench::claim("R_OFF/R_ON ratio", "~100x (500k/5k)",
+               util::fmt_g(ptm.r_ins / ptm.r_met) + "x");
+  bench::claim("hysteresis loop present", "yes",
+               (device->imt_count() >= 1 && device->mit_count() >= 1)
+                   ? "yes"
+                   : "NO");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 5: comparison of the Soft-FET with CMOS peak-current-reduction
+// variants (HVT, gate series R, stacked devices) under iso-I_MAX matching
+// at VCC = 1 V, swept across the supply range.
+#include "bench/bench_util.hpp"
+#include "core/iso_imax.hpp"
+#include "devices/ptm.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace softfet;
+  bench::banner("Fig. 5",
+                "iso-I_MAX study: delay across VCC for all variants");
+
+  core::IsoImaxSpec spec;
+  spec.base.input_transition = 30e-12;
+  spec.base.input_rising = false;
+  spec.base.dut.ptm = devices::PtmParams{};
+  spec.vcc_sweep = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+  const auto result = core::run_iso_imax_study(spec);
+
+  std::printf("Calibration at VCC = %.1f V (target I_MAX = %s):\n",
+              spec.calibration_vcc,
+              util::format_si(result.target_imax, 3, "A").c_str());
+  std::printf("  HVT:      delta-VT = +%.0f mV\n", result.hvt_delta_vt * 1e3);
+  std::printf("  series-R: R_gate   = %s\n",
+              util::format_si(result.series_r, 3, "Ohm").c_str());
+  std::printf("  stacked:  2-stack width multiple = %.2f\n\n",
+              result.stack_width_mult);
+
+  const char* names[] = {"softfet", "baseline", "hvt", "series-r", "stacked"};
+
+  std::printf("I_MAX [uA] vs VCC:\n");
+  util::TextTable imax_table(
+      {"VCC [V]", "Soft-FET", "baseline", "HVT", "series-R", "stacked"});
+  for (std::size_t i = 0; i < spec.vcc_sweep.size(); ++i) {
+    std::vector<std::string> row{util::fmt_g(spec.vcc_sweep[i])};
+    for (const char* name : names) {
+      row.push_back(util::fmt_g(result.curves.at(name)[i].i_max * 1e6, 3));
+    }
+    imax_table.add_row(std::move(row));
+  }
+  bench::print_table(imax_table);
+
+  std::printf("\nDelay [ps] vs VCC (50%% in -> 20/80%% out):\n");
+  util::TextTable delay_table(
+      {"VCC [V]", "Soft-FET", "baseline", "HVT", "series-R", "stacked"});
+  for (std::size_t i = 0; i < spec.vcc_sweep.size(); ++i) {
+    std::vector<std::string> row{util::fmt_g(spec.vcc_sweep[i])};
+    for (const char* name : names) {
+      row.push_back(util::fmt_g(result.curves.at(name)[i].delay * 1e12, 4));
+    }
+    delay_table.add_row(std::move(row));
+  }
+  bench::print_table(delay_table);
+
+  const auto& soft = result.curves.at("softfet");
+  const auto& hvt = result.curves.at("hvt");
+  const auto& series = result.curves.at("series-r");
+  const double soft_blow = soft.front().delay / soft.back().delay;
+  const double hvt_blow = hvt.front().delay / hvt.back().delay;
+
+  std::printf("\nSummary vs paper:\n");
+  bench::claim("all variants match I_MAX at 1 V", "iso-I_MAX",
+               "within calibration tolerance (see table)");
+  bench::claim("HVT comparable delay at 1 V",
+               "comparable",
+               util::fmt_g(hvt.back().delay * 1e12, 3) + " vs Soft-FET " +
+                   util::fmt_g(soft.back().delay * 1e12, 3) + " ps");
+  bench::claim("HVT delay explodes at low VCC", "significantly larger",
+               util::fmt_g(hvt_blow, 3) + "x growth vs Soft-FET " +
+                   util::fmt_g(soft_blow, 3) + "x");
+  bench::claim("series-R slower than Soft-FET at 1 V", "longer delay",
+               util::fmt_g(series.back().delay * 1e12, 3) + " vs " +
+                   util::fmt_g(soft.back().delay * 1e12, 3) + " ps");
+  std::printf(
+      "  NOTE: in this reproduction the series-R and stacked variants stay\n"
+      "  faster than the Soft-FET at the lowest supplies (the fixed V_IMT\n"
+      "  consumes most of a 0.5 V swing); the HVT blow-up -- the figure's\n"
+      "  central claim -- reproduces strongly. See EXPERIMENTS.md.\n");
+  return 0;
+}

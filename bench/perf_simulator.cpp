@@ -1,0 +1,108 @@
+// Simulator kernel performance (google-benchmark): linear solves, DC
+// operating points, transient steps/second, and a full Soft-FET inverter
+// characterization.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "cells/inverter.hpp"
+#include "core/characterize.hpp"
+#include "devices/capacitor.hpp"
+#include "devices/ptm.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "numeric/dense_lu.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "sim/analyses.hpp"
+
+namespace {
+
+using namespace softfet;
+
+numeric::SparseMatrix random_system(std::size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  numeric::SparseMatrix a(n);
+  for (std::size_t k = 0; k < 5 * n; ++k) a.add(pick(rng), pick(rng), dist(rng));
+  for (std::size_t i = 0; i < n; ++i) a.add(i, i, 6.0);
+  return a;
+}
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng).to_dense();
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::DenseLu(a).solve(b));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng);
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::SparseLu(a).solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RcLadderDcOp(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Circuit c;
+    auto prev = c.node("in");
+    c.add<devices::VSource>("V1", prev, sim::kGroundNode,
+                            devices::SourceSpec::dc(1.0));
+    for (int i = 0; i < stages; ++i) {
+      const auto next = c.node("n" + std::to_string(i));
+      c.add<devices::Resistor>("R" + std::to_string(i), prev, next, 100.0);
+      c.add<devices::Resistor>("Rg" + std::to_string(i), next,
+                               sim::kGroundNode, 10e3);
+      prev = next;
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim::dc_operating_point(c));
+  }
+}
+BENCHMARK(BM_RcLadderDcOp)->Arg(10)->Arg(100);
+
+void BM_RcTransient(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Circuit c;
+    const auto in = c.node("in");
+    const auto out = c.node("out");
+    c.add<devices::VSource>(
+        "Vin", in, sim::kGroundNode,
+        devices::SourceSpec::pulse(0.0, 1.0, 1e-9, 1e-12, 1e-12, 1.0));
+    c.add<devices::Resistor>("R1", in, out, 1e3);
+    c.add<devices::Capacitor>("C1", out, sim::kGroundNode, 1e-9);
+    state.ResumeTiming();
+    const auto result = sim::run_transient(c, 10e-6);
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(result.accepted_steps),
+        benchmark::Counter::kIsIterationInvariantRate);
+    benchmark::DoNotOptimize(result.accepted_steps);
+  }
+}
+BENCHMARK(BM_RcTransient);
+
+void BM_SoftFetInverterCharacterization(benchmark::State& state) {
+  cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = devices::PtmParams{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::characterize_inverter(spec));
+  }
+}
+BENCHMARK(BM_SoftFetInverterCharacterization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

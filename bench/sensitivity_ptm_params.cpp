@@ -1,0 +1,61 @@
+// Paper contribution 3 (Section IV): detailed PTM device parameter
+// variation study -- local sensitivities of I_MAX / di/dt / delay to each
+// PTM parameter, plus a fabrication-variability Monte Carlo showing how
+// robust the Soft-FET benefit is to device spread ("must be appropriately
+// tuned with careful device fabrication").
+#include "bench/bench_util.hpp"
+#include "core/variation.hpp"
+#include "devices/ptm.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace softfet;
+  bench::banner("Section IV", "PTM parameter sensitivity and variability");
+
+  cells::InverterTestbenchSpec base;
+  base.input_transition = 30e-12;
+  base.input_rising = false;
+  base.dut.ptm = devices::PtmParams{};
+
+  std::printf("Local sensitivities (+-10%% central differences), in\n"
+              "percent-metric per percent-parameter:\n\n");
+  const auto rows = core::ptm_sensitivity(base, 0.10);
+  util::TextTable table({"parameter", "nominal", "dI_MAX/dp", "d(di/dt)/dp",
+                         "d(delay)/dp"});
+  std::string most_sensitive;
+  double worst = 0.0;
+  for (const auto& row : rows) {
+    table.add_row({row.parameter, util::format_si(row.nominal, 3),
+                   util::fmt_g(row.imax_sensitivity, 3),
+                   util::fmt_g(row.didt_sensitivity, 3),
+                   util::fmt_g(row.delay_sensitivity, 3)});
+    if (std::abs(row.imax_sensitivity) > worst) {
+      worst = std::abs(row.imax_sensitivity);
+      most_sensitive = row.parameter;
+    }
+  }
+  bench::print_table(table);
+
+  std::printf("\nFabrication-variability Monte Carlo (100 samples; sigma:\n"
+              "thresholds 5%%, resistances 15%%, T_PTM 10%%):\n\n");
+  const auto mc = core::ptm_monte_carlo(base);
+  util::TextTable mct({"metric", "mean", "std", "worst"});
+  mct.add_row({"I_MAX [uA]", util::fmt_g(mc.imax_mean * 1e6, 4),
+               util::fmt_g(mc.imax_std * 1e6, 3),
+               util::fmt_g(mc.imax_worst * 1e6, 4)});
+  mct.add_row({"delay [ps]", util::fmt_g(mc.delay_mean * 1e12, 4),
+               util::fmt_g(mc.delay_std * 1e12, 3),
+               util::fmt_g(mc.delay_worst * 1e12, 4)});
+  bench::print_table(mct);
+
+  std::printf("\nSummary vs paper:\n");
+  bench::claim("PTM parameters strongly shape Soft-FET behaviour",
+               "crucial role (Sec. IV)",
+               "most I_MAX-sensitive: " + most_sensitive);
+  bench::claim("benefit robust under fabrication spread",
+               "careful fabrication needed",
+               util::fmt_g(100.0 * mc.fraction_below_baseline, 3) +
+                   "% of samples still beat baseline I_MAX");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// PTM design-space explorer: sweep the PTM card against your own gate and
+// dump a CSV of (V_IMT, V_MIT, T_PTM) -> (I_MAX, di/dt, delay, transitions)
+// so device engineers can pick a material target (paper Section IV).
+//
+//   $ ./design_explorer [out.csv]
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/softfet.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace softfet;
+  const std::string out_path = argc > 1 ? argv[1] : "design_space.csv";
+
+  cells::InverterTestbenchSpec base;
+  base.vcc = 1.0;
+  base.input_transition = 30e-12;
+  base.input_rising = false;
+  base.dut.ptm = devices::PtmParams{};
+
+  const core::TransitionMetrics baseline = [&] {
+    auto spec = base;
+    spec.dut.ptm.reset();
+    return core::characterize_inverter(spec);
+  }();
+
+  std::ofstream file(out_path);
+  util::CsvWriter csv(file, {"v_imt", "v_mit", "t_ptm", "i_max", "max_didt",
+                             "delay", "imt_count", "imax_reduction_pct",
+                             "delay_penalty"});
+
+  std::vector<double> v_imts{0.25, 0.3, 0.35, 0.4, 0.45, 0.5};
+  std::vector<double> v_mits{0.15, 0.2, 0.25, 0.3};
+  std::vector<double> t_ptms{5e-12, 10e-12, 20e-12};
+
+  double best_score = 0.0;
+  devices::PtmParams best;
+  for (const double t_ptm : t_ptms) {
+    auto spec = base;
+    spec.dut.ptm->t_ptm = t_ptm;
+    const auto points = core::sweep_vimt_vmit(spec, v_imts, v_mits);
+    for (const auto& p : points) {
+      const double reduction = 1.0 - p.metrics.i_max / baseline.i_max;
+      const double penalty = p.metrics.delay / baseline.delay;
+      csv.write_row({p.v_imt, p.v_mit, t_ptm, p.metrics.i_max,
+                     p.metrics.max_didt, p.metrics.delay,
+                     static_cast<double>(p.metrics.imt_count),
+                     100.0 * reduction, penalty});
+      // Score: reward I_MAX reduction, penalize delay (paper's tradeoff).
+      const double score = reduction / penalty;
+      if (score > best_score) {
+        best_score = score;
+        best = *spec.dut.ptm;
+        best.v_imt = p.v_imt;
+        best.v_mit = p.v_mit;
+      }
+    }
+  }
+
+  std::printf("wrote %zu design points to %s\n", csv.rows_written(),
+              out_path.c_str());
+  std::printf(
+      "best reduction-per-delay card: V_IMT=%.2f V, V_MIT=%.2f V, "
+      "T_PTM=%.0f ps\n",
+      best.v_imt, best.v_mit, best.t_ptm * 1e12);
+  std::printf("baseline reference: I_MAX=%.1f uA, delay=%.1f ps\n",
+              baseline.i_max * 1e6, baseline.delay * 1e12);
+  return 0;
+}

@@ -1,0 +1,171 @@
+// softfet-spice: run a SPICE-style netlist through the softfet simulator.
+//
+//   $ ./netlist_runner circuit.sp [--csv out.csv] [--signals v(out),i(vdd)]
+//
+// Supports .op, .dc and .tran (driven by the netlist's directives), the
+// element cards R C L V I E G S D M P X, .model cards (nmos/pmos/ptm/d/sw),
+// .param expressions, and .subckt hierarchy. The 'P' element is the PTM
+// hysteretic resistor, so Soft-FET circuits are plain netlists:
+//
+//   * soft-fet inverter
+//   .model vo2 ptm rins=500k rmet=5k vimt=0.4 vmit=0.3 tptm=10p
+//   .model nch nmos
+//   .model pch pmos
+//   Vdd vdd 0 1
+//   Vin in 0 PWL(0 1 100p 1 130p 0)
+//   P1 in g vo2
+//   MP out g vdd vdd pch W=240n L=40n
+//   MN out g 0 0 nch W=120n L=40n
+//   Cl out 0 2f
+//   .tran 1p 1n
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "netlist/elaborate.hpp"
+#include "netlist/measure_eval.hpp"
+#include "sim/ac.hpp"
+#include "sim/analyses.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace softfet;
+
+void write_rows(const std::string& path, const std::string& axis_name,
+                const std::vector<double>& axis, const sim::SignalTable& table,
+                const std::vector<std::string>& wanted) {
+  std::vector<std::string> columns{axis_name};
+  std::vector<const std::vector<double>*> data;
+  for (const auto& name : table.names()) {
+    bool take = wanted.empty();
+    for (const auto& w : wanted) {
+      if (util::iequals(w, name)) take = true;
+    }
+    if (!take) continue;
+    columns.push_back(name);
+    data.push_back(&table.signal(name));
+  }
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open output file '" + path + "'");
+  util::CsvWriter writer(file, columns);
+  for (std::size_t row = 0; row < axis.size(); ++row) {
+    std::vector<double> values{axis[row]};
+    for (const auto* column : data) values.push_back((*column)[row]);
+    writer.write_row(values);
+  }
+  std::printf("wrote %zu rows x %zu signals to %s\n", axis.size(),
+              columns.size() - 1, path.c_str());
+}
+
+int run(int argc, char** argv) {
+  std::string netlist_path;
+  std::string csv_path;
+  std::vector<std::string> signals;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg == "--signals" && i + 1 < argc) {
+      signals = util::split(argv[++i], ",");
+    } else if (!arg.empty() && arg[0] != '-') {
+      netlist_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: netlist_runner <file.sp> [--csv out.csv] "
+                   "[--signals a,b,...]\n");
+      return 2;
+    }
+  }
+  if (netlist_path.empty()) {
+    std::fprintf(stderr, "usage: netlist_runner <file.sp> [--csv out.csv]\n");
+    return 2;
+  }
+
+  auto net = netlist::compile_netlist_file(netlist_path);
+  if (!net.title.empty()) std::printf("* %s\n", net.title.c_str());
+  net.circuit->prepare();
+  std::printf("circuit: %zu nodes, %zu devices, %zu unknowns\n",
+              net.circuit->node_count(), net.circuit->devices().size(),
+              net.circuit->unknown_count());
+
+  if (net.op || (!net.tran && !net.dc)) {
+    const auto op = sim::dc_operating_point(*net.circuit);
+    std::printf("\n.op results:\n");
+    for (std::size_t i = 0; i < op.labels.size(); ++i) {
+      std::printf("  %-20s %+.6g\n", op.labels[i].c_str(), op.x[i]);
+    }
+  }
+  if (net.dc) {
+    const auto sweep =
+        sim::dc_sweep(*net.circuit, net.dc->source, net.dc->points());
+    std::printf("\n.dc sweep of %s: %zu points\n", net.dc->source.c_str(),
+                sweep.axis.size());
+    if (!csv_path.empty()) {
+      write_rows(csv_path, net.dc->source, sweep.axis, sweep.table, signals);
+    }
+  }
+  if (net.tran) {
+    sim::SimOptions options;
+    if (net.tran->tstep > 0.0) options.dtmax = net.tran->tstep * 10.0;
+    const auto result =
+        sim::run_transient(*net.circuit, net.tran->tstop, options);
+    std::printf("\n.tran to %g s: %zu accepted steps, %zu rejected, "
+                "%zu Newton iterations, %zu PTM events\n",
+                net.tran->tstop, result.accepted_steps, result.rejected_steps,
+                result.newton_iterations, result.event_count);
+    if (!csv_path.empty()) {
+      write_rows(csv_path, "time", result.time, result.table, signals);
+    }
+    if (!net.measures.empty()) {
+      std::printf("\n.measure results:\n");
+      for (const auto& m : netlist::evaluate_measures(net.measures, result)) {
+        std::printf("  %-16s = %.6g\n", m.name.c_str(), m.value);
+      }
+    }
+  }
+  if (net.ac) {
+    const auto freqs = net.ac->frequencies();
+    const auto result = sim::ac_sweep(*net.circuit, freqs);
+    std::printf("\n.ac sweep: %zu frequency points\n", freqs.size());
+    if (!csv_path.empty()) {
+      // Magnitudes of all (or selected) signals.
+      std::vector<std::string> columns{"freq"};
+      std::vector<std::vector<double>> mags;
+      for (const auto& name : result.names()) {
+        bool take = signals.empty();
+        for (const auto& w : signals) {
+          if (util::iequals(w, name)) take = true;
+        }
+        if (!take) continue;
+        columns.push_back("mag(" + name + ")");
+        mags.push_back(result.magnitude(name));
+      }
+      std::ofstream file(csv_path);
+      util::CsvWriter writer(file, columns);
+      for (std::size_t row = 0; row < freqs.size(); ++row) {
+        std::vector<double> values{freqs[row]};
+        for (const auto& column : mags) values.push_back(column[row]);
+        writer.write_row(values);
+      }
+      std::printf("wrote %zu rows to %s\n", freqs.size(), csv_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const softfet::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// Power-gate wake-up scenario (the paper's first application case study):
+// how much supply droop does waking a gated domain inflict on a neighbour
+// block, and how much does a Soft-FET gate network help? Sweeps the header
+// strength so you can size your own power gate.
+//
+//   $ ./power_gate_droop [header_m ...]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/softfet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace softfet;
+
+  std::vector<double> headers{100.0, 200.0, 400.0};
+  if (argc > 1) {
+    headers.clear();
+    for (int i = 1; i < argc; ++i) headers.push_back(std::atof(argv[i]));
+  }
+
+  std::printf(
+      "header  | baseline droop | soft droop | improvement | inrush cut | "
+      "wake cost\n");
+  std::printf(
+      "--------+----------------+------------+-------------+------------+"
+      "----------\n");
+  for (const double header_m : headers) {
+    cells::PowerGateSpec spec;
+    spec.header_m = header_m;
+    const core::PowerGateStudy study = core::run_power_gate_study(spec);
+    std::printf(
+        "%5.0fx  | %11.1f mV | %7.1f mV | %8.1f mV | %9.2fx | %7.2fx\n",
+        header_m, study.baseline.droop * 1e3, study.soft.droop * 1e3,
+        study.droop_improvement() * 1e3, study.current_reduction_factor(),
+        study.soft.wake_time / study.baseline.wake_time);
+  }
+
+  std::printf(
+      "\nEach row wakes a %.0f pF domain behind a PMOS header of the given\n"
+      "strength (multiples of a minimum PMOS) while a neighbour draws %.0f mA\n"
+      "from the same rail. 'soft' drives the header gate through a PTM\n"
+      "(Soft-FET power gate, paper Fig. 10).\n",
+      cells::PowerGateSpec{}.domain_cap * 1e12,
+      cells::PowerGateSpec{}.neighbour_current * 1e3);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Hyper-FET composition and PTM selector-switch crossbar (paper Table 1
+// context): prior PTM applications the Soft-FET is contrasted against.
+//
+// Hyper-FET = PTM in series with the MOSFET *source* (Shukla et al. 2015):
+// the insulating PTM starves the subthreshold current (better Ion/Ioff and
+// sub-60mV/dec swing around the transition) at the cost of series
+// resistance in the on state. The Soft-FET instead puts the PTM at the
+// *gate*, leaving DC characteristics untouched.
+#pragma once
+
+#include <string>
+
+#include "devices/mosfet.hpp"
+#include "devices/ptm.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+struct HyperFetCell {
+  devices::Mosfet* mosfet = nullptr;
+  devices::Ptm* ptm = nullptr;
+  sim::NodeId internal_source = 0;  ///< node between MOSFET source and PTM
+};
+
+/// NMOS Hyper-FET: drain d, gate g, PTM from internal source node to s.
+HyperFetCell add_hyperfet_nmos(sim::Circuit& circuit, const std::string& name,
+                               sim::NodeId d, sim::NodeId g, sim::NodeId s,
+                               const devices::MosfetModel& model,
+                               const devices::MosfetDims& dims,
+                               const devices::PtmParams& ptm);
+
+/// Id(Vgs) transfer sweep of a grounded-source device at the given Vds;
+/// returns the gate voltages and drain currents (drain supply current).
+struct TransferCurve {
+  std::vector<double> vgs;
+  std::vector<double> id;
+};
+
+[[nodiscard]] TransferCurve hyperfet_transfer_curve(
+    const devices::MosfetModel& model, const devices::MosfetDims& dims,
+    const devices::PtmParams& ptm, double vds, double vgs_max, int points);
+
+[[nodiscard]] TransferCurve mosfet_transfer_curve(
+    const devices::MosfetModel& model, const devices::MosfetDims& dims,
+    double vds, double vgs_max, int points);
+
+/// 1-selector-1-resistor crossbar sneak-path demo: reading one cell of an
+/// n x n resistive array with half-select bias. Returns the current through
+/// the selected cell and the total sneak current, with and without PTM
+/// selectors.
+struct CrossbarReadResult {
+  double selected_current = 0.0;
+  double sneak_current = 0.0;  ///< total current on half-selected paths
+};
+
+[[nodiscard]] CrossbarReadResult crossbar_read(int n, double r_cell_low,
+                                               double r_cell_high,
+                                               bool with_selector,
+                                               const devices::PtmParams& ptm,
+                                               double v_read);
+
+}  // namespace softfet::cells

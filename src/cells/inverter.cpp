@@ -1,0 +1,130 @@
+#include "cells/inverter.hpp"
+
+#include "devices/capacitor.hpp"
+#include "devices/resistor.hpp"
+#include "devices/tech40.hpp"
+#include "util/error.hpp"
+
+namespace softfet::cells {
+
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+
+InverterSpec::InverterSpec()
+    : nmos_model(t40::nmos()), pmos_model(t40::pmos()) {}
+
+InverterCell add_inverter(sim::Circuit& circuit, const std::string& name,
+                          sim::NodeId in, sim::NodeId out, sim::NodeId vdd,
+                          sim::NodeId vss, const InverterSpec& spec) {
+  if (spec.stack < 1) {
+    throw InvalidCircuitError("inverter " + name + ": stack must be >= 1");
+  }
+  if (spec.ptm && spec.gate_series_r > 0.0) {
+    throw InvalidCircuitError("inverter " + name +
+                              ": PTM and series R are mutually exclusive");
+  }
+
+  InverterCell cell;
+  cell.in = in;
+  cell.out = out;
+
+  // Optional input network: PTM (Soft-FET) or constant series resistance.
+  sim::NodeId gate = in;
+  if (spec.ptm) {
+    gate = circuit.node(name + ".g");
+    cell.ptm = circuit.add<sd::Ptm>(name + ".ptm", in, gate, *spec.ptm);
+  } else if (spec.gate_series_r > 0.0) {
+    gate = circuit.node(name + ".g");
+    circuit.add<sd::Resistor>(name + ".rg", in, gate, spec.gate_series_r);
+  }
+  cell.gate = gate;
+
+  const sd::MosfetDims pdims{spec.wp, spec.l, spec.m};
+  const sd::MosfetDims ndims{spec.wn, spec.l, spec.m};
+
+  // Pull-up stack: vdd -> ... -> out.
+  sim::NodeId prev = vdd;
+  for (int i = 0; i < spec.stack; ++i) {
+    const sim::NodeId next =
+        (i == spec.stack - 1)
+            ? out
+            : circuit.node(name + ".p" + std::to_string(i));
+    auto* mp = circuit.add<sd::Mosfet>(
+        name + ".mp" + std::to_string(i), next, gate, prev, vdd,
+        spec.pmos_model, pdims);
+    if (i == 0) cell.pmos = mp;
+    prev = next;
+  }
+  // Pull-down stack: out -> ... -> vss.
+  prev = vss;
+  for (int i = 0; i < spec.stack; ++i) {
+    const sim::NodeId next =
+        (i == spec.stack - 1)
+            ? out
+            : circuit.node(name + ".n" + std::to_string(i));
+    auto* mn = circuit.add<sd::Mosfet>(
+        name + ".mn" + std::to_string(i), next, gate, prev, vss,
+        spec.nmos_model, ndims);
+    if (i == 0) cell.nmos = mn;
+    prev = next;
+  }
+  return cell;
+}
+
+InverterTestbench make_inverter_testbench(const InverterTestbenchSpec& spec) {
+  InverterTestbench tb;
+  tb.vcc = spec.vcc;
+  tb.input_delay = spec.input_delay;
+  tb.input_transition = spec.input_transition;
+
+  auto& c = tb.circuit;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  const auto vdd = c.node("vdd");
+  const auto vddl = c.node("vddl");
+
+  // DUT supply is separate from the load supply so i(vdd) shows only the
+  // device under test.
+  tb.vdd_dut = c.add<sd::VSource>("Vdd", vdd, sim::kGroundNode,
+                                  sd::SourceSpec::dc(spec.vcc));
+  c.add<sd::VSource>("Vddl", vddl, sim::kGroundNode,
+                     sd::SourceSpec::dc(spec.vcc));
+
+  const double v0 = spec.input_rising ? 0.0 : spec.vcc;
+  const double v1 = spec.input_rising ? spec.vcc : 0.0;
+  tb.vin = c.add<sd::VSource>(
+      "Vin", in, sim::kGroundNode,
+      sd::SourceSpec::ramp(v0, v1, spec.input_delay, spec.input_transition));
+
+  tb.dut = add_inverter(c, "dut", in, out, vdd, sim::kGroundNode, spec.dut);
+
+  // FO4 load: a real inverter input, scaled by `fanout`, on its own rail.
+  InverterSpec load = spec.dut;
+  load.gate_series_r = 0.0;
+  load.ptm.reset();
+  load.stack = 1;
+  load.m = spec.dut.m * spec.fanout;
+  const auto load_out = c.node("load_out");
+  add_inverter(c, "load", out, load_out, vddl, sim::kGroundNode, load);
+  // Small wire cap on the load output keeps that node well-behaved.
+  c.add<sd::Capacitor>("Cload_out", load_out, sim::kGroundNode, 1e-15);
+
+  tb.gate_signal =
+      (tb.dut.gate == tb.dut.in) ? "v(in)" : "v(" + c.node_name(tb.dut.gate) + ")";
+  tb.pmos_current_signal = "id(dut.mp0)";
+  tb.nmos_current_signal = "id(dut.mn0)";
+
+  // Heuristic stop time: input edge + generous settle margin. Soft-FET
+  // tails are governed by R_INS * C_gate.
+  double settle = 30.0 * spec.input_transition;
+  const double c_gate =
+      tb.dut.pmos->gate_capacitance() + tb.dut.nmos->gate_capacitance();
+  if (spec.dut.ptm) settle += 8.0 * spec.dut.ptm->r_ins * c_gate;
+  if (spec.dut.gate_series_r > 0.0) {
+    settle += 8.0 * spec.dut.gate_series_r * c_gate;
+  }
+  tb.suggested_tstop = spec.input_delay + spec.input_transition + settle;
+  return tb;
+}
+
+}  // namespace softfet::cells

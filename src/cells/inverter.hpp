@@ -1,0 +1,88 @@
+// Inverter cell builders: the baseline CMOS inverter and the peak-current
+// reduction variants the paper compares in Fig. 5 (HVT, gate series
+// resistance, stacked devices) plus the proposed Soft-FET inverter (PTM in
+// series with the common gate).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "devices/mosfet.hpp"
+#include "devices/ptm.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+/// Electrical description of one inverter instance.
+struct InverterSpec {
+  devices::MosfetModel nmos_model;
+  devices::MosfetModel pmos_model;
+  double wn = 120e-9;
+  double wp = 240e-9;
+  double l = 40e-9;
+  double m = 1.0;
+
+  /// > 0: insert a constant resistor between input and gate (series-R
+  /// variant).
+  double gate_series_r = 0.0;
+  /// Set: insert a PTM between input and gate (the Soft-FET).
+  std::optional<devices::PtmParams> ptm;
+  /// Number of series transistors in each of the pull-up/pull-down paths
+  /// (1 = plain inverter, 2 = stacked variant).
+  int stack = 1;
+
+  InverterSpec();
+};
+
+/// Handles to the devices of an instantiated inverter.
+struct InverterCell {
+  sim::NodeId in = 0;    ///< cell input (before any PTM / series R)
+  sim::NodeId gate = 0;  ///< common gate node (== in unless PTM / series R)
+  sim::NodeId out = 0;
+  devices::Mosfet* pmos = nullptr;  ///< rail-side PMOS
+  devices::Mosfet* nmos = nullptr;  ///< rail-side NMOS
+  devices::Ptm* ptm = nullptr;      ///< non-null for Soft-FET cells
+};
+
+/// Instantiate an inverter; device names are prefixed with `name`.
+InverterCell add_inverter(sim::Circuit& circuit, const std::string& name,
+                          sim::NodeId in, sim::NodeId out, sim::NodeId vdd,
+                          sim::NodeId vss, const InverterSpec& spec);
+
+/// The paper's single-gate characterization bench: a ramped input driving
+/// one inverter (the DUT, on its own supply so its current is observable in
+/// isolation) that drives an FO4 load (a fan-out-of-4 inverter on a separate
+/// supply).
+struct InverterTestbenchSpec {
+  InverterSpec dut;
+  double vcc = 1.0;
+  double input_transition = 30e-12;  ///< input ramp time (0% to 100%)
+  double input_delay = 100e-12;      ///< time before the ramp starts
+  bool input_rising = false;  ///< paper's Fig. 4 studies the falling input
+  double fanout = 4.0;        ///< load inverter size multiple
+};
+
+struct InverterTestbench {
+  sim::Circuit circuit;
+  InverterCell dut;
+  devices::VSource* vin = nullptr;
+  devices::VSource* vdd_dut = nullptr;  ///< supplies only the DUT
+  /// Signal names for measurements.
+  std::string input_signal = "v(in)";
+  std::string gate_signal;            ///< "v(gate)" or "v(in)"
+  std::string output_signal = "v(out)";
+  std::string supply_current_signal = "i(vdd)";  ///< DUT VCC rail current
+  std::string pmos_current_signal;    ///< "id(<dut>.mp...)"
+  std::string nmos_current_signal;
+  double vcc = 1.0;
+  double input_delay = 0.0;
+  double input_transition = 0.0;
+  /// A reasonable stop time for the transition (several RC tails).
+  double suggested_tstop = 0.0;
+};
+
+[[nodiscard]] InverterTestbench make_inverter_testbench(
+    const InverterTestbenchSpec& spec);
+
+}  // namespace softfet::cells

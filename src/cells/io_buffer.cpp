@@ -1,0 +1,89 @@
+#include "cells/io_buffer.hpp"
+
+#include "cells/inverter.hpp"
+#include "devices/capacitor.hpp"
+#include "devices/inductor.hpp"
+#include "devices/resistor.hpp"
+#include "devices/tech40.hpp"
+
+namespace softfet::cells {
+
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+
+devices::PtmParams IoBufferSpec::default_driver_ptm() {
+  devices::PtmParams p;
+  // Calibrated so the Soft-FET driver lands near the paper's 46% SSN
+  // reduction (see bench/fig11_io_buffer).
+  p.r_ins = 60e3;
+  p.r_met = 600.0;
+  p.v_imt = 0.4;
+  p.v_mit = 0.3;
+  p.t_ptm = 10e-12;
+  return p;
+}
+
+IoBufferTestbench make_io_buffer_testbench(const IoBufferSpec& spec) {
+  IoBufferTestbench tb;
+  tb.vcc = spec.vcc;
+  tb.input_delay = spec.input_delay;
+  auto& c = tb.circuit;
+
+  // Board supplies and bondwires to the internal rails.
+  const auto vext = c.node("vext");
+  const auto vddi = c.node("vddi");
+  const auto vssi = c.node("vssi");
+  c.add<sd::VSource>("Vext", vext, sim::kGroundNode,
+                     sd::SourceSpec::dc(spec.vcc));
+  const auto vdd_mid = c.node("vdd_mid");
+  c.add<sd::Inductor>("Lvdd", vext, vdd_mid, spec.bondwire_l);
+  c.add<sd::Resistor>("Rvdd", vdd_mid, vddi, spec.bondwire_r);
+  const auto vss_mid = c.node("vss_mid");
+  c.add<sd::Inductor>("Lvss", sim::kGroundNode, vss_mid, spec.bondwire_l);
+  c.add<sd::Resistor>("Rvss", vss_mid, vssi, spec.bondwire_r);
+
+  // Input edge (on-die signal, referenced to true ground).
+  const auto in = c.node("in");
+  const double v0 = spec.input_rising ? 0.0 : spec.vcc;
+  const double v1 = spec.input_rising ? spec.vcc : 0.0;
+  c.add<sd::VSource>(
+      "Vin", in, sim::kGroundNode,
+      sd::SourceSpec::ramp(v0, v1, spec.input_delay, spec.input_transition));
+
+  // Tapered driver chain (1x -> 4x -> final), all m-scaled by the number of
+  // simultaneously switching buffers.
+  const double n_ssn = spec.simultaneous;
+  const auto s1 = c.node("s1");
+  const auto s2 = c.node("s2");
+  const auto pad = c.node("pad");
+
+  InverterSpec stage;
+  stage.m = 1.0 * n_ssn;
+  add_inverter(c, "st1", in, s1, vddi, vssi, stage);
+  stage.m = spec.final_stage_m / 8.0 * n_ssn;
+  add_inverter(c, "st2", s1, s2, vddi, vssi, stage);
+
+  InverterSpec final_stage;
+  final_stage.m = spec.final_stage_m * n_ssn;
+  if (spec.ptm) final_stage.ptm = spec.ptm;
+  const InverterCell drv =
+      add_inverter(c, "drv", s2, pad, vddi, vssi, final_stage);
+  tb.ptm = drv.ptm;
+
+  // Pad loads (1 pF each, N in parallel).
+  c.add<sd::Capacitor>("Cpad", pad, sim::kGroundNode,
+                       spec.pad_cap * n_ssn);
+
+  // On-die rail decoupling is deliberately tiny for I/O rails.
+  c.add<sd::Capacitor>("Cvddi", vddi, vssi, 2e-12);
+
+  double settle = 20e-9;
+  if (spec.ptm) {
+    settle += 8.0 * spec.ptm->r_ins *
+              (drv.pmos->gate_capacitance() + drv.nmos->gate_capacitance());
+  }
+  tb.suggested_tstop = spec.input_delay + spec.input_transition + settle;
+  return tb;
+}
+
+}  // namespace softfet::cells

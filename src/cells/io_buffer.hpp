@@ -1,0 +1,52 @@
+// I/O buffer simultaneous-switching-noise testbench (paper Fig. 11).
+//
+// N identical output buffers (modelled as one buffer with an m-multiplier)
+// share internal VCC/VSS rails connected to the board supplies through
+// bondwire inductance. Each buffer is a 3-stage tapered driver chain into a
+// 1 pF pad. When all N switch together, L*di/dt rings the internal rails
+// (SSN). The Soft-FET variant inserts a PTM before the final driver stage's
+// gate, softening the output edge and cutting the SSN.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "devices/mosfet.hpp"
+#include "devices/ptm.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+struct IoBufferSpec {
+  double vcc = 1.0;
+  double pad_cap = 1e-12;     ///< per-buffer pad load [F]
+  double bondwire_l = 0.5e-9; ///< per-rail bondwire inductance [H]
+  double bondwire_r = 0.2;    ///< per-rail series resistance [ohm]
+  double simultaneous = 2.0;  ///< number of buffers switching together
+  double final_stage_m = 32.0;  ///< final driver size (min-inverter multiples)
+  double input_transition = 100e-12;
+  double input_delay = 2e-9;
+  bool input_rising = true;
+  std::optional<devices::PtmParams> ptm;  ///< Soft-FET final-stage gate
+
+  /// PTM card scaled for the final driver's gate capacitance.
+  [[nodiscard]] static devices::PtmParams default_driver_ptm();
+};
+
+struct IoBufferTestbench {
+  sim::Circuit circuit;
+  devices::Ptm* ptm = nullptr;
+  std::string vddi_signal = "v(vddi)";  ///< internal VCC rail
+  std::string vssi_signal = "v(vssi)";  ///< internal VSS rail
+  std::string pad_signal = "v(pad)";
+  std::string supply_current_signal = "i(vext)";  ///< external VCC source
+  double vcc = 1.0;
+  double input_delay = 0.0;
+  double suggested_tstop = 0.0;
+};
+
+[[nodiscard]] IoBufferTestbench make_io_buffer_testbench(
+    const IoBufferSpec& spec);
+
+}  // namespace softfet::cells

@@ -1,0 +1,34 @@
+#include "cells/pdn.hpp"
+
+#include "devices/capacitor.hpp"
+#include "devices/inductor.hpp"
+#include "devices/resistor.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::cells {
+
+namespace sd = softfet::devices;
+
+Pdn add_pdn(sim::Circuit& circuit, const std::string& name,
+            const std::string& rail_name, const PdnParams& params) {
+  Pdn pdn;
+  const auto vreg = circuit.node(name + ".vreg");
+  const auto mid = circuit.node(name + ".pkg");
+  pdn.rail = circuit.node(rail_name);
+
+  pdn.regulator = circuit.add<sd::VSource>(
+      name + ".vsrc", vreg, sim::kGroundNode, sd::SourceSpec::dc(params.vcc));
+  circuit.add<sd::Inductor>(name + ".lpkg", vreg, mid, params.l_pkg);
+  circuit.add<sd::Resistor>(name + ".rpkg", mid, pdn.rail, params.r_pkg);
+
+  // Decap with its effective series resistance.
+  const auto dcap = circuit.node(name + ".dcap");
+  circuit.add<sd::Resistor>(name + ".resr", pdn.rail, dcap, params.r_decap);
+  circuit.add<sd::Capacitor>(name + ".cdecap", dcap, sim::kGroundNode,
+                             params.c_decap);
+
+  pdn.rail_signal = "v(" + util::to_lower(rail_name) + ")";
+  return pdn;
+}
+
+}  // namespace softfet::cells

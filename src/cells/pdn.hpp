@@ -1,0 +1,34 @@
+// Lumped power-delivery-network model: ideal regulator behind package
+// R/L feeding an on-die rail with decoupling capacitance.
+//
+// The paper adopts PDN parameters from Zhang et al. (ISLPED'13) for its
+// power-gate study; this lumped equivalent reproduces the droop physics
+// (L di/dt + IR + RLC resonance) of that network at block scale.
+#pragma once
+
+#include <string>
+
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+struct PdnParams {
+  double vcc = 1.0;
+  double r_pkg = 30e-3;    ///< package + grid series resistance [ohm]
+  double l_pkg = 500e-12;  ///< package + bump inductance [H]
+  double c_decap = 100e-12;  ///< on-die decoupling capacitance [F]
+  double r_decap = 50e-3;  ///< decap effective series resistance [ohm]
+};
+
+struct Pdn {
+  sim::NodeId rail = 0;  ///< on-die VCC rail node
+  devices::VSource* regulator = nullptr;
+  std::string rail_signal;  ///< "v(<rail>)"
+};
+
+/// Build the PDN into `circuit`; `rail_name` is the on-die rail node name.
+Pdn add_pdn(sim::Circuit& circuit, const std::string& name,
+            const std::string& rail_name, const PdnParams& params);
+
+}  // namespace softfet::cells

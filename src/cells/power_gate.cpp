@@ -1,0 +1,81 @@
+#include "cells/power_gate.hpp"
+
+#include "devices/capacitor.hpp"
+#include "devices/resistor.hpp"
+#include "devices/tech40.hpp"
+
+namespace softfet::cells {
+
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+
+devices::PtmParams PowerGateSpec::default_header_ptm() {
+  devices::PtmParams p;
+  // A physically larger PTM via for the wide header: resistances scale
+  // down ~25x versus the logic-gate card; thresholds and switching time are
+  // material properties and stay put (V_MIT 0.2 calibrated for a 2x inrush
+  // reduction, see bench/fig10_power_gate).
+  p.r_ins = 20e3;
+  p.r_met = 200.0;
+  p.v_imt = 0.4;
+  p.v_mit = 0.2;
+  p.t_ptm = 10e-12;
+  return p;
+}
+
+PowerGateTestbench make_power_gate_testbench(const PowerGateSpec& spec) {
+  PowerGateTestbench tb;
+  tb.vcc = spec.vcc;
+  tb.enable_delay = spec.enable_delay;
+  auto& c = tb.circuit;
+
+  // Shared on-die rail behind the PDN.
+  PdnParams pdn_params = spec.pdn;
+  pdn_params.vcc = spec.vcc;
+  const Pdn pdn = add_pdn(c, "pdn", "vrail", pdn_params);
+  tb.rail_signal = pdn.rail_signal;
+
+  // Always-on neighbour modelled as a resistor sized for the nominal draw.
+  c.add<sd::Resistor>("Rneighbour", pdn.rail, sim::kGroundNode,
+                      spec.vcc / spec.neighbour_current);
+
+  // Header PMOS: source on the shared rail, drain on the virtual rail.
+  const auto vvdd = c.node("vvdd");
+  const auto gate = c.node("pg_gate");
+  tb.header = c.add<sd::Mosfet>(
+      "MPG", vvdd, gate, pdn.rail, pdn.rail, t40::pmos(),
+      sd::MosfetDims{t40::kWminP, t40::kLmin, spec.header_m});
+
+  // Gated domain: big discharged cap plus a weak leak path that defines the
+  // pre-wake DC level.
+  c.add<sd::Capacitor>("Cdomain", vvdd, sim::kGroundNode, spec.domain_cap);
+  c.add<sd::Resistor>("Rleak", vvdd, sim::kGroundNode, 1e6);
+
+  // Enable edge: VCC -> 0 turns the header on. The Soft-FET variant routes
+  // it through a PTM; the header's own gate capacitance is the soft node.
+  const auto enable = c.node("enable");
+  c.add<sd::VSource>("Ven", enable, sim::kGroundNode,
+                     sd::SourceSpec::ramp(spec.vcc, 0.0, spec.enable_delay,
+                                          spec.enable_transition));
+  if (spec.ptm) {
+    tb.ptm = c.add<sd::Ptm>("Pgate", enable, gate, *spec.ptm);
+  } else {
+    // Baseline: a small driver resistance between enable and gate.
+    c.add<sd::Resistor>("Rdrv", enable, gate, 50.0);
+  }
+
+  tb.virtual_rail_signal = "v(vvdd)";
+  tb.gate_signal = "v(pg_gate)";
+  tb.header_current_signal = "id(mpg)";
+
+  // Wake completes once the domain cap charges through the header; allow a
+  // long tail for the soft variant.
+  double settle = 30e-9;
+  if (spec.ptm) {
+    settle += 8.0 * spec.ptm->r_ins * tb.header->gate_capacitance();
+  }
+  tb.suggested_tstop = spec.enable_delay + settle;
+  return tb;
+}
+
+}  // namespace softfet::cells

@@ -1,0 +1,59 @@
+// Power-gate wake-up testbench (paper Fig. 10).
+//
+// A PDN feeds a shared on-die rail. An always-on neighbour block draws
+// steady current from the rail; a large PMOS header connects the rail to the
+// gated domain (a big discharged capacitance). Waking the domain (gate
+// enable VCC -> 0) causes an inrush current that droops the shared rail.
+// The Soft-FET variant drives the header gate through a PTM so the gate
+// voltage staircases down, spreading the inrush.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cells/pdn.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/ptm.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+struct PowerGateSpec {
+  PdnParams pdn;
+  double vcc = 1.0;
+  /// Header strength as a multiplier on the minimum PMOS (m = parallel
+  /// copies); 200 ~ a 48 um header.
+  double header_m = 200.0;
+  /// Gated-domain load capacitance (initially discharged) [F].
+  double domain_cap = 50e-12;
+  /// Always-on neighbour current draw at nominal VCC [A].
+  double neighbour_current = 5e-3;
+  /// Enable (wake) edge timing.
+  double enable_delay = 2e-9;
+  double enable_transition = 200e-12;
+  /// Engage the Soft-FET gate network when set.
+  std::optional<devices::PtmParams> ptm;
+
+  /// PTM card scaled for the header's large gate capacitance (lower
+  /// resistances than the logic-gate card; same thresholds/timing).
+  [[nodiscard]] static devices::PtmParams default_header_ptm();
+};
+
+struct PowerGateTestbench {
+  sim::Circuit circuit;
+  devices::Mosfet* header = nullptr;
+  devices::Ptm* ptm = nullptr;
+  std::string rail_signal;          ///< shared VCC rail voltage
+  std::string virtual_rail_signal;  ///< gated-domain rail voltage
+  std::string gate_signal;          ///< header gate voltage
+  std::string header_current_signal;  ///< id() of the header
+  double vcc = 1.0;
+  double enable_delay = 0.0;
+  double suggested_tstop = 0.0;
+};
+
+[[nodiscard]] PowerGateTestbench make_power_gate_testbench(
+    const PowerGateSpec& spec);
+
+}  // namespace softfet::cells

@@ -1,0 +1,37 @@
+// Ring oscillator: an odd chain of inverters (optionally Soft-FET
+// inverters) closed on itself, with a startup kick. The classic dynamic
+// benchmark for a logic family: its period is 2*N*t_pd and its supply
+// current shows the repetitive switching signature the paper's PDN story
+// cares about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/inverter.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::cells {
+
+struct RingOscillatorSpec {
+  int stages = 5;  ///< must be odd and >= 3
+  InverterSpec inverter;
+  double vcc = 1.0;
+  /// Startup kick: a brief current pulse into stage 0's output.
+  double kick_current = 20e-6;
+  double kick_duration = 20e-12;
+};
+
+struct RingOscillator {
+  sim::Circuit circuit;
+  std::vector<InverterCell> stages;
+  std::string tap_signal;             ///< "v(n0)": stage 0 output
+  std::string supply_current_signal;  ///< "i(vdd)" for the whole ring
+  double vcc = 1.0;
+};
+
+[[nodiscard]] RingOscillator make_ring_oscillator(
+    const RingOscillatorSpec& spec);
+
+}  // namespace softfet::cells

@@ -1,0 +1,65 @@
+// The two application case studies (paper Section V): power-gate wake-up
+// droop (Fig. 10) and I/O buffer simultaneous switching noise (Fig. 11).
+#pragma once
+
+#include "cells/io_buffer.hpp"
+#include "cells/power_gate.hpp"
+#include "sim/analyses.hpp"
+#include "sim/options.hpp"
+
+namespace softfet::core {
+
+struct PowerGateOutcome {
+  double droop = 0.0;         ///< worst shared-rail droop below VCC [V]
+  double peak_current = 0.0;  ///< peak header inrush current [A]
+  double max_didt = 0.0;      ///< max |di/dt| of the header current [A/s]
+  double wake_time = 0.0;     ///< enable 50% -> virtual rail at 95% VCC [s]
+  sim::TranResult tran;
+};
+
+struct PowerGateStudy {
+  PowerGateOutcome baseline;
+  PowerGateOutcome soft;
+  [[nodiscard]] double droop_improvement() const {
+    return baseline.droop - soft.droop;
+  }
+  [[nodiscard]] double current_reduction_factor() const {
+    return baseline.peak_current / soft.peak_current;
+  }
+};
+
+/// Run the wake-up experiment twice: direct gate drive vs Soft-FET gate.
+/// `spec.ptm` selects the PTM card used for the soft run (falls back to
+/// PowerGateSpec::default_header_ptm()).
+[[nodiscard]] PowerGateStudy run_power_gate_study(
+    cells::PowerGateSpec spec, const sim::SimOptions& options = {});
+
+struct IoBufferOutcome {
+  double ssn = 0.0;           ///< worst bounce across both internal rails [V]
+  double vcc_bounce = 0.0;    ///< worst |v(vddi) - VCC| [V]
+  double gnd_bounce = 0.0;    ///< worst |v(vssi)| [V]
+  double peak_current = 0.0;  ///< peak external supply current [A]
+  double pad_delay = 0.0;     ///< input 50% -> pad 50% [s]
+  sim::TranResult tran;
+};
+
+struct IoBufferStudy {
+  IoBufferOutcome baseline;
+  IoBufferOutcome soft;
+  [[nodiscard]] double ssn_reduction_pct() const {
+    return 100.0 * (1.0 - soft.ssn / baseline.ssn);
+  }
+  /// CV^2 energy-efficiency gain from the reduced guardband: operating at
+  /// VCC + bounce instead of VCC + bounce' scales switching energy by the
+  /// voltage ratio squared.
+  [[nodiscard]] double energy_efficiency_gain_pct(double vcc) const {
+    const double v_base = vcc + baseline.ssn;
+    const double v_soft = vcc + soft.ssn;
+    return 100.0 * (1.0 - (v_soft * v_soft) / (v_base * v_base));
+  }
+};
+
+[[nodiscard]] IoBufferStudy run_io_buffer_study(
+    cells::IoBufferSpec spec, const sim::SimOptions& options = {});
+
+}  // namespace softfet::core

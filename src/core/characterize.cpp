@@ -1,0 +1,89 @@
+#include "core/characterize.hpp"
+
+#include <cmath>
+
+#include "measure/metrics.hpp"
+#include "measure/waveform.hpp"
+
+namespace softfet::core {
+
+using measure::Waveform;
+
+TransitionMetrics characterize_inverter(const cells::InverterTestbenchSpec& spec,
+                                        const sim::SimOptions& options) {
+  // Slow variants (HVT near threshold, huge series R) can take orders of
+  // magnitude longer than the heuristic stop time suggests; retry with a
+  // stretched window until the output transition completes.
+  double tstop = 0.0;
+  TransitionMetrics out;
+  cells::InverterTestbench tb;
+  constexpr int kMaxStretches = 10;
+  for (int attempt = 0;; ++attempt) {
+    tb = cells::make_inverter_testbench(spec);
+    if (attempt == 0) tstop = tb.suggested_tstop;
+    out.tran = sim::run_transient(tb.circuit, tstop, options);
+    const Waveform vout_probe = Waveform::from_tran(out.tran, tb.output_signal);
+    const bool output_rising_probe = !spec.input_rising;
+    const double target =
+        output_rising_probe ? 0.85 * spec.vcc : 0.15 * spec.vcc;
+    const bool done = output_rising_probe
+                          ? vout_probe.max_value() >= target
+                          : vout_probe.min_value() <= target;
+    if (done || attempt >= kMaxStretches) break;
+    tstop *= 4.0;
+  }
+
+  const Waveform vin = Waveform::from_tran(out.tran, tb.input_signal);
+  const Waveform vout = Waveform::from_tran(out.tran, tb.output_signal);
+  // SPICE sign convention: a sourcing supply reads negative; flip so that
+  // "current drawn from the VCC rail" is positive.
+  const Waveform icc =
+      Waveform::from_tran(out.tran, tb.supply_current_signal).scaled(-1.0);
+
+  // Measure from just before the edge so DC leakage does not pollute the
+  // charge integrals but the whole transition (including Soft-FET tails)
+  // counts.
+  const double t_edge = tb.input_delay;
+  const double t_end = out.tran.time.back();
+  const Waveform icc_win = icc.window(0.5 * t_edge, t_end);
+
+  out.i_max = icc_win.peak_magnitude();
+  out.max_didt = icc_win.max_abs_derivative(kDidtWindow);
+
+  const bool output_rising = !spec.input_rising;
+  out.delay = measure::propagation_delay(vin, vout, 0.0, spec.vcc,
+                                         output_rising, 0.9 * t_edge);
+  out.output_transition =
+      measure::transition_time(vout, 0.0, spec.vcc, output_rising, 0.9 * t_edge);
+
+  // Charge split (paper Fig. 7): for a rising output the PMOS delivers the
+  // output charge and the NMOS conducts the short-circuit (crowbar) charge;
+  // mirrored for a falling output. Channel-current probes use the
+  // NMOS-positive drain->source convention, so the PMOS pull-up current is
+  // negative while charging the output.
+  // Short-circuit charge counts only the forward (crowbar) direction of the
+  // off-side device; brief capacitive reversals through the Miller path are
+  // not crowbar current.
+  const Waveform ip = Waveform::from_tran(out.tran, tb.pmos_current_signal);
+  const Waveform in = Waveform::from_tran(out.tran, tb.nmos_current_signal);
+  if (output_rising) {
+    out.q_output = -measure::charge(ip, 0.5 * t_edge, t_end);
+    out.q_short =
+        measure::charge(in.clamped_min(0.0), 0.5 * t_edge, t_end);
+  } else {
+    out.q_output = measure::charge(in, 0.5 * t_edge, t_end);
+    out.q_short = measure::charge(ip.scaled(-1.0).clamped_min(0.0),
+                                  0.5 * t_edge, t_end);
+  }
+
+  const Waveform vcc_wave({0.0, t_end}, {spec.vcc, spec.vcc});
+  out.energy = measure::energy(vcc_wave, icc_win);
+
+  if (tb.dut.ptm != nullptr) {
+    out.imt_count = tb.dut.ptm->imt_count();
+    out.mit_count = tb.dut.ptm->mit_count();
+  }
+  return out;
+}
+
+}  // namespace softfet::core

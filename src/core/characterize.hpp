@@ -1,0 +1,36 @@
+// Single-gate transition characterization: runs the paper's inverter
+// testbench and extracts I_MAX, di/dt, delay, and charge metrics
+// (paper Figs. 4-9 all build on this).
+#pragma once
+
+#include "cells/inverter.hpp"
+#include "sim/analyses.hpp"
+#include "sim/options.hpp"
+
+namespace softfet::core {
+
+struct TransitionMetrics {
+  double i_max = 0.0;     ///< peak current drawn from the DUT VCC rail [A]
+  double max_didt = 0.0;  ///< max |di/dt| of the VCC rail current [A/s]
+  double delay = 0.0;     ///< 50% input -> 20/80% output (paper def.) [s]
+  double output_transition = 0.0;  ///< 20%-80% output edge time [s]
+  double q_short = 0.0;   ///< short-circuit charge [C]
+  double q_output = 0.0;  ///< output switching charge [C]
+  double energy = 0.0;    ///< energy drawn from the DUT rail [J]
+  long imt_count = 0;     ///< PTM insulator->metal transitions
+  long mit_count = 0;     ///< PTM metal->insulator transitions
+  sim::TranResult tran;   ///< full waveforms (figure dumps)
+};
+
+/// Smoothing window for the di/dt measurement: slopes are averaged over at
+/// least this long. Rationale: the droop a PDN develops responds to the
+/// band-limited di/dt (its L/R and LC time constants are far slower than
+/// the PTM's intrinsic transition), so di/dt is measured at the PTM
+/// switching-time scale rather than at solver event resolution.
+inline constexpr double kDidtWindow = 10e-12;
+
+/// Run the testbench described by `spec` and measure one transition.
+[[nodiscard]] TransitionMetrics characterize_inverter(
+    const cells::InverterTestbenchSpec& spec, const sim::SimOptions& options = {});
+
+}  // namespace softfet::core

@@ -1,0 +1,148 @@
+#include "core/iso_imax.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace softfet::core {
+
+double bisect_to_target(const std::function<double(double)>& f, double lo,
+                        double hi, double target, bool increasing,
+                        double rel_tol, int max_iterations) {
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  const auto below = [&](double value) {
+    return increasing ? value < target : value > target;
+  };
+  if (!below(f_lo) || below(f_hi)) {
+    // Accept an endpoint that already matches within tolerance.
+    if (std::fabs(f_lo - target) <= rel_tol * std::fabs(target)) return lo;
+    if (std::fabs(f_hi - target) <= rel_tol * std::fabs(target)) return hi;
+    throw ConvergenceError("bisect_to_target: target " + std::to_string(target) +
+                           " not bracketed by [" + std::to_string(f_lo) + ", " +
+                           std::to_string(f_hi) + "]");
+  }
+  double knob = 0.5 * (lo + hi);
+  for (int i = 0; i < max_iterations; ++i) {
+    knob = 0.5 * (lo + hi);
+    const double value = f(knob);
+    if (std::fabs(value - target) <= rel_tol * std::fabs(target)) return knob;
+    if (below(value)) {
+      lo = knob;
+    } else {
+      hi = knob;
+    }
+  }
+  util::log_warn("bisect_to_target: tolerance not reached, returning best");
+  return knob;
+}
+
+namespace {
+
+/// I_MAX of a variant at the calibration VCC.
+[[nodiscard]] double imax_of(const cells::InverterTestbenchSpec& spec,
+                             const sim::SimOptions& options) {
+  return characterize_inverter(spec, options).i_max;
+}
+
+[[nodiscard]] cells::InverterTestbenchSpec with_vcc(
+    cells::InverterTestbenchSpec spec, double vcc) {
+  spec.vcc = vcc;
+  return spec;
+}
+
+/// Strip the Soft-FET PTM from a spec, leaving the plain baseline inverter.
+[[nodiscard]] cells::InverterTestbenchSpec baseline_of(
+    cells::InverterTestbenchSpec spec) {
+  spec.dut.ptm.reset();
+  spec.dut.gate_series_r = 0.0;
+  spec.dut.stack = 1;
+  return spec;
+}
+
+}  // namespace
+
+IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
+                                 const sim::SimOptions& options) {
+  if (!spec.base.dut.ptm) {
+    throw Error("run_iso_imax_study: base spec must be a Soft-FET inverter");
+  }
+  IsoImaxResult result;
+
+  // --- target: Soft-FET peak current at the calibration VCC -------------
+  const auto soft_cal = with_vcc(spec.base, spec.calibration_vcc);
+  result.target_imax = imax_of(soft_cal, options);
+  util::log_info("iso-imax: Soft-FET target I_MAX = " +
+                 std::to_string(result.target_imax));
+
+  const auto base = baseline_of(spec.base);
+
+  // --- HVT: raise |VT| of both devices until I_MAX matches --------------
+  result.hvt_delta_vt = bisect_to_target(
+      [&](double dvt) {
+        auto s = with_vcc(base, spec.calibration_vcc);
+        s.dut.nmos_model.vt0 += dvt;
+        s.dut.pmos_model.vt0 += dvt;
+        return imax_of(s, options);
+      },
+      0.0, 0.45, result.target_imax, /*increasing=*/false, spec.tolerance);
+
+  // --- series R: constant gate resistance ------------------------------
+  result.series_r = bisect_to_target(
+      [&](double log_r) {
+        auto s = with_vcc(base, spec.calibration_vcc);
+        s.dut.gate_series_r = std::exp(log_r);
+        return imax_of(s, options);
+      },
+      std::log(10.0), std::log(1e8), result.target_imax,
+      /*increasing=*/false, spec.tolerance);
+  result.series_r = std::exp(result.series_r);
+
+  // --- stacked: two in series, width-scaled to hit the target ----------
+  result.stack_width_mult = bisect_to_target(
+      [&](double mult) {
+        auto s = with_vcc(base, spec.calibration_vcc);
+        s.dut.stack = 2;
+        s.dut.m = spec.base.dut.m * mult;
+        return imax_of(s, options);
+      },
+      0.1, 6.0, result.target_imax, /*increasing=*/true, spec.tolerance);
+
+  // --- sweep VCC for every variant --------------------------------------
+  const auto record = [&](const std::string& name,
+                          const std::function<cells::InverterTestbenchSpec(double)>&
+                              make_spec) {
+    std::vector<VariantPoint> points;
+    for (const double vcc : spec.vcc_sweep) {
+      const TransitionMetrics m = characterize_inverter(make_spec(vcc), options);
+      points.push_back({vcc, m.i_max, m.max_didt, m.delay});
+    }
+    result.curves[name] = std::move(points);
+  };
+
+  record("softfet", [&](double vcc) { return with_vcc(spec.base, vcc); });
+  record("baseline", [&](double vcc) { return with_vcc(base, vcc); });
+  record("hvt", [&](double vcc) {
+    auto s = with_vcc(base, vcc);
+    s.dut.nmos_model.vt0 += result.hvt_delta_vt;
+    s.dut.pmos_model.vt0 += result.hvt_delta_vt;
+    return s;
+  });
+  record("series-r", [&](double vcc) {
+    auto s = with_vcc(base, vcc);
+    s.dut.gate_series_r = result.series_r;
+    return s;
+  });
+  record("stacked", [&](double vcc) {
+    auto s = with_vcc(base, vcc);
+    s.dut.stack = 2;
+    s.dut.m = spec.base.dut.m * result.stack_width_mult;
+    return s;
+  });
+
+  return result;
+}
+
+}  // namespace softfet::core

@@ -1,0 +1,51 @@
+// Iso-I_MAX comparison study (paper Fig. 5): tune each baseline CMOS
+// variant's knob so its peak switching current at VCC = 1 V matches the
+// Soft-FET inverter's, then sweep VCC and compare delays.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+
+namespace softfet::core {
+
+struct IsoImaxSpec {
+  cells::InverterTestbenchSpec base;   ///< Soft-FET spec (dut.ptm must be set)
+  double calibration_vcc = 1.0;
+  std::vector<double> vcc_sweep{0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  double tolerance = 0.02;  ///< relative I_MAX matching tolerance
+};
+
+struct VariantPoint {
+  double vcc = 0.0;
+  double i_max = 0.0;
+  double max_didt = 0.0;
+  double delay = 0.0;
+};
+
+struct IsoImaxResult {
+  double target_imax = 0.0;  ///< Soft-FET I_MAX at the calibration VCC
+  double hvt_delta_vt = 0.0;   ///< calibrated threshold increase [V]
+  double series_r = 0.0;       ///< calibrated gate series resistance [ohm]
+  double stack_width_mult = 0.0;  ///< calibrated stacked-pair width multiple
+  /// Curves keyed by variant name: "softfet", "baseline", "hvt",
+  /// "series-r", "stacked".
+  std::map<std::string, std::vector<VariantPoint>> curves;
+};
+
+[[nodiscard]] IsoImaxResult run_iso_imax_study(
+    const IsoImaxSpec& spec, const sim::SimOptions& options = {});
+
+/// Generic monotone-knob bisection used by the study (exposed for tests):
+/// finds knob in [lo, hi] such that f(knob) ~ target. `increasing` states
+/// whether f grows with the knob. Throws ConvergenceError if the bracket
+/// does not contain the target.
+[[nodiscard]] double bisect_to_target(const std::function<double(double)>& f,
+                                      double lo, double hi, double target,
+                                      bool increasing, double rel_tol,
+                                      int max_iterations = 40);
+
+}  // namespace softfet::core

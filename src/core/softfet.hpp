@@ -1,0 +1,24 @@
+// Umbrella header: the public API of the Soft-FET library.
+//
+// Pull this in to get the circuit simulator, device models, the Soft-FET /
+// baseline cell builders, and the paper's experiment runners.
+#pragma once
+
+#include "cells/hyperfet.hpp"     // IWYU pragma: export
+#include "cells/inverter.hpp"     // IWYU pragma: export
+#include "cells/io_buffer.hpp"    // IWYU pragma: export
+#include "cells/pdn.hpp"          // IWYU pragma: export
+#include "cells/power_gate.hpp"   // IWYU pragma: export
+#include "cells/ring_oscillator.hpp"  // IWYU pragma: export
+#include "core/case_studies.hpp"  // IWYU pragma: export
+#include "core/characterize.hpp"  // IWYU pragma: export
+#include "core/iso_imax.hpp"      // IWYU pragma: export
+#include "core/sweeps.hpp"        // IWYU pragma: export
+#include "core/variation.hpp"     // IWYU pragma: export
+#include "devices/mosfet.hpp"     // IWYU pragma: export
+#include "devices/ptm.hpp"        // IWYU pragma: export
+#include "devices/tech40.hpp"     // IWYU pragma: export
+#include "measure/metrics.hpp"    // IWYU pragma: export
+#include "measure/waveform.hpp"   // IWYU pragma: export
+#include "netlist/elaborate.hpp"  // IWYU pragma: export
+#include "sim/analyses.hpp"       // IWYU pragma: export

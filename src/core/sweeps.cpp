@@ -1,0 +1,103 @@
+#include "core/sweeps.hpp"
+
+#include "util/error.hpp"
+
+namespace softfet::core {
+
+namespace {
+void require_softfet(const cells::InverterTestbenchSpec& base,
+                     const char* who) {
+  if (!base.dut.ptm) {
+    throw Error(std::string(who) + ": base spec must be a Soft-FET inverter");
+  }
+}
+}  // namespace
+
+std::vector<DesignSpacePoint> sweep_vimt_vmit(
+    const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
+    const std::vector<double>& v_mit, const sim::SimOptions& options) {
+  require_softfet(base, "sweep_vimt_vmit");
+  std::vector<DesignSpacePoint> points;
+  for (const double imt : v_imt) {
+    for (const double mit : v_mit) {
+      if (mit >= imt) continue;  // infeasible hysteresis window
+      auto spec = base;
+      spec.dut.ptm->v_imt = imt;
+      spec.dut.ptm->v_mit = mit;
+      DesignSpacePoint point;
+      point.v_imt = imt;
+      point.v_mit = mit;
+      point.metrics = characterize_inverter(spec, options);
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+std::vector<TptmPoint> sweep_tptm(const cells::InverterTestbenchSpec& base,
+                                  const std::vector<double>& t_ptm_values,
+                                  const sim::SimOptions& options) {
+  require_softfet(base, "sweep_tptm");
+  std::vector<TptmPoint> points;
+  for (const double t_ptm : t_ptm_values) {
+    auto spec = base;
+    spec.dut.ptm->t_ptm = t_ptm;
+    TptmPoint point;
+    point.t_ptm = t_ptm;
+    point.metrics = characterize_inverter(spec, options);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<SlewPoint> sweep_slew(const cells::InverterTestbenchSpec& base,
+                                  const std::vector<double>& transitions,
+                                  const sim::SimOptions& options) {
+  require_softfet(base, "sweep_slew");
+  auto baseline_spec = base;
+  baseline_spec.dut.ptm.reset();
+  std::vector<SlewPoint> points;
+  for (const double transition : transitions) {
+    SlewPoint point;
+    point.input_transition = transition;
+    auto soft = base;
+    soft.input_transition = transition;
+    point.soft = characterize_inverter(soft, options);
+    auto plain = baseline_spec;
+    plain.input_transition = transition;
+    point.baseline = characterize_inverter(plain, options);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<RatioPoint> sweep_slew_tptm_ratio(
+    const cells::InverterTestbenchSpec& base, const std::vector<double>& slews,
+    const std::vector<double>& t_ptms, const sim::SimOptions& options) {
+  require_softfet(base, "sweep_slew_tptm_ratio");
+  auto baseline_spec = base;
+  baseline_spec.dut.ptm.reset();
+
+  std::vector<RatioPoint> points;
+  for (const double slew : slews) {
+    auto plain = baseline_spec;
+    plain.input_transition = slew;
+    const TransitionMetrics ref = characterize_inverter(plain, options);
+    for (const double t_ptm : t_ptms) {
+      auto spec = base;
+      spec.input_transition = slew;
+      spec.dut.ptm->t_ptm = t_ptm;
+      const TransitionMetrics m = characterize_inverter(spec, options);
+      RatioPoint point;
+      point.slew = slew;
+      point.t_ptm = t_ptm;
+      point.ratio = slew / t_ptm;
+      point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / ref.i_max);
+      point.delay_penalty = m.delay / ref.delay;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace softfet::core

@@ -1,0 +1,144 @@
+#include "core/variation.hpp"
+
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include "util/error.hpp"
+
+namespace softfet::core {
+
+namespace {
+
+using ParamAccessor = double devices::PtmParams::*;
+
+struct ParamInfo {
+  const char* name;
+  ParamAccessor member;
+};
+
+constexpr ParamInfo kParams[] = {
+    {"r_ins", &devices::PtmParams::r_ins},
+    {"r_met", &devices::PtmParams::r_met},
+    {"v_imt", &devices::PtmParams::v_imt},
+    {"v_mit", &devices::PtmParams::v_mit},
+    {"t_ptm", &devices::PtmParams::t_ptm},
+};
+
+void require_softfet(const cells::InverterTestbenchSpec& base,
+                     const char* who) {
+  if (!base.dut.ptm) {
+    throw Error(std::string(who) + ": base spec must be a Soft-FET inverter");
+  }
+}
+
+}  // namespace
+
+std::vector<SensitivityRow> ptm_sensitivity(
+    const cells::InverterTestbenchSpec& base, double delta_fraction,
+    const sim::SimOptions& options) {
+  require_softfet(base, "ptm_sensitivity");
+  if (!(delta_fraction > 0.0) || delta_fraction >= 0.5) {
+    throw Error("ptm_sensitivity: delta_fraction must be in (0, 0.5)");
+  }
+
+  std::vector<SensitivityRow> rows;
+  for (const auto& info : kParams) {
+    const double nominal = (*base.dut.ptm).*(info.member);
+
+    const auto metrics_at = [&](double scale) {
+      auto spec = base;
+      (*spec.dut.ptm).*(info.member) = nominal * scale;
+      // Perturbations can make the hysteresis window collapse; surface
+      // that as an invalid-parameter error instead of a crash.
+      spec.dut.ptm->validate();
+      return characterize_inverter(spec, options);
+    };
+
+    const TransitionMetrics hi = metrics_at(1.0 + delta_fraction);
+    const TransitionMetrics lo = metrics_at(1.0 - delta_fraction);
+
+    const auto central = [&](double y_hi, double y_lo, double y_mid) {
+      // %metric per %param.
+      return ((y_hi - y_lo) / y_mid) / (2.0 * delta_fraction);
+    };
+    const TransitionMetrics mid = metrics_at(1.0);
+
+    SensitivityRow row;
+    row.parameter = info.name;
+    row.nominal = nominal;
+    row.imax_sensitivity = central(hi.i_max, lo.i_max, mid.i_max);
+    row.didt_sensitivity = central(hi.max_didt, lo.max_didt, mid.max_didt);
+    row.delay_sensitivity = central(hi.delay, lo.delay, mid.delay);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
+                                const MonteCarloSpec& mc,
+                                const sim::SimOptions& options) {
+  require_softfet(base, "ptm_monte_carlo");
+  if (mc.samples < 2) throw Error("ptm_monte_carlo: need >= 2 samples");
+
+  const double baseline_imax = [&] {
+    auto spec = base;
+    spec.dut.ptm.reset();
+    return characterize_inverter(spec, options).i_max;
+  }();
+
+  std::mt19937 rng(mc.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const auto draw = [&](double nominal, double sigma_rel) {
+    // Truncate at +-3 sigma so extreme tails can't invert the hysteresis.
+    double z = gauss(rng);
+    z = std::clamp(z, -3.0, 3.0);
+    return nominal * (1.0 + sigma_rel * z);
+  };
+
+  MonteCarloStats stats;
+  std::vector<double> imaxes;
+  std::vector<double> delays;
+  int beat_baseline = 0;
+  for (int k = 0; k < mc.samples; ++k) {
+    auto spec = base;
+    auto& p = *spec.dut.ptm;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      p.r_ins = draw(base.dut.ptm->r_ins, mc.sigma_resistance);
+      p.r_met = draw(base.dut.ptm->r_met, mc.sigma_resistance);
+      p.v_imt = draw(base.dut.ptm->v_imt, mc.sigma_threshold);
+      p.v_mit = draw(base.dut.ptm->v_mit, mc.sigma_threshold);
+      p.t_ptm = draw(base.dut.ptm->t_ptm, mc.sigma_tptm);
+      if (p.r_ins > p.r_met && p.v_imt > p.v_mit && p.v_mit > 0.0 &&
+          p.t_ptm > 0.0) {
+        break;
+      }
+    }
+    const TransitionMetrics m = characterize_inverter(spec, options);
+    imaxes.push_back(m.i_max);
+    delays.push_back(m.delay);
+    if (m.i_max < baseline_imax) ++beat_baseline;
+  }
+
+  const auto mean_std = [](const std::vector<double>& v, double& mean,
+                           double& stddev, double& worst) {
+    mean = 0.0;
+    worst = 0.0;
+    for (const double x : v) {
+      mean += x;
+      worst = std::max(worst, x);
+    }
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (const double x : v) var += (x - mean) * (x - mean);
+    stddev = std::sqrt(var / static_cast<double>(v.size() - 1));
+  };
+  stats.samples = mc.samples;
+  mean_std(imaxes, stats.imax_mean, stats.imax_std, stats.imax_worst);
+  mean_std(delays, stats.delay_mean, stats.delay_std, stats.delay_worst);
+  stats.fraction_below_baseline =
+      static_cast<double>(beat_baseline) / mc.samples;
+  return stats;
+}
+
+}  // namespace softfet::core

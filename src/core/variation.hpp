@@ -1,0 +1,57 @@
+// PTM parameter sensitivity and variability analysis (paper contribution 3:
+// "detailed PTM device parameter variations and their sensitivity to the
+// Soft-FET peak current and/or di/dt reduction").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+
+namespace softfet::core {
+
+/// Normalized local sensitivities of the Soft-FET metrics to one PTM
+/// parameter: percent change of metric per percent change of parameter
+/// (central differences at +-delta).
+struct SensitivityRow {
+  std::string parameter;
+  double nominal = 0.0;
+  double imax_sensitivity = 0.0;   ///< %I_MAX / %param
+  double didt_sensitivity = 0.0;   ///< %di/dt / %param
+  double delay_sensitivity = 0.0;  ///< %delay / %param
+};
+
+/// Sensitivity of all five PTM parameters (r_ins, r_met, v_imt, v_mit,
+/// t_ptm). `base.dut.ptm` must be set; `delta_fraction` is the relative
+/// perturbation (0.1 = +-10%).
+[[nodiscard]] std::vector<SensitivityRow> ptm_sensitivity(
+    const cells::InverterTestbenchSpec& base, double delta_fraction = 0.1,
+    const sim::SimOptions& options = {});
+
+/// Monte-Carlo fabrication-variability study: PTM thresholds and
+/// resistances drawn from independent Gaussians around the card.
+struct MonteCarloSpec {
+  int samples = 100;
+  unsigned seed = 1;
+  double sigma_threshold = 0.05;   ///< relative sigma of V_IMT / V_MIT
+  double sigma_resistance = 0.15;  ///< relative sigma of R_INS / R_MET
+  double sigma_tptm = 0.10;        ///< relative sigma of T_PTM
+};
+
+struct MonteCarloStats {
+  int samples = 0;
+  double imax_mean = 0.0;
+  double imax_std = 0.0;
+  double imax_worst = 0.0;  ///< largest sampled I_MAX
+  double delay_mean = 0.0;
+  double delay_std = 0.0;
+  double delay_worst = 0.0;
+  /// Fraction of samples that still beat the given baseline I_MAX.
+  double fraction_below_baseline = 0.0;
+};
+
+[[nodiscard]] MonteCarloStats ptm_monte_carlo(
+    const cells::InverterTestbenchSpec& base, const MonteCarloSpec& mc = {},
+    const sim::SimOptions& options = {});
+
+}  // namespace softfet::core

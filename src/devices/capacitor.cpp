@@ -1,0 +1,54 @@
+#include "devices/capacitor.hpp"
+
+#include "sim/ac.hpp"
+#include "devices/common.hpp"
+#include "util/error.hpp"
+
+namespace softfet::devices {
+
+Capacitor::Capacitor(std::string name, sim::NodeId p, sim::NodeId n,
+                     double capacitance)
+    : Device(std::move(name)), p_(p), n_(n), capacitance_(capacitance) {
+  if (!(capacitance > 0.0)) {
+    throw InvalidCircuitError("capacitor " + this->name() +
+                              ": capacitance must be positive");
+  }
+}
+
+void Capacitor::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+}
+
+double Capacitor::charge(const std::vector<double>& x) const {
+  return capacitance_ * (voltage_of(x, up_) - voltage_of(x, un_));
+}
+
+void Capacitor::load(const std::vector<double>& x, sim::Stamper& stamper,
+                     const sim::LoadContext& ctx) {
+  if (ctx.mode != sim::AnalysisMode::kTransient) return;  // open in DC
+  const double i = companion_.current(charge(x), ctx);
+  const double geq = sim::CompanionCap::scale(ctx) * capacitance_;
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+  stamper.add_jacobian(up_, up_, geq);
+  stamper.add_jacobian(un_, un_, geq);
+  stamper.add_jacobian(up_, un_, -geq);
+  stamper.add_jacobian(un_, up_, -geq);
+}
+
+void Capacitor::init_state(const std::vector<double>& x_op) {
+  companion_.init(charge(x_op));
+}
+
+void Capacitor::accept_step(const std::vector<double>& x,
+                            const sim::LoadContext& ctx) {
+  companion_.accept(charge(x), ctx);
+}
+
+void Capacitor::load_ac(const std::vector<double>& /*x_op*/,
+                        sim::AcStamper& ac, double omega) {
+  ac.add_admittance(up_, un_, numeric::Complex(0.0, omega * capacitance_));
+}
+
+}  // namespace softfet::devices

@@ -1,0 +1,37 @@
+// Linear two-terminal capacitor (charge-based companion in transient,
+// open circuit in DC).
+#pragma once
+
+#include "sim/circuit.hpp"
+#include "sim/companion.hpp"
+#include "sim/device.hpp"
+
+namespace softfet::devices {
+
+class Capacitor final : public sim::Device {
+ public:
+  Capacitor(std::string name, sim::NodeId p, sim::NodeId n, double capacitance);
+
+  void setup(sim::Circuit& circuit) override;
+  void load(const std::vector<double>& x, sim::Stamper& stamper,
+            const sim::LoadContext& ctx) override;
+  void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
+               double omega) override;
+  void init_state(const std::vector<double>& x_op) override;
+  void accept_step(const std::vector<double>& x,
+                   const sim::LoadContext& ctx) override;
+
+  [[nodiscard]] double capacitance() const noexcept { return capacitance_; }
+
+ private:
+  [[nodiscard]] double charge(const std::vector<double>& x) const;
+
+  sim::NodeId p_;
+  sim::NodeId n_;
+  double capacitance_;
+  int up_ = sim::kGround;
+  int un_ = sim::kGround;
+  sim::CompanionCap companion_;
+};
+
+}  // namespace softfet::devices

@@ -1,0 +1,16 @@
+// Shared helpers for device implementations.
+#pragma once
+
+#include <vector>
+
+#include "sim/stamper.hpp"
+
+namespace softfet::devices {
+
+/// Voltage of an unknown index (0 for ground).
+[[nodiscard]] inline double voltage_of(const std::vector<double>& x,
+                                       int unknown) {
+  return unknown == sim::kGround ? 0.0 : x[static_cast<std::size_t>(unknown)];
+}
+
+}  // namespace softfet::devices

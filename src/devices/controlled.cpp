@@ -1,0 +1,80 @@
+#include "devices/controlled.hpp"
+
+#include "sim/ac.hpp"
+#include "devices/common.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::devices {
+
+Vcvs::Vcvs(std::string name, sim::NodeId p, sim::NodeId n, sim::NodeId cp,
+           sim::NodeId cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+  ucp_ = circuit.node_unknown(cp_);
+  ucn_ = circuit.node_unknown(cn_);
+  branch_ = circuit.claim_branch_unknown("i(" + util::to_lower(name()) + ")");
+}
+
+void Vcvs::load(const std::vector<double>& x, sim::Stamper& stamper,
+                const sim::LoadContext& /*ctx*/) {
+  const double i = x[static_cast<std::size_t>(branch_)];
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+  stamper.add_jacobian(up_, branch_, 1.0);
+  stamper.add_jacobian(un_, branch_, -1.0);
+
+  const double vp = voltage_of(x, up_);
+  const double vn = voltage_of(x, un_);
+  const double vc = voltage_of(x, ucp_) - voltage_of(x, ucn_);
+  stamper.add_residual(branch_, vp - vn - gain_ * vc);
+  stamper.add_jacobian(branch_, up_, 1.0);
+  stamper.add_jacobian(branch_, un_, -1.0);
+  stamper.add_jacobian(branch_, ucp_, -gain_);
+  stamper.add_jacobian(branch_, ucn_, gain_);
+}
+
+void Vcvs::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,
+                   double /*omega*/) {
+  ac.add_matrix(up_, branch_, 1.0);
+  ac.add_matrix(un_, branch_, -1.0);
+  ac.add_matrix(branch_, up_, 1.0);
+  ac.add_matrix(branch_, un_, -1.0);
+  ac.add_matrix(branch_, ucp_, -gain_);
+  ac.add_matrix(branch_, ucn_, gain_);
+}
+
+Vccs::Vccs(std::string name, sim::NodeId p, sim::NodeId n, sim::NodeId cp,
+           sim::NodeId cn, double gm)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+  ucp_ = circuit.node_unknown(cp_);
+  ucn_ = circuit.node_unknown(cn_);
+}
+
+void Vccs::load(const std::vector<double>& x, sim::Stamper& stamper,
+                const sim::LoadContext& /*ctx*/) {
+  const double vc = voltage_of(x, ucp_) - voltage_of(x, ucn_);
+  const double i = gm_ * vc;
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+  stamper.add_jacobian(up_, ucp_, gm_);
+  stamper.add_jacobian(up_, ucn_, -gm_);
+  stamper.add_jacobian(un_, ucp_, -gm_);
+  stamper.add_jacobian(un_, ucn_, gm_);
+}
+
+void Vccs::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,
+                   double /*omega*/) {
+  ac.add_matrix(up_, ucp_, gm_);
+  ac.add_matrix(up_, ucn_, -gm_);
+  ac.add_matrix(un_, ucp_, -gm_);
+  ac.add_matrix(un_, ucn_, gm_);
+}
+
+}  // namespace softfet::devices

@@ -1,0 +1,48 @@
+// Linear controlled sources: VCVS (SPICE 'E') and VCCS (SPICE 'G').
+#pragma once
+
+#include "sim/circuit.hpp"
+#include "sim/device.hpp"
+
+namespace softfet::devices {
+
+/// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
+class Vcvs final : public sim::Device {
+ public:
+  Vcvs(std::string name, sim::NodeId p, sim::NodeId n, sim::NodeId cp,
+       sim::NodeId cn, double gain);
+
+  void setup(sim::Circuit& circuit) override;
+  void load(const std::vector<double>& x, sim::Stamper& stamper,
+            const sim::LoadContext& ctx) override;
+  void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
+               double omega) override;
+
+ private:
+  sim::NodeId p_, n_, cp_, cn_;
+  double gain_;
+  int up_ = sim::kGround, un_ = sim::kGround;
+  int ucp_ = sim::kGround, ucn_ = sim::kGround;
+  int branch_ = sim::kGround;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
+class Vccs final : public sim::Device {
+ public:
+  Vccs(std::string name, sim::NodeId p, sim::NodeId n, sim::NodeId cp,
+       sim::NodeId cn, double gm);
+
+  void setup(sim::Circuit& circuit) override;
+  void load(const std::vector<double>& x, sim::Stamper& stamper,
+            const sim::LoadContext& ctx) override;
+  void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
+               double omega) override;
+
+ private:
+  sim::NodeId p_, n_, cp_, cn_;
+  double gm_;
+  int up_ = sim::kGround, un_ = sim::kGround;
+  int ucp_ = sim::kGround, ucn_ = sim::kGround;
+};
+
+}  // namespace softfet::devices

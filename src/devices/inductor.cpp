@@ -1,0 +1,83 @@
+#include "devices/inductor.hpp"
+
+#include "sim/ac.hpp"
+#include "devices/common.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::devices {
+
+Inductor::Inductor(std::string name, sim::NodeId p, sim::NodeId n,
+                   double inductance)
+    : Device(std::move(name)), p_(p), n_(n), inductance_(inductance) {
+  if (!(inductance > 0.0)) {
+    throw InvalidCircuitError("inductor " + this->name() +
+                              ": inductance must be positive");
+  }
+}
+
+void Inductor::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+  branch_ = circuit.claim_branch_unknown("i(" + util::to_lower(name()) + ")");
+}
+
+void Inductor::load(const std::vector<double>& x, sim::Stamper& stamper,
+                    const sim::LoadContext& ctx) {
+  const double vp = voltage_of(x, up_);
+  const double vn = voltage_of(x, un_);
+  const double i = x[static_cast<std::size_t>(branch_)];
+
+  // KCL: branch current flows p -> n through the device.
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+  stamper.add_jacobian(up_, branch_, 1.0);
+  stamper.add_jacobian(un_, branch_, -1.0);
+
+  if (ctx.mode == sim::AnalysisMode::kDcOp) {
+    // Short circuit: v_p - v_n = 0.
+    stamper.add_residual(branch_, vp - vn);
+    stamper.add_jacobian(branch_, up_, 1.0);
+    stamper.add_jacobian(branch_, un_, -1.0);
+    return;
+  }
+
+  // Transient: L di/dt = v, discretized in amp form.
+  const double v = vp - vn;
+  if (ctx.method == sim::IntegrationMethod::kTrapezoidal) {
+    const double k = ctx.dt / (2.0 * inductance_);
+    stamper.add_residual(branch_, i - i_prev_ - k * (v + v_prev_));
+    stamper.add_jacobian(branch_, branch_, 1.0);
+    stamper.add_jacobian(branch_, up_, -k);
+    stamper.add_jacobian(branch_, un_, k);
+  } else {
+    const double k = ctx.dt / inductance_;
+    stamper.add_residual(branch_, i - i_prev_ - k * v);
+    stamper.add_jacobian(branch_, branch_, 1.0);
+    stamper.add_jacobian(branch_, up_, -k);
+    stamper.add_jacobian(branch_, un_, k);
+  }
+}
+
+void Inductor::init_state(const std::vector<double>& x_op) {
+  i_prev_ = x_op[static_cast<std::size_t>(branch_)];
+  v_prev_ = voltage_of(x_op, up_) - voltage_of(x_op, un_);
+}
+
+void Inductor::accept_step(const std::vector<double>& x,
+                           const sim::LoadContext& /*ctx*/) {
+  i_prev_ = x[static_cast<std::size_t>(branch_)];
+  v_prev_ = voltage_of(x, up_) - voltage_of(x, un_);
+}
+
+void Inductor::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,
+                       double omega) {
+  // Branch current coupling plus the KVL row v_p - v_n - jwL*i = 0.
+  ac.add_matrix(up_, branch_, 1.0);
+  ac.add_matrix(un_, branch_, -1.0);
+  ac.add_matrix(branch_, up_, 1.0);
+  ac.add_matrix(branch_, un_, -1.0);
+  ac.add_matrix(branch_, branch_, numeric::Complex(0.0, -omega * inductance_));
+}
+
+}  // namespace softfet::devices

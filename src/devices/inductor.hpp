@@ -1,0 +1,36 @@
+// Linear two-terminal inductor; the branch current is an MNA unknown,
+// so the element behaves as a short in DC.
+#pragma once
+
+#include "sim/circuit.hpp"
+#include "sim/device.hpp"
+
+namespace softfet::devices {
+
+class Inductor final : public sim::Device {
+ public:
+  Inductor(std::string name, sim::NodeId p, sim::NodeId n, double inductance);
+
+  void setup(sim::Circuit& circuit) override;
+  void load(const std::vector<double>& x, sim::Stamper& stamper,
+            const sim::LoadContext& ctx) override;
+  void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
+               double omega) override;
+  void init_state(const std::vector<double>& x_op) override;
+  void accept_step(const std::vector<double>& x,
+                   const sim::LoadContext& ctx) override;
+
+  [[nodiscard]] double inductance() const noexcept { return inductance_; }
+
+ private:
+  sim::NodeId p_;
+  sim::NodeId n_;
+  double inductance_;
+  int up_ = sim::kGround;
+  int un_ = sim::kGround;
+  int branch_ = sim::kGround;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+}  // namespace softfet::devices

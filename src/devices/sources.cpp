@@ -1,0 +1,200 @@
+#include "devices/sources.hpp"
+
+#include "sim/ac.hpp"
+#include <cmath>
+#include <numbers>
+
+#include "devices/common.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::devices {
+
+// ---------------------------------------------------------------- SourceSpec
+
+SourceSpec SourceSpec::dc(double value) {
+  SourceSpec s;
+  s.kind_ = Kind::kDc;
+  s.dc_ = value;
+  return s;
+}
+
+SourceSpec SourceSpec::pulse(double v1, double v2, double td, double tr,
+                             double tf, double pw, double period) {
+  if (tr < 0.0 || tf < 0.0 || pw < 0.0) {
+    throw InvalidCircuitError("pulse source: negative timing parameter");
+  }
+  SourceSpec s;
+  s.kind_ = Kind::kPulse;
+  s.v1_ = v1;
+  s.v2_ = v2;
+  s.td_ = td;
+  s.tr_ = tr;
+  s.tf_ = tf;
+  s.pw_ = pw;
+  s.per_ = period;
+  return s;
+}
+
+SourceSpec SourceSpec::pwl(std::vector<numeric::PwlPoint> points) {
+  SourceSpec s;
+  s.kind_ = Kind::kPwl;
+  s.pwl_ = numeric::PwlCurve(std::move(points));
+  return s;
+}
+
+SourceSpec SourceSpec::sine(double vo, double va, double freq, double td) {
+  SourceSpec s;
+  s.kind_ = Kind::kSin;
+  s.vo_ = vo;
+  s.va_ = va;
+  s.freq_ = freq;
+  s.sin_td_ = td;
+  return s;
+}
+
+SourceSpec SourceSpec::ramp(double v0, double v1, double t0, double ramp_time) {
+  if (t0 <= 0.0) return pwl({{0.0, v0}, {ramp_time, v1}});
+  return pwl({{0.0, v0}, {t0, v0}, {t0 + ramp_time, v1}});
+}
+
+void SourceSpec::set_dc_value(double value) {
+  kind_ = Kind::kDc;
+  dc_ = value;
+}
+
+double SourceSpec::value(double time) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return dc_;
+    case Kind::kPwl:
+      return pwl_.value(time);
+    case Kind::kSin: {
+      if (time < sin_td_) return vo_;
+      return vo_ + va_ * std::sin(2.0 * std::numbers::pi * freq_ *
+                                  (time - sin_td_));
+    }
+    case Kind::kPulse: {
+      if (time < td_) return v1_;
+      double t = time - td_;
+      if (per_ > 0.0) t = std::fmod(t, per_);
+      if (t < tr_) return tr_ == 0.0 ? v2_ : v1_ + (v2_ - v1_) * (t / tr_);
+      t -= tr_;
+      if (t < pw_) return v2_;
+      t -= pw_;
+      if (t < tf_) return tf_ == 0.0 ? v1_ : v2_ + (v1_ - v2_) * (t / tf_);
+      return v1_;
+    }
+  }
+  return 0.0;
+}
+
+double SourceSpec::next_breakpoint(double time) const {
+  constexpr double kEps = 1e-21;
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSin:
+      return sim::kNeverTime;
+    case Kind::kPwl: {
+      for (const auto& point : pwl_.points()) {
+        if (point.x > time + kEps) return point.x;
+      }
+      return sim::kNeverTime;
+    }
+    case Kind::kPulse: {
+      // Corners within one period, repeated if periodic.
+      const double corners[4] = {0.0, tr_, tr_ + pw_, tr_ + pw_ + tf_};
+      if (time < td_ - kEps) return td_;
+      const double t_rel = time - td_;
+      const double cycle =
+          per_ > 0.0 ? std::floor(t_rel / per_) * per_ : 0.0;
+      for (int rep = 0; rep < 2; ++rep) {
+        const double base = cycle + (per_ > 0.0 ? rep * per_ : 0.0);
+        for (const double corner : corners) {
+          const double t_abs = td_ + base + corner;
+          if (t_abs > time + kEps) return t_abs;
+        }
+        if (per_ <= 0.0) break;
+      }
+      return sim::kNeverTime;
+    }
+  }
+  return sim::kNeverTime;
+}
+
+// ------------------------------------------------------------------ VSource
+
+VSource::VSource(std::string name, sim::NodeId p, sim::NodeId n,
+                 SourceSpec spec)
+    : Device(std::move(name)), p_(p), n_(n), spec_(std::move(spec)) {}
+
+void VSource::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+  branch_ = circuit.claim_branch_unknown("i(" + util::to_lower(name()) + ")");
+}
+
+void VSource::load(const std::vector<double>& x, sim::Stamper& stamper,
+                   const sim::LoadContext& ctx) {
+  const double i = x[static_cast<std::size_t>(branch_)];
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+  stamper.add_jacobian(up_, branch_, 1.0);
+  stamper.add_jacobian(un_, branch_, -1.0);
+
+  const double target = spec_.value(ctx.time) * ctx.source_scale;
+  const double vp = voltage_of(x, up_);
+  const double vn = voltage_of(x, un_);
+  stamper.add_residual(branch_, vp - vn - target);
+  stamper.add_jacobian(branch_, up_, 1.0);
+  stamper.add_jacobian(branch_, un_, -1.0);
+}
+
+void VSource::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,
+                      double /*omega*/) {
+  ac.add_matrix(up_, branch_, 1.0);
+  ac.add_matrix(un_, branch_, -1.0);
+  ac.add_matrix(branch_, up_, 1.0);
+  ac.add_matrix(branch_, un_, -1.0);
+  ac.add_rhs(branch_, spec_.ac_magnitude());
+}
+
+double VSource::next_breakpoint(double time) const {
+  return spec_.next_breakpoint(time);
+}
+
+void VSource::set_dc(double value) { spec_.set_dc_value(value); }
+
+// ------------------------------------------------------------------ ISource
+
+ISource::ISource(std::string name, sim::NodeId p, sim::NodeId n,
+                 SourceSpec spec)
+    : Device(std::move(name)), p_(p), n_(n), spec_(std::move(spec)) {}
+
+void ISource::setup(sim::Circuit& circuit) {
+  up_ = circuit.node_unknown(p_);
+  un_ = circuit.node_unknown(n_);
+}
+
+void ISource::load(const std::vector<double>& /*x*/, sim::Stamper& stamper,
+                   const sim::LoadContext& ctx) {
+  const double i = spec_.value(ctx.time) * ctx.source_scale;
+  stamper.add_residual(up_, i);
+  stamper.add_residual(un_, -i);
+}
+
+void ISource::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,
+                      double /*omega*/) {
+  // KCL rows are "sum of leaving currents = 0"; the source's constant
+  // contribution moves to the right-hand side with flipped sign.
+  ac.add_rhs(up_, -spec_.ac_magnitude());
+  ac.add_rhs(un_, spec_.ac_magnitude());
+}
+
+double ISource::next_breakpoint(double time) const {
+  return spec_.next_breakpoint(time);
+}
+
+void ISource::set_dc(double value) { spec_.set_dc_value(value); }
+
+}  // namespace softfet::devices

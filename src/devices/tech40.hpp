@@ -1,0 +1,91 @@
+// A 40 nm-class technology card for the EKV MOSFET model.
+//
+// The paper uses a commercial 40 nm PDK; this card substitutes public-domain
+// representative values (VDD = 1 V, |VT| ~ 0.35 V SVT, Ion ~ 1 mA/um,
+// subthreshold swing ~ 80 mV/dec, minimum inverter input cap ~ 0.4 fF).
+// Absolute currents differ from the PDK; the trends the paper reports do not
+// (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include "devices/mosfet.hpp"
+
+namespace softfet::devices::tech40 {
+
+inline constexpr double kLmin = 40e-9;    ///< minimum channel length [m]
+inline constexpr double kWminN = 120e-9;  ///< minimum NMOS width [m]
+inline constexpr double kWminP = 240e-9;  ///< minimum PMOS width (2x for mobility) [m]
+inline constexpr double kVdd = 1.0;       ///< nominal supply [V]
+
+inline constexpr double kVtSvt = 0.35;  ///< standard threshold [V]
+inline constexpr double kVtHvt = 0.55;  ///< high threshold [V]
+inline constexpr double kVtLvt = 0.25;  ///< low threshold [V]
+
+/// NMOS card; pass a different vt0 for HVT/LVT flavours.
+[[nodiscard]] inline MosfetModel nmos(double vt0 = kVtSvt) {
+  MosfetModel m;
+  m.polarity = MosPolarity::kNmos;
+  m.vt0 = vt0;
+  m.n = 1.35;
+  m.kp = 500e-6;
+  m.lambda = 0.15;
+  m.theta = 1.5;
+  m.cox = 0.025;
+  m.cov = 3e-10;
+  m.cj = 8e-10;
+  return m;
+}
+
+/// PMOS card (half mobility; use 2x width for balanced drive).
+[[nodiscard]] inline MosfetModel pmos(double vt0 = kVtSvt) {
+  MosfetModel m = nmos(vt0);
+  m.polarity = MosPolarity::kPmos;
+  m.kp = 250e-6;
+  return m;
+}
+
+/// Process corners: threshold and mobility shifts applied per polarity.
+/// SS/FF move both devices; SF = slow NMOS + fast PMOS; FS the mirror.
+enum class Corner { kTT, kSS, kFF, kSF, kFS };
+
+inline constexpr double kCornerDeltaVt = 0.03;  ///< |VT| shift per corner [V]
+inline constexpr double kCornerKpShift = 0.10;  ///< relative kp shift
+
+/// Apply a corner to a model card (dispatches on the card's polarity).
+[[nodiscard]] inline MosfetModel with_corner(MosfetModel m, Corner corner) {
+  const bool is_nmos = m.polarity == MosPolarity::kNmos;
+  const bool slow = corner == Corner::kSS ||
+                    (corner == Corner::kSF && is_nmos) ||
+                    (corner == Corner::kFS && !is_nmos);
+  const bool fast = corner == Corner::kFF ||
+                    (corner == Corner::kSF && !is_nmos) ||
+                    (corner == Corner::kFS && is_nmos);
+  if (slow) {
+    m.vt0 += kCornerDeltaVt;
+    m.kp *= 1.0 - kCornerKpShift;
+  } else if (fast) {
+    m.vt0 -= kCornerDeltaVt;
+    m.kp *= 1.0 + kCornerKpShift;
+  }
+  return m;
+}
+
+[[nodiscard]] inline const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTT: return "TT";
+    case Corner::kSS: return "SS";
+    case Corner::kFF: return "FF";
+    case Corner::kSF: return "SF";
+    case Corner::kFS: return "FS";
+  }
+  return "?";
+}
+
+/// Minimum-size dimensions for each polarity.
+[[nodiscard]] inline MosfetDims min_nmos_dims(double m_mult = 1.0) {
+  return {kWminN, kLmin, m_mult};
+}
+[[nodiscard]] inline MosfetDims min_pmos_dims(double m_mult = 1.0) {
+  return {kWminP, kLmin, m_mult};
+}
+
+}  // namespace softfet::devices::tech40

@@ -1,0 +1,85 @@
+#include "measure/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace softfet::measure {
+
+double peak_current(const Waveform& current) {
+  return current.peak_magnitude();
+}
+
+double max_didt(const Waveform& current, double min_dt) {
+  return current.max_abs_derivative(min_dt);
+}
+
+double propagation_delay(const Waveform& input, const Waveform& output,
+                         double v_low, double v_high, bool output_rising,
+                         double after) {
+  const double swing = v_high - v_low;
+  const double in_mid = v_low + 0.5 * swing;
+  // Inverting stage: a rising output is driven by a falling input.
+  const CrossDirection in_dir =
+      output_rising ? CrossDirection::kFalling : CrossDirection::kRising;
+  const double t_in = input.first_crossing(in_mid, in_dir, after);
+
+  const double out_level =
+      output_rising ? v_low + 0.8 * swing : v_low + 0.2 * swing;
+  const CrossDirection out_dir =
+      output_rising ? CrossDirection::kRising : CrossDirection::kFalling;
+  const double t_out = output.first_crossing(out_level, out_dir, t_in);
+  return t_out - t_in;
+}
+
+double transition_time(const Waveform& signal, double v_low, double v_high,
+                       bool rising, double after) {
+  const double swing = v_high - v_low;
+  const double lo = v_low + 0.2 * swing;
+  const double hi = v_low + 0.8 * swing;
+  if (rising) {
+    const double t0 = signal.first_crossing(lo, CrossDirection::kRising, after);
+    const double t1 = signal.first_crossing(hi, CrossDirection::kRising, t0);
+    return t1 - t0;
+  }
+  const double t0 = signal.first_crossing(hi, CrossDirection::kFalling, after);
+  const double t1 = signal.first_crossing(lo, CrossDirection::kFalling, t0);
+  return t1 - t0;
+}
+
+double charge(const Waveform& current, double t0, double t1) {
+  return current.integral(t0, t1);
+}
+
+double worst_droop(const Waveform& rail, double nominal) {
+  return std::max(0.0, nominal - rail.min_value());
+}
+
+double worst_bounce(const Waveform& rail, double nominal) {
+  return std::max(std::fabs(rail.max_value() - nominal),
+                  std::fabs(rail.min_value() - nominal));
+}
+
+double oscillation_period(const Waveform& signal, double level,
+                          double after) {
+  std::vector<double> times;
+  for (const double t : signal.crossings(level, CrossDirection::kRising)) {
+    if (t >= after) times.push_back(t);
+  }
+  if (times.size() < 3) {
+    throw Error("oscillation_period: fewer than 3 rising crossings");
+  }
+  // Mean spacing over the observed cycles (end-to-end estimator).
+  return (times.back() - times.front()) /
+         static_cast<double>(times.size() - 1);
+}
+
+double energy(const Waveform& voltage, const Waveform& current) {
+  const Waveform p = Waveform::multiply(voltage, current);
+  const double t0 = std::max(voltage.t_begin(), current.t_begin());
+  const double t1 = std::min(voltage.t_end(), current.t_end());
+  return p.integral(t0, t1);
+}
+
+}  // namespace softfet::measure

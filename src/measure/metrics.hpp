@@ -1,0 +1,50 @@
+// Paper-level measurements over waveforms: peak switching current, di/dt,
+// propagation delay as the paper defines it, transition (slew) times,
+// charge integrals, droop/bounce, and energy.
+#pragma once
+
+#include "measure/waveform.hpp"
+
+namespace softfet::measure {
+
+/// Peak magnitude of a current waveform [A]. (Paper: I_MAX.)
+[[nodiscard]] double peak_current(const Waveform& current);
+
+/// Max |di/dt| [A/s]; `min_dt` merges event micro-steps (see
+/// Waveform::max_abs_derivative).
+[[nodiscard]] double max_didt(const Waveform& current, double min_dt = 0.0);
+
+/// Paper delay definition (Section III.C): time from the input's 50% point
+/// to the output's 80% point for a rising output, or 20% point for a
+/// falling output. `v_low`/`v_high` define the 0%/100% levels.
+/// `output_rising` selects which output transition is measured; the input
+/// transition searched is the opposite direction (inverting stage).
+[[nodiscard]] double propagation_delay(const Waveform& input,
+                                       const Waveform& output, double v_low,
+                                       double v_high, bool output_rising,
+                                       double after = 0.0);
+
+/// 20%-80% transition time of a signal edge found at/after `after`.
+[[nodiscard]] double transition_time(const Waveform& signal, double v_low,
+                                     double v_high, bool rising,
+                                     double after = 0.0);
+
+/// Charge = integral of a current waveform over [t0, t1] [C].
+[[nodiscard]] double charge(const Waveform& current, double t0, double t1);
+
+/// Worst droop below `nominal` within the waveform [V] (>= 0).
+[[nodiscard]] double worst_droop(const Waveform& rail, double nominal);
+
+/// Worst excursion magnitude away from `nominal` [V].
+[[nodiscard]] double worst_bounce(const Waveform& rail, double nominal);
+
+/// Energy = integral v*i dt over the overlap of both waveforms [J].
+[[nodiscard]] double energy(const Waveform& voltage, const Waveform& current);
+
+/// Mean oscillation period from rising crossings of `level` at/after
+/// `after` [s]; throws softfet::Error when fewer than three crossings
+/// exist (not oscillating).
+[[nodiscard]] double oscillation_period(const Waveform& signal, double level,
+                                        double after = 0.0);
+
+}  // namespace softfet::measure

@@ -1,0 +1,193 @@
+#include "measure/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/interp.hpp"
+#include "util/error.hpp"
+
+namespace softfet::measure {
+
+Waveform::Waveform(std::vector<double> t, std::vector<double> y)
+    : t_(std::move(t)), y_(std::move(y)) {
+  if (t_.size() != y_.size()) throw Error("Waveform: size mismatch");
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    if (t_[i] < t_[i - 1]) throw Error("Waveform: time must be non-decreasing");
+  }
+}
+
+Waveform Waveform::from_tran(const sim::TranResult& result,
+                             const std::string& signal) {
+  return Waveform(result.time, result.table.signal(signal));
+}
+
+Waveform Waveform::from_sweep(const sim::SweepResult& result,
+                              const std::string& signal) {
+  return Waveform(result.axis, result.table.signal(signal));
+}
+
+double Waveform::t_begin() const {
+  if (empty()) throw Error("Waveform: empty");
+  return t_.front();
+}
+
+double Waveform::t_end() const {
+  if (empty()) throw Error("Waveform: empty");
+  return t_.back();
+}
+
+double Waveform::value(double t) const {
+  return numeric::lerp_sorted(t_, y_, t);
+}
+
+double Waveform::min_value() const {
+  if (empty()) throw Error("Waveform: empty");
+  return *std::min_element(y_.begin(), y_.end());
+}
+
+double Waveform::max_value() const {
+  if (empty()) throw Error("Waveform: empty");
+  return *std::max_element(y_.begin(), y_.end());
+}
+
+double Waveform::peak_magnitude() const {
+  if (empty()) throw Error("Waveform: empty");
+  double m = 0.0;
+  for (double v : y_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Waveform Waveform::derivative() const {
+  std::vector<double> t;
+  std::vector<double> d;
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    const double dt = t_[i] - t_[i - 1];
+    if (dt <= 0.0) continue;
+    t.push_back(0.5 * (t_[i] + t_[i - 1]));
+    d.push_back((y_[i] - y_[i - 1]) / dt);
+  }
+  return Waveform(std::move(t), std::move(d));
+}
+
+double Waveform::max_abs_derivative(double min_dt) const {
+  double worst = 0.0;
+  std::size_t i = 0;
+  while (i + 1 < t_.size()) {
+    // Merge samples until the window is at least min_dt wide.
+    std::size_t j = i + 1;
+    while (j + 1 < t_.size() && t_[j] - t_[i] < min_dt) ++j;
+    const double dt = t_[j] - t_[i];
+    if (dt > 0.0) {
+      worst = std::max(worst, std::fabs((y_[j] - y_[i]) / dt));
+    }
+    ++i;
+  }
+  return worst;
+}
+
+double Waveform::integral(double t0, double t1) const {
+  if (empty() || t1 <= t0) return 0.0;
+  // Segment-wise clipping handles repeated time points (discontinuities)
+  // exactly: zero-width segments contribute nothing and window endpoints
+  // take the value from within the clipped segment.
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
+    const double a = t_[i];
+    const double b = t_[i + 1];
+    if (b <= t0 || a >= t1 || b <= a) continue;
+    const double lo = std::max(a, t0);
+    const double hi = std::min(b, t1);
+    if (hi <= lo) continue;
+    const double slope = (y_[i + 1] - y_[i]) / (b - a);
+    const double yl = y_[i] + slope * (lo - a);
+    const double yh = y_[i] + slope * (hi - a);
+    acc += 0.5 * (yl + yh) * (hi - lo);
+  }
+  // Clamp-extension beyond the sampled range.
+  if (t0 < t_.front()) acc += y_.front() * (std::min(t1, t_.front()) - t0);
+  if (t1 > t_.back()) acc += y_.back() * (t1 - std::max(t0, t_.back()));
+  return acc;
+}
+
+double Waveform::integral() const {
+  if (empty()) return 0.0;
+  return integral(t_.front(), t_.back());
+}
+
+std::vector<double> Waveform::crossings(double level,
+                                        CrossDirection direction) const {
+  std::vector<double> times;
+  for (std::size_t i = 1; i < t_.size(); ++i) {
+    const double a = y_[i - 1] - level;
+    const double b = y_[i] - level;
+    const bool rising = a < 0.0 && b >= 0.0;
+    const bool falling = a > 0.0 && b <= 0.0;
+    const bool take = (direction == CrossDirection::kRising && rising) ||
+                      (direction == CrossDirection::kFalling && falling) ||
+                      (direction == CrossDirection::kEither &&
+                       (rising || falling));
+    if (!take) continue;
+    const double frac = (b == a) ? 0.0 : -a / (b - a);
+    times.push_back(t_[i - 1] + frac * (t_[i] - t_[i - 1]));
+  }
+  return times;
+}
+
+double Waveform::first_crossing(double level, CrossDirection direction,
+                                double after) const {
+  for (const double t : crossings(level, direction)) {
+    if (t >= after) return t;
+  }
+  throw Error("Waveform: no crossing of level " + std::to_string(level) +
+              " after t=" + std::to_string(after));
+}
+
+bool Waveform::has_crossing(double level, CrossDirection direction,
+                            double after) const {
+  for (const double t : crossings(level, direction)) {
+    if (t >= after) return true;
+  }
+  return false;
+}
+
+Waveform Waveform::window(double t0, double t1) const {
+  std::vector<double> t;
+  std::vector<double> y;
+  if (empty() || t1 <= t0) return {};
+  t.push_back(t0);
+  y.push_back(value(t0));
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] <= t0 || t_[i] >= t1) continue;
+    t.push_back(t_[i]);
+    y.push_back(y_[i]);
+  }
+  t.push_back(t1);
+  y.push_back(value(t1));
+  return Waveform(std::move(t), std::move(y));
+}
+
+Waveform Waveform::scaled(double scale, double offset) const {
+  std::vector<double> y = y_;
+  for (double& v : y) v = scale * v + offset;
+  return Waveform(t_, std::move(y));
+}
+
+Waveform Waveform::clamped_min(double floor) const {
+  std::vector<double> y = y_;
+  for (double& v : y) v = std::max(v, floor);
+  return Waveform(t_, std::move(y));
+}
+
+Waveform Waveform::multiply(const Waveform& a, const Waveform& b) {
+  std::vector<double> t;
+  t.reserve(a.size() + b.size());
+  std::merge(a.t().begin(), a.t().end(), b.t().begin(), b.t().end(),
+             std::back_inserter(t));
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  std::vector<double> y;
+  y.reserve(t.size());
+  for (const double ti : t) y.push_back(a.value(ti) * b.value(ti));
+  return Waveform(std::move(t), std::move(y));
+}
+
+}  // namespace softfet::measure

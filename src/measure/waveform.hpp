@@ -1,0 +1,79 @@
+// Waveform: a non-uniformly sampled real signal y(t) with the interpolation
+// and calculus operations the paper's measurements need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+
+namespace softfet::measure {
+
+enum class CrossDirection { kRising, kFalling, kEither };
+
+class Waveform {
+ public:
+  Waveform() = default;
+  /// `t` must be non-decreasing and the sizes equal.
+  Waveform(std::vector<double> t, std::vector<double> y);
+
+  /// Extract a signal from a transient result.
+  static Waveform from_tran(const sim::TranResult& result,
+                            const std::string& signal);
+  /// Extract a signal from a DC sweep (axis as the abscissa).
+  static Waveform from_sweep(const sim::SweepResult& result,
+                             const std::string& signal);
+
+  [[nodiscard]] std::size_t size() const noexcept { return t_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return t_.empty(); }
+  [[nodiscard]] const std::vector<double>& t() const noexcept { return t_; }
+  [[nodiscard]] const std::vector<double>& y() const noexcept { return y_; }
+  [[nodiscard]] double t_begin() const;
+  [[nodiscard]] double t_end() const;
+
+  /// Linear interpolation, clamped outside the range.
+  [[nodiscard]] double value(double t) const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+  /// max |y|.
+  [[nodiscard]] double peak_magnitude() const;
+
+  /// Piecewise derivative (forward differences, one sample shorter).
+  [[nodiscard]] Waveform derivative() const;
+  /// max |dy/dt|; intervals shorter than `min_dt` are merged with their
+  /// neighbours so event-cut micro-steps do not fake huge slopes.
+  [[nodiscard]] double max_abs_derivative(double min_dt = 0.0) const;
+
+  /// Trapezoidal integral of y over [t0, t1] (interpolated endpoints).
+  [[nodiscard]] double integral(double t0, double t1) const;
+  [[nodiscard]] double integral() const;
+
+  /// Times where the signal crosses `level` in the given direction.
+  [[nodiscard]] std::vector<double> crossings(
+      double level, CrossDirection direction = CrossDirection::kEither) const;
+  /// First crossing at or after `after`; throws softfet::Error if none.
+  [[nodiscard]] double first_crossing(double level, CrossDirection direction,
+                                      double after) const;
+  [[nodiscard]] bool has_crossing(double level, CrossDirection direction,
+                                  double after) const;
+
+  /// Restrict to [t0, t1] (interpolated endpoints included).
+  [[nodiscard]] Waveform window(double t0, double t1) const;
+
+  /// y -> scale*y + offset.
+  [[nodiscard]] Waveform scaled(double scale, double offset = 0.0) const;
+
+  /// y -> max(y, floor): clip everything below `floor` (e.g. keep only the
+  /// forward part of a crowbar current before integrating).
+  [[nodiscard]] Waveform clamped_min(double floor) const;
+
+  /// Pointwise product on the union of both time grids.
+  [[nodiscard]] static Waveform multiply(const Waveform& a, const Waveform& b);
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> y_;
+};
+
+}  // namespace softfet::measure

@@ -1,0 +1,33 @@
+// NetlistAst -> flat sim::Circuit (+ analysis directives).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netlist/ast.hpp"
+#include "netlist/measure_eval.hpp"
+#include "sim/circuit.hpp"
+
+namespace softfet::netlist {
+
+struct ElaboratedNetlist {
+  std::string title;
+  std::unique_ptr<sim::Circuit> circuit;
+  std::optional<TranDirective> tran;
+  std::optional<DcDirective> dc;
+  std::optional<AcDirective> ac;
+  std::vector<MeasureDirective> measures;
+  bool op = false;
+};
+
+/// Flatten subcircuits, resolve parameters/models, create devices.
+/// Throws softfet::ParseError / InvalidCircuitError on semantic errors.
+[[nodiscard]] ElaboratedNetlist elaborate(const NetlistAst& ast);
+
+/// Convenience: parse + elaborate.
+[[nodiscard]] ElaboratedNetlist compile_netlist(std::string_view text);
+[[nodiscard]] ElaboratedNetlist compile_netlist_file(const std::string& path);
+
+}  // namespace softfet::netlist

@@ -1,0 +1,42 @@
+// Arithmetic expression evaluator for netlist parameters: {vcc/2 + 0.1}.
+//
+// Grammar (recursive descent):
+//   expr    := term (('+'|'-') term)*
+//   term    := factor (('*'|'/') factor)*
+//   factor  := unary ('^' factor)?          (right associative)
+//   unary   := ('+'|'-')* primary
+//   primary := number | ident | ident '(' args ')' | '(' expr ')'
+//
+// Numbers accept SPICE suffixes ("10p", "1meg"); identifiers resolve
+// through a parameter scope; functions: abs, sqrt, exp, ln, log10, pow,
+// min, max.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace softfet::netlist {
+
+/// Lexical parameter scope: lookups fall back to the parent.
+class ParamScope {
+ public:
+  ParamScope() = default;
+  explicit ParamScope(const ParamScope* parent) : parent_(parent) {}
+
+  void set(const std::string& name, double value);
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Throws softfet::ParseError-free Error if undefined anywhere.
+  [[nodiscard]] double get(const std::string& name) const;
+
+ private:
+  std::map<std::string, double> values_;  // lower-cased keys
+  const ParamScope* parent_ = nullptr;
+};
+
+/// Evaluate `text` in `scope`; throws softfet::Error on malformed input or
+/// undefined identifiers.
+[[nodiscard]] double evaluate_expression(std::string_view text,
+                                         const ParamScope& scope);
+
+}  // namespace softfet::netlist

@@ -1,0 +1,172 @@
+#include "netlist/measure_eval.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "measure/waveform.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace softfet::netlist {
+
+namespace {
+
+using measure::CrossDirection;
+using measure::Waveform;
+
+struct EdgeSpec {
+  std::string signal;
+  double level = 0.0;
+  CrossDirection direction = CrossDirection::kEither;
+  double after = 0.0;
+};
+
+[[nodiscard]] double number_of(const std::string& text, int line) {
+  const auto v = util::parse_spice_number(text);
+  if (!v) throw ParseError("bad number '" + text + "' in .measure", line);
+  return *v;
+}
+
+/// Parse "KEY=value" options following an edge keyword; returns the index
+/// of the first non-option token.
+std::size_t parse_edge_options(const std::vector<std::string>& tokens,
+                               std::size_t i, EdgeSpec& edge, int line) {
+  for (; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) return i;
+    const std::string key = util::to_lower(tokens[i].substr(0, eq));
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "val") {
+      edge.level = number_of(value, line);
+    } else if (key == "rise") {
+      edge.direction = CrossDirection::kRising;
+    } else if (key == "fall") {
+      edge.direction = CrossDirection::kFalling;
+    } else if (key == "cross") {
+      edge.direction = CrossDirection::kEither;
+    } else if (key == "td") {
+      edge.after = number_of(value, line);
+    } else {
+      throw ParseError("unknown .measure option '" + key + "'", line);
+    }
+  }
+  return i;
+}
+
+[[nodiscard]] MeasureValue evaluate_trig_targ(
+    const MeasureDirective& directive, const sim::TranResult& result) {
+  const auto& tokens = directive.tokens;
+  EdgeSpec trig;
+  EdgeSpec targ;
+  std::size_t i = 0;
+  // TRIG <signal> options... TARG <signal> options...
+  if (!util::iequals(tokens[i], "trig")) {
+    throw ParseError("expected TRIG", directive.line);
+  }
+  trig.signal = tokens.at(++i);
+  i = parse_edge_options(tokens, i + 1, trig, directive.line);
+  if (i >= tokens.size() || !util::iequals(tokens[i], "targ")) {
+    throw ParseError("expected TARG after TRIG options", directive.line);
+  }
+  targ.signal = tokens.at(++i);
+  i = parse_edge_options(tokens, i + 1, targ, directive.line);
+
+  const Waveform w_trig = Waveform::from_tran(result, trig.signal);
+  const Waveform w_targ = Waveform::from_tran(result, targ.signal);
+  const double t_trig =
+      w_trig.first_crossing(trig.level, trig.direction, trig.after);
+  const double t_targ =
+      w_targ.first_crossing(targ.level, targ.direction, t_trig);
+  return {directive.name, t_targ - t_trig};
+}
+
+}  // namespace
+
+MeasureValue evaluate_measure(const MeasureDirective& directive,
+                              const sim::TranResult& result) {
+  if (!util::iequals(directive.analysis, "tran")) {
+    throw ParseError(".measure supports only tran analyses", directive.line);
+  }
+  if (directive.tokens.empty()) {
+    throw ParseError(".measure needs an operation", directive.line);
+  }
+  const std::string op = util::to_lower(directive.tokens.front());
+  if (op == "trig") return evaluate_trig_targ(directive, result);
+
+  if (op != "max" && op != "min" && op != "pp" && op != "avg" &&
+      op != "rms" && op != "integ") {
+    throw ParseError("unknown .measure operation '" + op + "'",
+                     directive.line);
+  }
+  if (directive.tokens.size() < 2) {
+    throw ParseError(".measure " + op + " needs a signal", directive.line);
+  }
+  const std::string signal = directive.tokens[1];
+  double from = -std::numeric_limits<double>::infinity();
+  double to = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 2; i < directive.tokens.size(); ++i) {
+    const auto eq = directive.tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("expected FROM=/TO= option, got '" +
+                           directive.tokens[i] + "'",
+                       directive.line);
+    }
+    const std::string key = util::to_lower(directive.tokens[i].substr(0, eq));
+    const double value =
+        number_of(directive.tokens[i].substr(eq + 1), directive.line);
+    if (key == "from") {
+      from = value;
+    } else if (key == "to") {
+      to = value;
+    } else {
+      throw ParseError("unknown .measure option '" + key + "'",
+                       directive.line);
+    }
+  }
+
+  Waveform w = Waveform::from_tran(result, signal);
+  if (std::isfinite(from) || std::isfinite(to)) {
+    const double t0 = std::isfinite(from) ? from : w.t_begin();
+    const double t1 = std::isfinite(to) ? to : w.t_end();
+    w = w.window(t0, t1);
+  }
+  if (w.empty()) throw Error(".measure window is empty");
+
+  double value = 0.0;
+  if (op == "max") {
+    value = w.max_value();
+  } else if (op == "min") {
+    value = w.min_value();
+  } else if (op == "pp") {
+    value = w.max_value() - w.min_value();
+  } else if (op == "avg") {
+    value = w.integral() / (w.t_end() - w.t_begin());
+  } else if (op == "rms") {
+    const Waveform squared = Waveform::multiply(w, w);
+    value = std::sqrt(squared.integral() / (w.t_end() - w.t_begin()));
+  } else {  // integ (validated above)
+    value = w.integral();
+  }
+  return {directive.name, value};
+}
+
+std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureDirective>& directives,
+    const sim::TranResult& result) {
+  std::vector<MeasureValue> values;
+  for (const auto& directive : directives) {
+    try {
+      values.push_back(evaluate_measure(directive, result));
+    } catch (const Error& e) {
+      util::log_warn(".measure " + directive.name + " failed: " + e.what());
+      values.push_back(
+          {directive.name, std::numeric_limits<double>::quiet_NaN()});
+    }
+  }
+  return values;
+}
+
+}  // namespace softfet::netlist

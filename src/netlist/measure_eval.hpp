@@ -1,0 +1,42 @@
+// .measure directive evaluation over transient results.
+//
+// Supported forms (case-insensitive):
+//   .measure tran <name> MAX|MIN|PP|AVG|RMS|INTEG <signal> [FROM=t] [TO=t]
+//   .measure tran <name> TRIG <sig> VAL=<v> [RISE=1|FALL=1] [TD=t]
+//                        TARG <sig> VAL=<v> [RISE=1|FALL=1]
+// The TRIG/TARG form returns the time difference (SPICE delay measurement).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+
+namespace softfet::netlist {
+
+/// One parsed-but-unevaluated .measure card.
+struct MeasureDirective {
+  int line = 0;
+  std::string analysis;  ///< "tran" (only transient supported)
+  std::string name;
+  std::vector<std::string> tokens;  ///< everything after the name
+};
+
+struct MeasureValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Evaluate one measure over a transient result; throws softfet::ParseError
+/// for malformed directives and softfet::Error when the measurement fails
+/// (e.g. no crossing).
+[[nodiscard]] MeasureValue evaluate_measure(const MeasureDirective& directive,
+                                            const sim::TranResult& result);
+
+/// Evaluate all; failures are reported as NaN with a warning log rather
+/// than aborting the batch.
+[[nodiscard]] std::vector<MeasureValue> evaluate_measures(
+    const std::vector<MeasureDirective>& directives,
+    const sim::TranResult& result);
+
+}  // namespace softfet::netlist

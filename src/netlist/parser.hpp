@@ -1,0 +1,27 @@
+// SPICE-style netlist text -> NetlistAst.
+//
+// Supported syntax:
+//  - first line is the title (unless it is a directive or element card);
+//  - '*' full-line comments, ';' and '$ ' inline comments;
+//  - '+' line continuations;
+//  - case-insensitive everywhere;
+//  - '(' ')' ',' act as whitespace outside '{...}' expression braces;
+//  - element cards by first letter: R C L V I E G S D M P X;
+//  - directives: .title .param .model .subckt/.ends .tran .dc .op .end
+//    .include.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/ast.hpp"
+
+namespace softfet::netlist {
+
+/// Parse netlist text; throws softfet::ParseError with line numbers.
+[[nodiscard]] NetlistAst parse(std::string_view text);
+
+/// Read and parse a file (resolving .include relative to its directory).
+[[nodiscard]] NetlistAst parse_file(const std::string& path);
+
+}  // namespace softfet::netlist

@@ -1,0 +1,76 @@
+#include "numeric/complex_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+std::vector<Complex> ComplexMatrix::multiply(
+    const std::vector<Complex>& x) const {
+  if (x.size() != cols_) throw Error("ComplexMatrix::multiply: size mismatch");
+  std::vector<Complex> y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc{};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+ComplexLu::ComplexLu(const ComplexMatrix& a) : lu_(a) {
+  if (a.rows() != a.cols()) throw Error("ComplexLu: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (!(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
+      throw ConvergenceError("ComplexLu: singular matrix at column " +
+                             std::to_string(k));
+    }
+    if (pivot_row != k) {
+      std::swap(perm_[k], perm_[pivot_row]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+    }
+    const Complex inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Complex factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == Complex{}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(i, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<Complex> ComplexLu::solve(const std::vector<Complex>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw Error("ComplexLu::solve: size mismatch");
+  std::vector<Complex> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  std::vector<Complex> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace softfet::numeric

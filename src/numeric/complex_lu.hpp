@@ -1,0 +1,51 @@
+// Dense complex LU with partial pivoting, for AC small-signal MNA systems.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace softfet::numeric {
+
+using Complex = std::complex<double>;
+
+/// Row-major dense complex matrix.
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), Complex{}); }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  Complex& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  Complex operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::vector<Complex> multiply(
+      const std::vector<Complex>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Factor A = P*L*U and solve A x = b. Throws ConvergenceError when singular.
+class ComplexLu {
+ public:
+  explicit ComplexLu(const ComplexMatrix& a);
+  [[nodiscard]] std::vector<Complex> solve(const std::vector<Complex>& b) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace softfet::numeric

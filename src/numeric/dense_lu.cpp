@@ -1,0 +1,72 @@
+#include "numeric/dense_lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+DenseLu::DenseLu(const DenseMatrix& a) : lu_(a) {
+  if (a.rows() != a.cols()) throw Error("DenseLu: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest |a[i][k]|, i >= k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (!(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
+      throw ConvergenceError("DenseLu: singular matrix at column " +
+                             std::to_string(k));
+    }
+    min_pivot_ = std::min(min_pivot_, pivot_mag);
+    if (pivot_row != k) {
+      std::swap(perm_[k], perm_[pivot_row]);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(i, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> DenseLu::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw Error("DenseLu::solve: size mismatch");
+
+  // Forward substitution with the permuted RHS (L has unit diagonal).
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace softfet::numeric

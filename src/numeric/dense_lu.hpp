@@ -1,0 +1,30 @@
+// LU factorization with partial pivoting for dense MNA systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+
+namespace softfet::numeric {
+
+/// Factors A = P·L·U in place and solves A·x = b.
+/// Throws softfet::ConvergenceError if the matrix is numerically singular.
+class DenseLu {
+ public:
+  /// Factorize a copy of `a`.
+  explicit DenseLu(const DenseMatrix& a);
+
+  /// Solve for one right-hand side.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Smallest pivot magnitude seen during factorization (conditioning hint).
+  [[nodiscard]] double min_pivot() const noexcept { return min_pivot_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  double min_pivot_ = 0.0;
+};
+
+}  // namespace softfet::numeric

@@ -1,0 +1,54 @@
+#include "numeric/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+PwlCurve::PwlCurve(std::vector<PwlPoint> points) : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].x > points_[i - 1].x)) {
+      throw Error("PwlCurve: x values must be strictly increasing");
+    }
+  }
+}
+
+double PwlCurve::value(double x) const {
+  if (points_.empty()) return 0.0;
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double xv, const PwlPoint& p) { return xv < p.x; });
+  const PwlPoint& hi = *it;
+  const PwlPoint& lo = *(it - 1);
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+double PwlCurve::slope(double x) const {
+  if (points_.size() < 2) return 0.0;
+  if (x < points_.front().x || x >= points_.back().x) return 0.0;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double xv, const PwlPoint& p) { return xv < p.x; });
+  const PwlPoint& hi = *it;
+  const PwlPoint& lo = *(it - 1);
+  return (hi.y - lo.y) / (hi.x - lo.x);
+}
+
+double lerp_sorted(const std::vector<double>& xs, const std::vector<double>& ys,
+                   double x) {
+  if (xs.size() != ys.size()) throw Error("lerp_sorted: size mismatch");
+  if (xs.empty()) return 0.0;
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace softfet::numeric

@@ -1,0 +1,42 @@
+// Piecewise-linear curves: interpolation, derivative, and corner points.
+// Used by PWL sources and waveform post-processing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace softfet::numeric {
+
+/// One (x, y) sample of a piecewise-linear curve.
+struct PwlPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A piecewise-linear function defined by sorted breakpoints. Values are
+/// clamped (held) outside the defined range.
+class PwlCurve {
+ public:
+  PwlCurve() = default;
+  /// Points must be sorted by x strictly increasing; throws otherwise.
+  explicit PwlCurve(std::vector<PwlPoint> points);
+
+  [[nodiscard]] double value(double x) const;
+
+  /// Right-hand slope at x (0 outside the range and at the last point).
+  [[nodiscard]] double slope(double x) const;
+
+  [[nodiscard]] const std::vector<PwlPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  std::vector<PwlPoint> points_;
+};
+
+/// Linear interpolation in sorted `xs` (clamped at the ends).
+[[nodiscard]] double lerp_sorted(const std::vector<double>& xs,
+                                 const std::vector<double>& ys, double x);
+
+}  // namespace softfet::numeric

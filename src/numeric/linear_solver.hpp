@@ -1,0 +1,33 @@
+// Linear-solver facade: picks a dense or sparse LU based on system size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+
+namespace softfet::numeric {
+
+enum class SolverKind {
+  kAuto,    ///< dense below kDenseThreshold unknowns, sparse above
+  kDense,
+  kSparse,
+};
+
+/// Factor-and-solve facade over DenseLu / SparseLu.
+class LinearSolver {
+ public:
+  static constexpr std::size_t kDenseThreshold = 128;
+
+  explicit LinearSolver(SolverKind kind = SolverKind::kAuto)
+      : kind_(kind) {}
+
+  /// Factor `a` and solve a·x = b in one call.
+  [[nodiscard]] std::vector<double> solve(const SparseMatrix& a,
+                                          const std::vector<double>& b) const;
+
+ private:
+  SolverKind kind_;
+};
+
+}  // namespace softfet::numeric

@@ -1,0 +1,88 @@
+#include "numeric/newton.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace softfet::numeric {
+
+namespace {
+
+[[nodiscard]] bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NewtonResult solve_newton(NonlinearSystem& system, std::vector<double>& x,
+                          const NewtonOptions& options) {
+  const std::size_t n = system.size();
+  if (x.size() != n) throw Error("solve_newton: initial guess size mismatch");
+
+  SparseMatrix jacobian(n);
+  std::vector<double> residual(n, 0.0);
+  const LinearSolver solver(options.solver);
+
+  NewtonResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    jacobian.set_zero_keep_structure();
+    std::fill(residual.begin(), residual.end(), 0.0);
+    system.load(x, jacobian, residual);
+    if (!all_finite(residual)) {
+      throw ConvergenceError("solve_newton: non-finite residual");
+    }
+
+    // Newton step: J·dx = -F.
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -residual[i];
+    std::vector<double> dx = solver.solve(jacobian, rhs);
+    if (!all_finite(dx)) {
+      throw ConvergenceError("solve_newton: non-finite Newton update");
+    }
+
+    // Per-unknown step limiting (keeps exponential devices in range).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double limit = system.max_step(i);
+      if (limit > 0.0 && std::fabs(dx[i]) > limit) {
+        dx[i] = (dx[i] > 0.0) ? limit : -limit;
+      }
+    }
+
+    bool dx_converged = true;
+    double max_dx = 0.0;
+    double max_residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x_old = x[i];
+      x[i] += dx[i];
+      const double tol =
+          options.reltol * std::max(std::fabs(x[i]), std::fabs(x_old)) +
+          system.abstol(i);
+      max_dx = std::max(max_dx, std::fabs(dx[i]));
+      max_residual = std::max(
+          max_residual, std::fabs(residual[i]) /
+                            std::max(1.0, options.residual_tol_scale));
+      if (std::fabs(dx[i]) > tol) dx_converged = false;
+    }
+    result.max_dx = max_dx;
+    result.max_residual = max_residual;
+
+    if (dx_converged) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  util::log_debug("solve_newton: no convergence after " +
+                  std::to_string(options.max_iterations) + " iterations (max_dx=" +
+                  std::to_string(result.max_dx) + ")");
+  result.converged = false;
+  return result;
+}
+
+}  // namespace softfet::numeric

@@ -1,0 +1,62 @@
+// Damped Newton-Raphson for circuit-style nonlinear systems F(x) = 0.
+//
+// The caller supplies a NonlinearSystem that loads the Jacobian and residual
+// at a given point; convergence is judged SPICE-style with per-unknown
+// absolute tolerances (voltages vs branch currents differ by orders of
+// magnitude) plus a relative term.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "numeric/linear_solver.hpp"
+#include "numeric/sparse_matrix.hpp"
+
+namespace softfet::numeric {
+
+/// Interface the Newton loop drives.
+class NonlinearSystem {
+ public:
+  virtual ~NonlinearSystem() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Evaluate at `x`: fill `jacobian` (pre-zeroed, structure preserved) and
+  /// `residual` (pre-zeroed) with F(x) and dF/dx.
+  virtual void load(const std::vector<double>& x, SparseMatrix& jacobian,
+                    std::vector<double>& residual) = 0;
+
+  /// Per-unknown absolute convergence tolerance (e.g. 1uV for node voltages,
+  /// 1pA for branch currents).
+  [[nodiscard]] virtual double abstol(std::size_t unknown) const = 0;
+
+  /// Largest |dx| allowed for an unknown in one Newton step (0 = unlimited).
+  /// Limiting voltage steps keeps exponential devices out of overflow.
+  [[nodiscard]] virtual double max_step(std::size_t /*unknown*/) const {
+    return 0.0;
+  }
+};
+
+struct NewtonOptions {
+  int max_iterations = 100;
+  double reltol = 1e-3;
+  /// Residual tolerance scale; convergence also requires each residual entry
+  /// below `residual_tol_scale * abstol(i)` after the dx test passes.
+  double residual_tol_scale = 1e3;
+  SolverKind solver = SolverKind::kAuto;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double max_dx = 0.0;        ///< largest update in the final iteration
+  double max_residual = 0.0;  ///< largest |F| entry at the solution
+};
+
+/// Run damped Newton from `x` (updated in place).
+[[nodiscard]] NewtonResult solve_newton(NonlinearSystem& system,
+                                        std::vector<double>& x,
+                                        const NewtonOptions& options = {});
+
+}  // namespace softfet::numeric

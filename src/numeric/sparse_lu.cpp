@@ -1,0 +1,92 @@
+#include "numeric/sparse_lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+SparseLu::SparseLu(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  rows_.resize(n);
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows_[i] = a.row(i);
+    perm_[i] = i;
+  }
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: among rows i >= k, pick the largest |a[i][k]|.
+    std::size_t pivot_row = n;
+    double pivot_mag = 0.0;
+    for (std::size_t i = k; i < n; ++i) {
+      const auto it = rows_[i].find(k);
+      if (it == rows_[i].end()) continue;
+      const double mag = std::fabs(it->second);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row == n || !(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
+      throw ConvergenceError("SparseLu: singular matrix at column " +
+                             std::to_string(k));
+    }
+    min_pivot_ = std::min(min_pivot_, pivot_mag);
+    if (pivot_row != k) {
+      std::swap(rows_[k], rows_[pivot_row]);
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+
+    const auto& pivot_entries = rows_[k];
+    const double pivot = pivot_entries.at(k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      auto& row = rows_[i];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double factor = it->second / pivot;
+      it->second = factor;  // store the L entry in place
+      if (factor == 0.0) continue;
+      // row_i -= factor * pivot_row for columns > k (fill-in allowed).
+      for (auto pit = pivot_entries.upper_bound(k); pit != pivot_entries.end();
+           ++pit) {
+        row[pit->first] -= factor * pit->second;
+      }
+    }
+  }
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  const std::size_t n = rows_.size();
+  if (b.size() != n) throw Error("SparseLu::solve: size mismatch");
+
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    const auto& row = rows_[i];
+    for (auto it = row.begin(); it != row.end() && it->first < i; ++it) {
+      acc -= it->second * y[it->first];
+    }
+    y[i] = acc;
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    const auto& row = rows_[ii];
+    for (auto it = row.upper_bound(ii); it != row.end(); ++it) {
+      acc -= it->second * x[it->first];
+    }
+    x[ii] = acc / row.at(ii);
+  }
+  return x;
+}
+
+std::size_t SparseLu::fill_nonzeros() const noexcept {
+  std::size_t nnz = 0;
+  for (const auto& row : rows_) nnz += row.size();
+  return nnz;
+}
+
+}  // namespace softfet::numeric

@@ -1,0 +1,35 @@
+// Sparse LU with partial (row) pivoting over map-based rows.
+//
+// Right-looking elimination; fill-in is accepted as it arises. Intended for
+// MNA matrices up to a few thousand unknowns where a dense factor would
+// waste memory but heroic ordering is unnecessary.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+
+namespace softfet::numeric {
+
+class SparseLu {
+ public:
+  /// Factorize (a copy of) `a`. Throws softfet::ConvergenceError when
+  /// numerically singular.
+  explicit SparseLu(const SparseMatrix& a);
+
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  [[nodiscard]] double min_pivot() const noexcept { return min_pivot_; }
+  [[nodiscard]] std::size_t fill_nonzeros() const noexcept;
+
+ private:
+  // Row i holds L entries (col < i, already divided by pivot) and U entries
+  // (col >= i). perm_[i] is the original index of factored row i.
+  std::vector<std::map<std::size_t, double>> rows_;
+  std::vector<std::size_t> perm_;
+  double min_pivot_ = 0.0;
+};
+
+}  // namespace softfet::numeric

@@ -1,0 +1,38 @@
+#include "numeric/sparse_matrix.hpp"
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+void SparseMatrix::set_zero_keep_structure() {
+  for (auto& row : rows_) {
+    for (auto& [col, value] : row) value = 0.0;
+  }
+}
+
+std::size_t SparseMatrix::nonzeros() const noexcept {
+  std::size_t n = 0;
+  for (const auto& row : rows_) n += row.size();
+  return n;
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix d(size(), size());
+  for (std::size_t r = 0; r < size(); ++r) {
+    for (const auto& [c, v] : rows_[r]) d(r, c) = v;
+  }
+  return d;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != size()) throw Error("SparseMatrix::multiply: size mismatch");
+  std::vector<double> y(size(), 0.0);
+  for (std::size_t r = 0; r < size(); ++r) {
+    double acc = 0.0;
+    for (const auto& [c, v] : rows_[r]) acc += v * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace softfet::numeric

@@ -1,0 +1,63 @@
+// Sparse square matrix used as the MNA stamping target.
+//
+// Rows are ordered maps: stamping is O(log nnz_row) and iteration is
+// deterministic. Circuit matrices here are small (tens..thousands of
+// unknowns) so clarity wins over raw speed; the structure is reused across
+// Newton iterations via set_zero_keep_structure().
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+
+namespace softfet::numeric {
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(std::size_t n) : rows_(n) {}
+
+  void resize(std::size_t n) {
+    rows_.assign(n, {});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+  /// Accumulate `value` at (r, c).
+  void add(std::size_t r, std::size_t c, double value) {
+    rows_[r][c] += value;
+  }
+
+  /// Overwrite the entry at (r, c).
+  void set(std::size_t r, std::size_t c, double value) {
+    rows_[r][c] = value;
+  }
+
+  [[nodiscard]] double get(std::size_t r, std::size_t c) const {
+    const auto& row = rows_[r];
+    const auto it = row.find(c);
+    return it == row.end() ? 0.0 : it->second;
+  }
+
+  /// Zero all stored values but keep the sparsity structure (fast path for
+  /// repeated Newton loads).
+  void set_zero_keep_structure();
+
+  [[nodiscard]] const std::map<std::size_t, double>& row(std::size_t r) const {
+    return rows_[r];
+  }
+
+  [[nodiscard]] std::size_t nonzeros() const noexcept;
+
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+  /// y = A * x.
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::vector<std::map<std::size_t, double>> rows_;
+};
+
+}  // namespace softfet::numeric

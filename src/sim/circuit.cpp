@@ -1,0 +1,87 @@
+#include "sim/circuit.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::sim {
+
+namespace {
+[[nodiscard]] std::string canonical(const std::string& name) {
+  std::string n = util::to_lower(util::trim(name));
+  if (n == "gnd" || n == "vss!" || n == "ground") return "0";
+  return n;
+}
+}  // namespace
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_index_.emplace("0", kGroundNode);
+}
+
+NodeId Circuit::node(const std::string& name) {
+  const std::string key = canonical(name);
+  if (key.empty()) throw InvalidCircuitError("empty node name");
+  const auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(key);
+  node_index_.emplace(key, id);
+  prepared_ = false;
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  const auto it = node_index_.find(canonical(name));
+  if (it == node_index_.end()) {
+    throw InvalidCircuitError("unknown node: '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_index_.find(canonical(name)) != node_index_.end();
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  return node_names_.at(static_cast<std::size_t>(id));
+}
+
+Device* Circuit::find_device(const std::string& name) const {
+  for (const auto& device : devices_) {
+    if (util::iequals(device->name(), name)) return device.get();
+  }
+  return nullptr;
+}
+
+int Circuit::node_unknown(NodeId id) const {
+  if (id == kGroundNode) return kGround;
+  return id - 1;
+}
+
+int Circuit::claim_branch_unknown(const std::string& label) {
+  const int index =
+      static_cast<int>(node_names_.size() - 1 + branch_count_);
+  ++branch_count_;
+  unknown_labels_.push_back(label);
+  return index;
+}
+
+void Circuit::prepare() {
+  if (prepared_) return;
+  // Rebuild unknown labels: node voltages first, then branch labels are
+  // appended by device setup() calls via claim_branch_unknown().
+  branch_count_ = 0;
+  unknown_labels_.clear();
+  unknown_labels_.reserve(node_names_.size() - 1);
+  for (std::size_t i = 1; i < node_names_.size(); ++i) {
+    unknown_labels_.push_back("v(" + node_names_[i] + ")");
+  }
+  for (const auto& device : devices_) device->setup(*this);
+  prepared_ = true;
+}
+
+std::size_t Circuit::unknown_count() const {
+  return node_names_.size() - 1 + branch_count_;
+}
+
+}  // namespace softfet::sim

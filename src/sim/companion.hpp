@@ -1,0 +1,43 @@
+// Charge-based companion model for capacitive elements.
+//
+// A dynamic element provides its charge q(v); the companion turns the charge
+// into a branch current for the active integration method:
+//   BE:   i_n = (q_n - q_{n-1}) / dt
+//   TRAP: i_n = 2 (q_n - q_{n-1}) / dt - i_{n-1}
+// and the conductance contribution is d(i)/d(v) = scale * dq/dv.
+#pragma once
+
+#include "sim/device.hpp"
+
+namespace softfet::sim {
+
+struct CompanionCap {
+  double q_prev = 0.0;
+  double i_prev = 0.0;
+
+  [[nodiscard]] static double scale(const LoadContext& ctx) noexcept {
+    return (ctx.method == IntegrationMethod::kTrapezoidal) ? 2.0 / ctx.dt
+                                                           : 1.0 / ctx.dt;
+  }
+
+  /// Branch current for candidate charge `q` within the step in `ctx`.
+  [[nodiscard]] double current(double q, const LoadContext& ctx) const noexcept {
+    double i = scale(ctx) * (q - q_prev);
+    if (ctx.method == IntegrationMethod::kTrapezoidal) i -= i_prev;
+    return i;
+  }
+
+  /// Commit state at the accepted end-of-step charge.
+  void accept(double q, const LoadContext& ctx) noexcept {
+    i_prev = current(q, ctx);
+    q_prev = q;
+  }
+
+  /// Initialize from the DC operating point (no current flowing).
+  void init(double q) noexcept {
+    q_prev = q;
+    i_prev = 0.0;
+  }
+};
+
+}  // namespace softfet::sim

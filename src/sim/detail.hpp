@@ -1,0 +1,25 @@
+// Internal helpers shared between analysis translation units.
+#pragma once
+
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/device.hpp"
+#include "sim/options.hpp"
+
+namespace softfet::sim::detail {
+
+/// Robust DC solve (direct Newton -> gmin stepping -> source stepping).
+/// `x` is the warm start in and the solution out; returns Newton iterations.
+/// Throws softfet::ConvergenceError when every strategy fails.
+int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
+             std::vector<double>& x);
+
+/// Collect the full signal-name list: unknown labels then device probes.
+[[nodiscard]] std::vector<std::string> signal_names(const Circuit& circuit);
+
+/// Build one sample row matching signal_names(): unknowns then probes.
+[[nodiscard]] std::vector<double> sample_row(const Circuit& circuit,
+                                             const std::vector<double>& x);
+
+}  // namespace softfet::sim::detail

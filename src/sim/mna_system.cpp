@@ -1,0 +1,45 @@
+#include "sim/mna_system.hpp"
+
+#include "util/error.hpp"
+
+namespace softfet::sim {
+
+MnaSystem::MnaSystem(Circuit& circuit, const SimOptions& options,
+                     LoadContext& context)
+    : circuit_(circuit),
+      options_(options),
+      context_(context),
+      gmin_(options.gmin),
+      voltage_unknowns_(circuit.node_count() - 1) {
+  if (!circuit.prepared()) {
+    throw InvalidCircuitError("MnaSystem: circuit not prepared");
+  }
+}
+
+std::size_t MnaSystem::size() const { return circuit_.unknown_count(); }
+
+void MnaSystem::load(const std::vector<double>& x,
+                     numeric::SparseMatrix& jacobian,
+                     std::vector<double>& residual) {
+  Stamper stamper(jacobian, residual);
+  for (const auto& device : circuit_.devices()) {
+    device->load(x, stamper, context_);
+  }
+  // gmin shunts keep otherwise-floating nodes (capacitor-only, gate nodes
+  // in DC) numerically pinned.
+  for (std::size_t i = 0; i < voltage_unknowns_; ++i) {
+    const int unknown = static_cast<int>(i);
+    stamper.add_residual(unknown, gmin_ * x[i]);
+    stamper.add_jacobian(unknown, unknown, gmin_);
+  }
+}
+
+double MnaSystem::abstol(std::size_t unknown) const {
+  return unknown < voltage_unknowns_ ? options_.vabstol : options_.iabstol;
+}
+
+double MnaSystem::max_step(std::size_t unknown) const {
+  return unknown < voltage_unknowns_ ? options_.v_max_step : 0.0;
+}
+
+}  // namespace softfet::sim

@@ -1,0 +1,37 @@
+// Bridges a Circuit to the generic Newton solver: gathers device stamps
+// into the MNA Jacobian/residual and supplies per-unknown tolerances.
+#pragma once
+
+#include <vector>
+
+#include "numeric/newton.hpp"
+#include "sim/circuit.hpp"
+#include "sim/options.hpp"
+
+namespace softfet::sim {
+
+class MnaSystem final : public numeric::NonlinearSystem {
+ public:
+  /// `circuit` must be prepared; `context` is shared with the analysis
+  /// driver which mutates time/dt/method between solves.
+  MnaSystem(Circuit& circuit, const SimOptions& options, LoadContext& context);
+
+  [[nodiscard]] std::size_t size() const override;
+  void load(const std::vector<double>& x, numeric::SparseMatrix& jacobian,
+            std::vector<double>& residual) override;
+  [[nodiscard]] double abstol(std::size_t unknown) const override;
+  [[nodiscard]] double max_step(std::size_t unknown) const override;
+
+  /// Shunt conductance to ground on every node (homotopy knob).
+  void set_gmin(double gmin) noexcept { gmin_ = gmin; }
+  [[nodiscard]] double gmin() const noexcept { return gmin_; }
+
+ private:
+  Circuit& circuit_;
+  const SimOptions& options_;
+  LoadContext& context_;
+  double gmin_;
+  std::size_t voltage_unknowns_;
+};
+
+}  // namespace softfet::sim

@@ -1,0 +1,142 @@
+// DC operating point with gmin-stepping and source-stepping homotopies.
+#include <cmath>
+
+#include "sim/analyses.hpp"
+#include "sim/detail.hpp"
+#include "sim/mna_system.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace softfet::sim {
+
+namespace {
+
+[[nodiscard]] numeric::NewtonOptions newton_options(const SimOptions& options) {
+  numeric::NewtonOptions nopt;
+  nopt.max_iterations = options.newton_max_iter;
+  nopt.reltol = options.reltol;
+  nopt.solver = options.solver;
+  return nopt;
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Shared by dc_operating_point / dc_sweep / run_transient. `x` carries the
+/// warm start in and the solution out. Returns Newton iterations used.
+int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
+             std::vector<double>& x) {
+  MnaSystem system(circuit, options, ctx);
+  const numeric::NewtonOptions nopt = newton_options(options);
+  int total_iterations = 0;
+
+  ctx.mode = AnalysisMode::kDcOp;
+  ctx.dt = 0.0;
+  ctx.source_scale = 1.0;
+
+  const auto attempt = [&](std::vector<double>& guess) {
+    const auto result = numeric::solve_newton(system, guess, nopt);
+    total_iterations += result.iterations;
+    return result.converged;
+  };
+
+  // 1. Direct Newton from the warm start.
+  std::vector<double> trial = x;
+  if (attempt(trial)) {
+    x = trial;
+    return total_iterations;
+  }
+
+  // 2. gmin stepping: start heavily regularized, relax decade by decade.
+  trial = x;
+  bool ok = true;
+  double g = 1e-2;
+  while (true) {
+    system.set_gmin(g);
+    if (!attempt(trial)) {
+      ok = false;
+      break;
+    }
+    if (g <= options.gmin * 1.001) break;
+    g = std::max(g / 10.0, options.gmin);
+  }
+  system.set_gmin(options.gmin);
+  if (ok) {
+    x = trial;
+    return total_iterations;
+  }
+  util::log_debug("dc: gmin stepping failed, trying source stepping");
+
+  // 3. Source stepping: ramp all independent sources from 0 to full value.
+  trial.assign(x.size(), 0.0);
+  ok = true;
+  for (int k = 1; k <= options.source_steps; ++k) {
+    ctx.source_scale =
+        static_cast<double>(k) / static_cast<double>(options.source_steps);
+    if (!attempt(trial)) {
+      ok = false;
+      break;
+    }
+  }
+  ctx.source_scale = 1.0;
+  if (!ok) {
+    throw ConvergenceError(
+        "dc operating point: direct Newton, gmin stepping and source "
+        "stepping all failed");
+  }
+  x = trial;
+  return total_iterations;
+}
+
+std::vector<std::string> signal_names(const Circuit& circuit) {
+  std::vector<std::string> names = circuit.unknown_labels();
+  for (const auto& device : circuit.devices()) {
+    for (const auto& [probe_name, value] : device->probes()) {
+      (void)value;
+      names.push_back(probe_name);
+    }
+  }
+  return names;
+}
+
+std::vector<double> sample_row(const Circuit& circuit,
+                               const std::vector<double>& x) {
+  std::vector<double> row = x;
+  for (const auto& device : circuit.devices()) {
+    for (const auto& [probe_name, value] : device->probes()) {
+      (void)probe_name;
+      row.push_back(value);
+    }
+  }
+  return row;
+}
+
+}  // namespace detail
+
+OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
+  circuit.prepare();
+  LoadContext ctx;
+  std::vector<double> x(circuit.unknown_count(), 0.0);
+  const int iterations = detail::solve_dc(circuit, options, ctx, x);
+  // Let hysteretic devices settle their quasistatic state, re-solving until
+  // the (state, solution) pair is self-consistent.
+  constexpr int kMaxStateIterations = 20;
+  for (int i = 0; i < kMaxStateIterations; ++i) {
+    bool changed = false;
+    for (const auto& device : circuit.devices()) {
+      changed = device->update_quasistatic_state(x) || changed;
+    }
+    if (!changed) break;
+    detail::solve_dc(circuit, options, ctx, x);
+  }
+  for (const auto& device : circuit.devices()) device->init_state(x);
+
+  OpResult result;
+  result.x = std::move(x);
+  result.labels = circuit.unknown_labels();
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace softfet::sim

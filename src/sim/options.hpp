@@ -1,0 +1,39 @@
+// Simulator tolerances and analysis controls (SPICE-style .options).
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/linear_solver.hpp"
+
+namespace softfet::sim {
+
+struct SimOptions {
+  // --- Newton convergence ---------------------------------------------
+  double reltol = 1e-3;    ///< relative dx tolerance
+  double vabstol = 1e-6;   ///< absolute tolerance for node voltages [V]
+  double iabstol = 1e-12;  ///< absolute tolerance for branch currents [A]
+  int newton_max_iter = 150;
+  double v_max_step = 0.5;  ///< Newton dv clamp for node voltages [V]
+
+  // --- Conductance regularization --------------------------------------
+  double gmin = 1e-12;  ///< node-to-ground shunt conductance [S]
+
+  // --- DC operating point homotopy --------------------------------------
+  int gmin_steps = 10;    ///< decades of gmin stepping before giving up
+  int source_steps = 20;  ///< source-stepping points in the fallback
+
+  // --- Transient --------------------------------------------------------
+  double dtmin = 1e-18;      ///< smallest step before declaring failure [s]
+  double dtmax = 0.0;        ///< largest step; 0 selects tstop/200
+  double dt_initial = 0.0;   ///< first step; 0 selects tstop/1e6
+  double lte_reltol = 5e-3;  ///< local-error target relative to signal swing
+  double dt_grow = 1.6;      ///< max step growth per accepted step
+  double dt_shrink = 0.25;   ///< shrink factor on Newton failure
+  std::size_t max_steps = 20'000'000;
+  bool use_trapezoidal = true;  ///< false = backward Euler everywhere
+
+  // --- Linear solver ----------------------------------------------------
+  numeric::SolverKind solver = numeric::SolverKind::kAuto;
+};
+
+}  // namespace softfet::sim

@@ -1,0 +1,65 @@
+// Analysis result containers: a generic signal table plus per-analysis
+// wrappers (operating point, DC sweep, transient).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace softfet::sim {
+
+/// Column-oriented table of named signals sampled over a common axis
+/// (time for transients, the swept value for DC sweeps).
+class SignalTable {
+ public:
+  SignalTable() = default;
+  explicit SignalTable(std::vector<std::string> names);
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Samples of one signal; throws softfet::Error for unknown names
+  /// (listing close candidates).
+  [[nodiscard]] const std::vector<double>& signal(const std::string& name) const;
+
+  /// Append one sample row (size must equal names().size()).
+  void append_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+  [[nodiscard]] std::size_t columns() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// DC operating point.
+struct OpResult {
+  std::vector<double> x;                 ///< raw unknown vector
+  std::vector<std::string> labels;       ///< unknown labels ("v(out)", ...)
+  int iterations = 0;
+  /// Convenience: value of a labelled unknown, e.g. voltage("out").
+  [[nodiscard]] double voltage(const std::string& node) const;
+  [[nodiscard]] double unknown(const std::string& label) const;
+};
+
+/// DC sweep: `axis` holds the swept values.
+struct SweepResult {
+  std::vector<double> axis;
+  SignalTable table;
+};
+
+/// Transient: `time` holds accepted step times (non-uniform).
+struct TranResult {
+  std::vector<double> time;
+  SignalTable table;
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_iterations = 0;
+  std::size_t event_count = 0;  ///< discrete device events (PTM transitions)
+};
+
+}  // namespace softfet::sim

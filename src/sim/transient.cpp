@@ -1,0 +1,225 @@
+// Adaptive-timestep transient analysis.
+//
+// Strategy:
+//  - start from the DC operating point;
+//  - backward Euler on the first step and immediately after discrete device
+//    events (PTM phase flips), trapezoidal otherwise;
+//  - linear-extrapolation predictor doubles as the Newton initial guess and
+//    the local-truncation-error estimate;
+//  - source corner times (PWL/pulse edges) are honoured exactly as
+//    breakpoints;
+//  - devices may cut a candidate step at an internal event time (PTM
+//    threshold crossings) so state flips land on step boundaries.
+#include <algorithm>
+#include <cmath>
+
+#include "sim/analyses.hpp"
+#include "sim/detail.hpp"
+#include "sim/mna_system.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace softfet::sim {
+
+namespace {
+
+constexpr double kEventBoundaryTolerance = 1e-9;  // relative to dt
+
+struct History {
+  double t_prev = 0.0;
+  double t_curr = 0.0;
+  std::vector<double> x_prev;
+  std::vector<double> x_curr;
+  bool has_two_points = false;
+
+  void reset(double t, const std::vector<double>& x) {
+    t_curr = t;
+    x_curr = x;
+    has_two_points = false;
+  }
+
+  void push(double t, const std::vector<double>& x) {
+    t_prev = t_curr;
+    x_prev = x_curr;
+    t_curr = t;
+    x_curr = x;
+    has_two_points = true;
+  }
+
+  /// Linear extrapolation to `t` (constant when only one point is known).
+  [[nodiscard]] std::vector<double> predict(double t) const {
+    if (!has_two_points || t_curr <= t_prev) return x_curr;
+    const double alpha = (t - t_curr) / (t_curr - t_prev);
+    std::vector<double> x(x_curr.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = x_curr[i] + alpha * (x_curr[i] - x_prev[i]);
+    }
+    return x;
+  }
+};
+
+/// Ratio of predictor-corrector mismatch to the acceptable local error;
+/// > 1 means the step was too optimistic. Only node voltages participate:
+/// trapezoidal companion state makes branch currents jump as dt -> 0
+/// (i = 2C/dt*dq - i_prev), so a current-based LTE never converges.
+[[nodiscard]] double lte_ratio(const std::vector<double>& x,
+                               const std::vector<double>& x_pred,
+                               std::size_t voltage_unknowns,
+                               const SimOptions& options) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < voltage_unknowns; ++i) {
+    const double scale = std::max({std::fabs(x[i]), std::fabs(x_pred[i]), 0.05});
+    const double tol = options.lte_reltol * scale;
+    worst = std::max(worst, std::fabs(x[i] - x_pred[i]) / tol);
+  }
+  return worst;
+}
+
+}  // namespace
+
+TranResult run_transient(Circuit& circuit, double tstop,
+                         const SimOptions& options) {
+  if (!(tstop > 0.0)) throw Error("run_transient: tstop must be positive");
+  circuit.prepare();
+
+  // Operating point at t = 0 (also initializes device state).
+  OpResult op = dc_operating_point(circuit, options);
+  std::vector<double> x = op.x;
+
+  TranResult out;
+  out.table = SignalTable(detail::signal_names(circuit));
+  out.time.push_back(0.0);
+  out.table.append_row(detail::sample_row(circuit, x));
+
+  LoadContext ctx;
+  MnaSystem system(circuit, options, ctx);
+  numeric::NewtonOptions nopt;
+  nopt.max_iterations = options.newton_max_iter;
+  nopt.reltol = options.reltol;
+  nopt.solver = options.solver;
+
+  const double dtmax = options.dtmax > 0.0 ? options.dtmax : tstop / 200.0;
+  double dt = options.dt_initial > 0.0 ? options.dt_initial
+                                       : std::min(tstop / 1e6, dtmax);
+
+  History history;
+  history.reset(0.0, x);
+
+  const std::size_t voltage_unknowns = circuit.node_count() - 1;
+  double t = 0.0;
+  bool force_backward_euler = true;  // first step
+  int consecutive_rejects = 0;
+
+  while (t < tstop * (1.0 - 1e-12)) {
+    if (out.accepted_steps + out.rejected_steps >= options.max_steps) {
+      throw ConvergenceError("run_transient: step budget exhausted at t=" +
+                             std::to_string(t));
+    }
+
+    // Clamp dt: device caps, global max, remaining span.
+    double device_cap = kNeverTime;
+    for (const auto& device : circuit.devices()) {
+      device_cap = std::min(device_cap, device->max_timestep());
+    }
+    dt = std::min({dt, device_cap, dtmax, tstop - t});
+    dt = std::max(dt, options.dtmin);
+
+    // Land exactly on the next source breakpoint if it falls inside.
+    double breakpoint = kNeverTime;
+    for (const auto& device : circuit.devices()) {
+      breakpoint = std::min(breakpoint, device->next_breakpoint(t));
+    }
+    if (breakpoint > t && breakpoint < t + dt) {
+      dt = std::max(breakpoint - t, options.dtmin);
+    }
+
+    ctx.mode = AnalysisMode::kTransient;
+    ctx.method = (force_backward_euler || !options.use_trapezoidal)
+                     ? IntegrationMethod::kBackwardEuler
+                     : IntegrationMethod::kTrapezoidal;
+    ctx.time = t + dt;
+    ctx.dt = dt;
+    ctx.source_scale = 1.0;
+
+    const std::vector<double> x_pred = history.predict(t + dt);
+    std::vector<double> x_new = x_pred;
+    const auto newton = numeric::solve_newton(system, x_new, nopt);
+    out.newton_iterations += static_cast<std::size_t>(newton.iterations);
+
+    if (!newton.converged) {
+      ++out.rejected_steps;
+      ++consecutive_rejects;
+      if (dt <= options.dtmin * 1.0001) {
+        throw ConvergenceError("run_transient: Newton failed at minimum "
+                               "timestep, t=" + std::to_string(t));
+      }
+      dt *= options.dt_shrink;
+      force_backward_euler = true;  // robustness after trouble
+      continue;
+    }
+
+    // Discrete device events strictly inside the step: cut the step there.
+    double event_at = kNeverTime;
+    for (const auto& device : circuit.devices()) {
+      event_at = std::min(event_at, device->event_time(x_new, t, t + dt));
+    }
+    const bool event_on_boundary =
+        std::isfinite(event_at) &&
+        event_at >= t + dt * (1.0 - kEventBoundaryTolerance);
+    if (std::isfinite(event_at) && !event_on_boundary) {
+      const double cut = event_at - t;
+      if (cut >= std::max(options.dtmin, dt * 1e-6)) {
+        ++out.rejected_steps;
+        dt = cut;
+        continue;
+      }
+      // Event essentially at the step start: take a minimal step so the
+      // device can commit the flip.
+    }
+
+    // Local-error control (not after discontinuities, where the predictor
+    // is meaningless, and not when we are already struggling).
+    if (!force_backward_euler && consecutive_rejects < 15) {
+      const double ratio = lte_ratio(x_new, x_pred, voltage_unknowns, options);
+      if (ratio > 4.0 && dt > options.dtmin * 4.0) {
+        ++out.rejected_steps;
+        ++consecutive_rejects;
+        dt *= 0.5;
+        continue;
+      }
+      // Pre-compute growth for the next step from this ratio.
+      if (ratio < 0.25) {
+        dt *= options.dt_grow;
+      } else if (ratio < 1.0) {
+        dt *= 1.15;
+      }
+    } else {
+      dt *= 1.5;  // recover step size after BE / trouble
+    }
+
+    // Accept.
+    for (const auto& device : circuit.devices()) {
+      device->accept_step(x_new, ctx);
+    }
+    t = ctx.time;
+    history.push(t, x_new);
+    x = x_new;
+    out.time.push_back(t);
+    out.table.append_row(detail::sample_row(circuit, x));
+    ++out.accepted_steps;
+    consecutive_rejects = 0;
+
+    if (event_on_boundary) {
+      ++out.event_count;
+      history.reset(t, x);          // old slope is meaningless now
+      force_backward_euler = true;  // BE across the discontinuity
+    } else {
+      force_backward_euler = false;
+    }
+    if (newton.iterations > 25) dt *= 0.7;
+  }
+
+  return out;
+}
+
+}  // namespace softfet::sim

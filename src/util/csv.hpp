@@ -1,0 +1,49 @@
+// CSV / NDJSON writers for waveforms and experiment results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace softfet::util {
+
+/// Streams rows of doubles (plus a header) as RFC-4180-ish CSV.
+class CsvWriter {
+ public:
+  /// `out` must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Write one data row; throws softfet::Error on column-count mismatch.
+  void write_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a string for a CSV field (quotes + commas).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streams one JSON object per line (NDJSON): numeric fields keyed by the
+/// column names given at construction.
+class NdjsonWriter {
+ public:
+  NdjsonWriter(std::ostream& out, std::vector<std::string> columns);
+
+  void write_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a string for a JSON string literal (quotes, backslash, control).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace softfet::util

@@ -1,0 +1,4 @@
+#include "util/error.hpp"
+
+// Exception types are header-only; this TU anchors the library.
+namespace softfet {}

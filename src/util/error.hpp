@@ -1,0 +1,42 @@
+// Error types shared across the softfet libraries.
+//
+// All library failures are reported through exceptions derived from
+// softfet::Error so callers can distinguish library faults from std:: ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace softfet {
+
+/// Root of the softfet exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed netlist, bad parameter value, or inconsistent circuit.
+class InvalidCircuitError : public Error {
+ public:
+  explicit InvalidCircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure: singular matrix, Newton divergence, step underflow.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Netlist text could not be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+}  // namespace softfet

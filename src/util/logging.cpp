@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace softfet::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+[[nodiscard]] const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[softfet %s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }
+void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
+void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
+void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+}  // namespace softfet::util

@@ -1,0 +1,25 @@
+// Minimal leveled logger.
+//
+// The simulator reports convergence trouble and analysis progress through
+// this; benches and tests raise/lower the global level.
+#pragma once
+
+#include <string>
+
+namespace softfet::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the process-wide minimum level that is emitted (default: kWarn).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line to stderr if `level` is at or above the global level.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace softfet::util

@@ -1,0 +1,29 @@
+// Small string helpers used by the netlist parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace softfet::util {
+
+/// Remove leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Lower-case an ASCII string (netlists are case-insensitive).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split on any of the given delimiter characters; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             std::string_view delims = " \t");
+
+/// Case-insensitive ASCII equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive prefix test.
+[[nodiscard]] bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// True if the string contains the character.
+[[nodiscard]] bool contains(std::string_view s, char c);
+
+}  // namespace softfet::util

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace softfet::util {
+
+std::string fmt_g(double value, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw Error("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw Error("TextTable: row width " + std::to_string(cells.size()) +
+                " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt_g(v));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+
+  print_line(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) print_line(row);
+}
+
+}  // namespace softfet::util

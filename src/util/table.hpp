@@ -1,0 +1,33 @@
+// Aligned ASCII table printer used by the bench harnesses to print
+// paper-style rows (one table/figure per bench binary).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace softfet::util {
+
+/// Collects string cells and renders them as an aligned, pipe-separated table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with %.4g.
+  void add_row_values(const std::vector<double>& values);
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shorthand for formatting a double with %.4g.
+[[nodiscard]] std::string fmt_g(double value, int digits = 4);
+
+}  // namespace softfet::util

@@ -1,0 +1,116 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::util {
+
+namespace {
+
+struct Scale {
+  std::string_view suffix;
+  double factor;
+};
+
+// Order matters: "meg" must match before "m".
+constexpr std::array<Scale, 12> kScales{{
+    {"meg", 1e6},
+    {"mil", 25.4e-6},
+    {"t", 1e12},
+    {"g", 1e9},
+    {"x", 1e6},
+    {"k", 1e3},
+    {"m", 1e-3},
+    {"u", 1e-6},
+    {"n", 1e-9},
+    {"p", 1e-12},
+    {"f", 1e-15},
+    {"a", 1e-18},
+}};
+
+}  // namespace
+
+std::optional<double> parse_spice_number(std::string_view text) {
+  const std::string_view s = trim(text);
+  if (s.empty()) return std::nullopt;
+
+  const std::string str(s);
+  char* end = nullptr;
+  const double base = std::strtod(str.c_str(), &end);
+  if (end == str.c_str()) return std::nullopt;  // no leading number at all
+
+  std::string_view rest = trim(std::string_view(end));
+  if (rest.empty()) return base;
+
+  // Unit suffixes are letters only; anything else is malformed.
+  for (char c : rest) {
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0) return std::nullopt;
+  }
+
+  const std::string lowered = to_lower(rest);
+  for (const auto& scale : kScales) {
+    if (istarts_with(lowered, scale.suffix)) return base * scale.factor;
+  }
+  // Unknown letters with no scale prefix are treated as a bare unit ("10V").
+  return base;
+}
+
+double parse_spice_number_or_throw(std::string_view text) {
+  const auto value = parse_spice_number(text);
+  if (!value) {
+    throw Error("cannot parse numeric value: '" + std::string(text) + "'");
+  }
+  return *value;
+}
+
+std::string format_si(double value, int significant_digits,
+                      std::string_view unit) {
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g%s", significant_digits, value,
+                  std::string(unit).c_str());
+    return buf;
+  }
+
+  struct Prefix {
+    double factor;
+    const char* name;
+  };
+  static constexpr std::array<Prefix, 13> kPrefixes{{
+      {1e12, "T"},
+      {1e9, "G"},
+      {1e6, "M"},
+      {1e3, "k"},
+      {1e0, ""},
+      {1e-3, "m"},
+      {1e-6, "u"},
+      {1e-9, "n"},
+      {1e-12, "p"},
+      {1e-15, "f"},
+      {1e-18, "a"},
+      {1e-21, "z"},
+      {1e-24, "y"},
+  }};
+
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.factor * 0.9999995) {
+      chosen = &p;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g%s%s", significant_digits,
+                value / chosen->factor, chosen->name,
+                std::string(unit).c_str());
+  return buf;
+}
+
+}  // namespace softfet::util

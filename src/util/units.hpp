@@ -1,0 +1,26 @@
+// SI / SPICE engineering-unit parsing and formatting.
+//
+// Netlists write values like "500k", "10p", "1meg", "0.5u"; reports want the
+// inverse ("2.3e-11" -> "23p"). Both directions live here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace softfet::util {
+
+/// Parse a SPICE-style engineering number: an optional sign, decimal number,
+/// then an optional scale suffix (T, G, MEG/X, K, M, U, N, P, F, A) followed
+/// by arbitrary trailing unit letters ("10pF" -> 1e-11).
+/// Returns std::nullopt on malformed input.
+[[nodiscard]] std::optional<double> parse_spice_number(std::string_view text);
+
+/// Like parse_spice_number but throws softfet::Error with context on failure.
+[[nodiscard]] double parse_spice_number_or_throw(std::string_view text);
+
+/// Format with an SI prefix and the given significant digits: 2.3e-11 -> "23p".
+[[nodiscard]] std::string format_si(double value, int significant_digits = 4,
+                                    std::string_view unit = "");
+
+}  // namespace softfet::util

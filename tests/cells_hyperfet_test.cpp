@@ -1,0 +1,98 @@
+// Hyper-FET composition and crossbar selector demo (Table 1 context).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/hyperfet.hpp"
+#include "devices/tech40.hpp"
+#include "util/error.hpp"
+
+namespace sc = softfet::cells;
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+
+namespace {
+sd::PtmParams hyperfet_ptm() {
+  // Source-side PTM card for a minimum device. Starving subthreshold
+  // leakage needs R_INS * I_off >~ nVt (source degeneration in the
+  // exponential region), so R_INS is in the GOhm range for a ~0.1 nA
+  // leakage device; the metallic state is a tolerable 200 ohm series drop.
+  // V_MIT maps to a ~0.25 uA holding current (I_MIT = V_MIT / R_MET).
+  sd::PtmParams p;
+  p.r_ins = 2.5e9;
+  p.r_met = 200.0;
+  p.v_imt = 0.2;
+  p.v_mit = 5e-5;
+  return p;
+}
+}  // namespace
+
+TEST(HyperFet, ImprovesIonIoffRatio) {
+  const auto dims = t40::min_nmos_dims();
+  const auto model = t40::nmos();
+  const auto plain = sc::mosfet_transfer_curve(model, dims, 1.0, 1.0, 21);
+  const auto hyper =
+      sc::hyperfet_transfer_curve(model, dims, hyperfet_ptm(), 1.0, 1.0, 21);
+  ASSERT_EQ(plain.id.size(), 21u);
+  ASSERT_EQ(hyper.id.size(), 21u);
+
+  const double plain_ratio = plain.id.back() / plain.id.front();
+  const double hyper_ratio = hyper.id.back() / hyper.id.front();
+  // The insulating PTM starves subthreshold leakage: better Ion/Ioff.
+  EXPECT_GT(hyper_ratio, 3.0 * plain_ratio);
+  // On current is not destroyed (metallic PTM is a small series R).
+  EXPECT_GT(hyper.id.back(), 0.5 * plain.id.back());
+}
+
+TEST(HyperFet, AbruptTransitionInTransferCurve) {
+  const auto hyper = sc::hyperfet_transfer_curve(
+      t40::nmos(), t40::min_nmos_dims(), hyperfet_ptm(), 1.0, 1.0, 41);
+  // Find the largest log-current step between consecutive Vgs points: the
+  // PTM firing produces a jump far steeper than the baseline's 80 mV/dec.
+  double max_step = 0.0;
+  for (std::size_t i = 1; i < hyper.id.size(); ++i) {
+    max_step =
+        std::max(max_step, std::log10(hyper.id[i] / hyper.id[i - 1]));
+  }
+  // 25 mV of Vgs per point; a > 1 decade jump means < 25 mV/dec locally,
+  // i.e. sub-thermal swing (the Hyper-FET claim).
+  EXPECT_GT(max_step, 1.0);
+}
+
+TEST(HyperFet, CellComposition) {
+  softfet::sim::Circuit c;
+  const auto cell = sc::add_hyperfet_nmos(
+      c, "hf", c.node("d"), c.node("g"), softfet::sim::kGroundNode,
+      t40::nmos(), t40::min_nmos_dims(), hyperfet_ptm());
+  EXPECT_NE(cell.mosfet, nullptr);
+  EXPECT_NE(cell.ptm, nullptr);
+  EXPECT_TRUE(c.has_node("hf.si"));
+}
+
+TEST(Crossbar, SelectorSuppressesSneakCurrent) {
+  const sd::PtmParams selector{500e3, 5e3, 0.4, 0.3, 10e-12};
+  const auto with = sc::crossbar_read(4, 10e3, 1e6, true, selector, 1.0);
+  const auto without = sc::crossbar_read(4, 10e3, 1e6, false, selector, 1.0);
+
+  // Read margin: selected-LRS current over selected-HRS (sneak-dominated)
+  // current. Without selectors the margin collapses; with them it holds.
+  const double margin_with = with.selected_current / with.sneak_current;
+  const double margin_without =
+      without.selected_current / without.sneak_current;
+  EXPECT_GT(margin_with, 5.0 * margin_without);
+  EXPECT_GT(margin_with, 10.0);
+}
+
+TEST(Crossbar, LargerArrayWorsensBaselineSneak) {
+  const sd::PtmParams selector{500e3, 5e3, 0.4, 0.3, 10e-12};
+  const auto small = sc::crossbar_read(2, 10e3, 1e6, false, selector, 1.0);
+  const auto large = sc::crossbar_read(6, 10e3, 1e6, false, selector, 1.0);
+  // More parallel sneak paths -> more parasitic current when reading HRS.
+  EXPECT_GT(large.sneak_current, small.sneak_current);
+}
+
+TEST(Crossbar, RejectsTinyArray) {
+  const sd::PtmParams selector;
+  EXPECT_THROW((void)sc::crossbar_read(1, 1e3, 1e6, false, selector, 1.0),
+               softfet::Error);
+}

@@ -1,0 +1,129 @@
+// Inverter cell builders and the single-gate testbench.
+#include <gtest/gtest.h>
+
+#include "cells/inverter.hpp"
+#include "devices/tech40.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+
+namespace sc = softfet::cells;
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+using softfet::measure::Waveform;
+
+TEST(InverterCell, BaselineHasDirectGate) {
+  ss::Circuit c;
+  const auto cell = sc::add_inverter(c, "i0", c.node("a"), c.node("y"),
+                                     c.node("vdd"), ss::kGroundNode,
+                                     sc::InverterSpec{});
+  EXPECT_EQ(cell.in, cell.gate);
+  EXPECT_EQ(cell.ptm, nullptr);
+  EXPECT_NE(cell.pmos, nullptr);
+  EXPECT_NE(cell.nmos, nullptr);
+}
+
+TEST(InverterCell, SoftFetInsertsPtm) {
+  ss::Circuit c;
+  sc::InverterSpec spec;
+  spec.ptm = sd::PtmParams{};
+  const auto cell = sc::add_inverter(c, "i0", c.node("a"), c.node("y"),
+                                     c.node("vdd"), ss::kGroundNode, spec);
+  EXPECT_NE(cell.in, cell.gate);
+  ASSERT_NE(cell.ptm, nullptr);
+  EXPECT_TRUE(c.has_node("i0.g"));
+}
+
+TEST(InverterCell, SeriesRInsertsResistor) {
+  ss::Circuit c;
+  sc::InverterSpec spec;
+  spec.gate_series_r = 10e3;
+  const auto cell = sc::add_inverter(c, "i0", c.node("a"), c.node("y"),
+                                     c.node("vdd"), ss::kGroundNode, spec);
+  EXPECT_NE(cell.in, cell.gate);
+  EXPECT_NE(c.find_device("i0.rg"), nullptr);
+}
+
+TEST(InverterCell, StackedCreatesSeriesDevices) {
+  ss::Circuit c;
+  sc::InverterSpec spec;
+  spec.stack = 2;
+  (void)sc::add_inverter(c, "i0", c.node("a"), c.node("y"), c.node("vdd"),
+                         ss::kGroundNode, spec);
+  EXPECT_NE(c.find_device("i0.mp0"), nullptr);
+  EXPECT_NE(c.find_device("i0.mp1"), nullptr);
+  EXPECT_NE(c.find_device("i0.mn1"), nullptr);
+  EXPECT_TRUE(c.has_node("i0.p0"));  // intermediate stack node
+}
+
+TEST(InverterCell, PtmAndSeriesRAreExclusive) {
+  ss::Circuit c;
+  sc::InverterSpec spec;
+  spec.ptm = sd::PtmParams{};
+  spec.gate_series_r = 1e3;
+  EXPECT_THROW((void)sc::add_inverter(c, "i0", c.node("a"), c.node("y"),
+                                      c.node("vdd"), ss::kGroundNode, spec),
+               softfet::InvalidCircuitError);
+}
+
+TEST(InverterCell, InvalidStackRejected) {
+  ss::Circuit c;
+  sc::InverterSpec spec;
+  spec.stack = 0;
+  EXPECT_THROW((void)sc::add_inverter(c, "i0", c.node("a"), c.node("y"),
+                                      c.node("vdd"), ss::kGroundNode, spec),
+               softfet::InvalidCircuitError);
+}
+
+TEST(InverterTestbench, BaselineSwitchesCleanly) {
+  sc::InverterTestbenchSpec spec;
+  spec.input_rising = false;  // falling input -> rising output
+  auto tb = sc::make_inverter_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform vout = Waveform::from_tran(result, tb.output_signal);
+  EXPECT_NEAR(vout.value(0.0), 0.0, 0.01);
+  EXPECT_NEAR(vout.value(result.time.back()), spec.vcc, 0.01);
+}
+
+TEST(InverterTestbench, DutSupplyIsolatedFromLoad) {
+  // Before the edge everything is static: the DUT supply current is just
+  // leakage, far below the load inverter's switching current later.
+  sc::InverterTestbenchSpec spec;
+  spec.input_rising = false;
+  auto tb = sc::make_inverter_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform icc = Waveform::from_tran(result, tb.supply_current_signal);
+  // Quiescent current small.
+  EXPECT_LT(std::abs(icc.value(10e-12)), 1e-8);
+  // Load inverter's own rail exists and is separate.
+  EXPECT_TRUE(result.table.has("i(vddl)"));
+}
+
+TEST(InverterTestbench, SoftFetReducesPeakCurrent) {
+  sc::InverterTestbenchSpec base;
+  base.input_rising = false;
+  auto tb_base = sc::make_inverter_testbench(base);
+  const auto res_base = ss::run_transient(tb_base.circuit, tb_base.suggested_tstop);
+  const double imax_base =
+      Waveform::from_tran(res_base, "i(vdd)").peak_magnitude();
+
+  auto soft = base;
+  soft.dut.ptm = sd::PtmParams{};
+  auto tb_soft = sc::make_inverter_testbench(soft);
+  const auto res_soft = ss::run_transient(tb_soft.circuit, tb_soft.suggested_tstop);
+  const double imax_soft =
+      Waveform::from_tran(res_soft, "i(vdd)").peak_magnitude();
+
+  EXPECT_LT(imax_soft, 0.75 * imax_base);
+  EXPECT_GE(tb_soft.dut.ptm->imt_count(), 1);
+}
+
+TEST(InverterTestbench, RisingInputDirection) {
+  sc::InverterTestbenchSpec spec;
+  spec.input_rising = true;
+  auto tb = sc::make_inverter_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform vout = Waveform::from_tran(result, tb.output_signal);
+  EXPECT_NEAR(vout.value(0.0), spec.vcc, 0.01);
+  EXPECT_NEAR(vout.value(result.time.back()), 0.0, 0.01);
+}

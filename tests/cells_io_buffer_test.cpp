@@ -1,0 +1,77 @@
+// I/O buffer SSN testbench.
+#include <gtest/gtest.h>
+
+#include "cells/io_buffer.hpp"
+#include "measure/metrics.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace sc = softfet::cells;
+namespace ss = softfet::sim;
+namespace sm = softfet::measure;
+using softfet::measure::Waveform;
+
+TEST(IoBuffer, PadSwingsFullRail) {
+  sc::IoBufferSpec spec;
+  auto tb = sc::make_io_buffer_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform pad = Waveform::from_tran(result, tb.pad_signal);
+  // Rising input -> 3 inverting stages -> falling pad.
+  EXPECT_GT(pad.value(1e-9), 0.95);
+  EXPECT_LT(pad.value(result.time.back()), 0.05);
+}
+
+TEST(IoBuffer, SwitchingBouncesInternalRails) {
+  sc::IoBufferSpec spec;
+  auto tb = sc::make_io_buffer_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform vssi = Waveform::from_tran(result, tb.vssi_signal);
+  const Waveform vddi = Waveform::from_tran(result, tb.vddi_signal);
+  // Quiet before the edge.
+  EXPECT_LT(std::abs(vssi.value(1e-9)), 2e-3);
+  // Bounce during the edge.
+  const double gnd_bounce = sm::worst_bounce(vssi, 0.0);
+  const double vcc_bounce = sm::worst_bounce(vddi, spec.vcc);
+  EXPECT_GT(std::max(gnd_bounce, vcc_bounce), 20e-3);
+  EXPECT_LT(std::max(gnd_bounce, vcc_bounce), 0.5);
+}
+
+TEST(IoBuffer, MoreSimultaneousBuffersMoreBounce) {
+  sc::IoBufferSpec small;
+  small.simultaneous = 1.0;
+  auto tb1 = sc::make_io_buffer_testbench(small);
+  const auto r1 = ss::run_transient(tb1.circuit, tb1.suggested_tstop);
+  const double b1 =
+      sm::worst_bounce(Waveform::from_tran(r1, tb1.vssi_signal), 0.0);
+
+  sc::IoBufferSpec big;
+  big.simultaneous = 4.0;
+  auto tb4 = sc::make_io_buffer_testbench(big);
+  const auto r4 = ss::run_transient(tb4.circuit, tb4.suggested_tstop);
+  const double b4 =
+      sm::worst_bounce(Waveform::from_tran(r4, tb4.vssi_signal), 0.0);
+
+  EXPECT_GT(b4, 1.5 * b1);
+}
+
+TEST(IoBuffer, SoftVariantInstallsPtmOnFinalStage) {
+  sc::IoBufferSpec spec;
+  spec.ptm = sc::IoBufferSpec::default_driver_ptm();
+  auto tb = sc::make_io_buffer_testbench(spec);
+  ASSERT_NE(tb.ptm, nullptr);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  EXPECT_GE(tb.ptm->imt_count(), 1);
+  // The pad still completes its transition.
+  const Waveform pad = Waveform::from_tran(result, tb.pad_signal);
+  EXPECT_LT(pad.value(result.time.back()), 0.05);
+}
+
+TEST(IoBuffer, FallingInputMirrors) {
+  sc::IoBufferSpec spec;
+  spec.input_rising = false;
+  auto tb = sc::make_io_buffer_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform pad = Waveform::from_tran(result, tb.pad_signal);
+  EXPECT_LT(pad.value(1e-9), 0.05);
+  EXPECT_GT(pad.value(result.time.back()), 0.95);
+}

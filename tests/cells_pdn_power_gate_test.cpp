@@ -1,0 +1,93 @@
+// PDN model and power-gate wake-up testbench.
+#include <gtest/gtest.h>
+
+#include "cells/pdn.hpp"
+#include "cells/power_gate.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "measure/metrics.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace sc = softfet::cells;
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+namespace sm = softfet::measure;
+using softfet::measure::Waveform;
+
+TEST(Pdn, DcRailAtVcc) {
+  ss::Circuit c;
+  const auto pdn = sc::add_pdn(c, "pdn", "rail", sc::PdnParams{});
+  const auto op = ss::dc_operating_point(c);
+  // No load: inductor shorts, no IR drop.
+  EXPECT_NEAR(op.voltage("rail"), 1.0, 1e-6);
+}
+
+TEST(Pdn, IrDropUnderDcLoad) {
+  ss::Circuit c;
+  sc::PdnParams params;
+  const auto pdn = sc::add_pdn(c, "pdn", "rail", params);
+  c.add<sd::Resistor>("Rload", pdn.rail, ss::kGroundNode, 100.0);  // 10 mA
+  const auto op = ss::dc_operating_point(c);
+  const double expected_drop = params.r_pkg * (1.0 / (100.0 + params.r_pkg));
+  EXPECT_NEAR(1.0 - op.voltage("rail"), expected_drop, 1e-5);
+}
+
+TEST(Pdn, CurrentStepCausesDroopAndRingback) {
+  ss::Circuit c;
+  const auto pdn = sc::add_pdn(c, "pdn", "rail", sc::PdnParams{});
+  // 20 mA load step with a 100 ps edge.
+  c.add<sd::ISource>("Iload", pdn.rail, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 20e-3, 2e-9, 100e-12, 100e-12,
+                                           1.0));
+  const auto result = ss::run_transient(c, 40e-9);
+  const Waveform rail = Waveform::from_tran(result, pdn.rail_signal);
+  const double droop = sm::worst_droop(rail, 1.0);
+  // More than the static IR drop (L di/dt + resonance), less than the rail.
+  EXPECT_GT(droop, 20e-3 * sc::PdnParams{}.r_pkg * 1.5);
+  EXPECT_LT(droop, 0.5);
+  // Settles back near the IR-drop level.
+  EXPECT_NEAR(rail.value(40e-9), 1.0 - 20e-3 * sc::PdnParams{}.r_pkg, 5e-3);
+}
+
+TEST(PowerGate, DomainStartsAsleepAndWakes) {
+  sc::PowerGateSpec spec;
+  auto tb = sc::make_power_gate_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform vvdd = Waveform::from_tran(result, tb.virtual_rail_signal);
+  // Asleep: virtual rail near ground (leak-defined).
+  EXPECT_LT(vvdd.value(1e-9), 0.1);
+  // Awake: virtual rail near VCC.
+  EXPECT_GT(vvdd.value(result.time.back()), 0.9);
+}
+
+TEST(PowerGate, WakeDroopsTheSharedRail) {
+  sc::PowerGateSpec spec;
+  auto tb = sc::make_power_gate_testbench(spec);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  const Waveform rail = Waveform::from_tran(result, tb.rail_signal);
+  const double settled = rail.value(0.9 * spec.enable_delay);
+  const double droop =
+      sm::worst_droop(rail.window(spec.enable_delay, result.time.back()),
+                      settled);
+  EXPECT_GT(droop, 10e-3);   // the wake event visibly droops the rail
+  EXPECT_LT(droop, 200e-3);  // but the PDN holds it up
+}
+
+TEST(PowerGate, SoftGateStaircasesTheHeaderGate) {
+  sc::PowerGateSpec spec;
+  spec.ptm = sc::PowerGateSpec::default_header_ptm();
+  auto tb = sc::make_power_gate_testbench(spec);
+  ASSERT_NE(tb.ptm, nullptr);
+  const auto result = ss::run_transient(tb.circuit, tb.suggested_tstop);
+  EXPECT_GE(tb.ptm->imt_count(), 1);
+  // Gate eventually reaches ~0 (fully on).
+  const Waveform gate = Waveform::from_tran(result, tb.gate_signal);
+  EXPECT_LT(gate.value(result.time.back()), 0.1);
+}
+
+TEST(PowerGate, HeaderPtmCardIsConsistent) {
+  const auto ptm = sc::PowerGateSpec::default_header_ptm();
+  EXPECT_NO_THROW(ptm.validate());
+  EXPECT_LT(ptm.r_ins, sd::PtmParams{}.r_ins);  // scaled for the wide header
+}

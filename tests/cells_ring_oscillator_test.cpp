@@ -1,0 +1,123 @@
+// Ring oscillator: oscillation, period scaling, corners, and the Soft-FET
+// ring variant.
+#include <gtest/gtest.h>
+
+#include "cells/ring_oscillator.hpp"
+#include "devices/ptm.hpp"
+#include "devices/tech40.hpp"
+#include "measure/metrics.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+
+namespace sc = softfet::cells;
+namespace sd = softfet::devices;
+namespace sm = softfet::measure;
+namespace ss = softfet::sim;
+namespace t40 = softfet::devices::tech40;
+using softfet::measure::Waveform;
+
+namespace {
+
+double ring_period(const sc::RingOscillatorSpec& spec, double tstop) {
+  auto ring = sc::make_ring_oscillator(spec);
+  const auto result = ss::run_transient(ring.circuit, tstop);
+  const Waveform tap = Waveform::from_tran(result, ring.tap_signal);
+  // Skip the startup transient.
+  return sm::oscillation_period(tap, 0.5 * spec.vcc, 0.3 * tstop);
+}
+
+}  // namespace
+
+TEST(RingOscillator, RejectsEvenOrTinyStageCounts) {
+  sc::RingOscillatorSpec spec;
+  spec.stages = 4;
+  EXPECT_THROW((void)sc::make_ring_oscillator(spec),
+               softfet::InvalidCircuitError);
+  spec.stages = 1;
+  EXPECT_THROW((void)sc::make_ring_oscillator(spec),
+               softfet::InvalidCircuitError);
+}
+
+TEST(RingOscillator, OscillatesFullSwing) {
+  sc::RingOscillatorSpec spec;
+  auto ring = sc::make_ring_oscillator(spec);
+  const auto result = ss::run_transient(ring.circuit, 2e-9);
+  const Waveform tap = Waveform::from_tran(result, ring.tap_signal);
+  const Waveform late = tap.window(1e-9, 2e-9);
+  EXPECT_GT(late.max_value(), 0.9);
+  EXPECT_LT(late.min_value(), 0.1);
+  EXPECT_GT(late.crossings(0.5, softfet::measure::CrossDirection::kRising)
+                .size(),
+            3u);
+}
+
+TEST(RingOscillator, PeriodScalesWithStageCount) {
+  sc::RingOscillatorSpec five;
+  five.stages = 5;
+  sc::RingOscillatorSpec nine;
+  nine.stages = 9;
+  const double t5 = ring_period(five, 2e-9);
+  const double t9 = ring_period(nine, 3e-9);
+  // Period ~ 2 * N * t_pd: 9 stages ~ 1.8x the 5-stage period.
+  EXPECT_NEAR(t9 / t5, 9.0 / 5.0, 0.35);
+}
+
+TEST(RingOscillator, SlowCornerSlowsItDown) {
+  sc::RingOscillatorSpec tt;
+  sc::RingOscillatorSpec ss_corner;
+  ss_corner.inverter.nmos_model =
+      t40::with_corner(t40::nmos(), t40::Corner::kSS);
+  ss_corner.inverter.pmos_model =
+      t40::with_corner(t40::pmos(), t40::Corner::kSS);
+  sc::RingOscillatorSpec ff;
+  ff.inverter.nmos_model = t40::with_corner(t40::nmos(), t40::Corner::kFF);
+  ff.inverter.pmos_model = t40::with_corner(t40::pmos(), t40::Corner::kFF);
+
+  const double t_tt = ring_period(tt, 2e-9);
+  const double t_ss = ring_period(ss_corner, 2e-9);
+  const double t_ff = ring_period(ff, 2e-9);
+  EXPECT_GT(t_ss, 1.05 * t_tt);
+  EXPECT_LT(t_ff, 0.95 * t_tt);
+}
+
+TEST(RingOscillator, SoftFetRingOscillatesSlower) {
+  sc::RingOscillatorSpec base;
+  sc::RingOscillatorSpec soft;
+  soft.inverter.ptm = sd::PtmParams{};
+  const double t_base = ring_period(base, 2e-9);
+  const double t_soft = ring_period(soft, 8e-9);
+  EXPECT_GT(t_soft, 1.5 * t_base);  // the Soft-FET delay penalty, in a loop
+}
+
+TEST(RingOscillator, CornerHelpers) {
+  const auto nm = t40::nmos();
+  const auto ss_m = t40::with_corner(nm, t40::Corner::kSS);
+  EXPECT_GT(ss_m.vt0, nm.vt0);
+  EXPECT_LT(ss_m.kp, nm.kp);
+  const auto ff_m = t40::with_corner(nm, t40::Corner::kFF);
+  EXPECT_LT(ff_m.vt0, nm.vt0);
+  // SF: NMOS slow, PMOS fast.
+  EXPECT_GT(t40::with_corner(t40::nmos(), t40::Corner::kSF).vt0, nm.vt0);
+  EXPECT_LT(t40::with_corner(t40::pmos(), t40::Corner::kSF).vt0,
+            t40::pmos().vt0);
+  EXPECT_STREQ(t40::corner_name(t40::Corner::kSF), "SF");
+  // TT is identity.
+  EXPECT_DOUBLE_EQ(t40::with_corner(nm, t40::Corner::kTT).vt0, nm.vt0);
+}
+
+TEST(OscillationPeriod, ThrowsWithoutOscillation) {
+  const Waveform flat({0.0, 1.0, 2.0}, {0.0, 0.0, 0.0});
+  EXPECT_THROW((void)sm::oscillation_period(flat, 0.5), softfet::Error);
+}
+
+TEST(OscillationPeriod, MeasuresSyntheticSquareWave) {
+  std::vector<double> t;
+  std::vector<double> y;
+  for (int k = 0; k < 40; ++k) {
+    t.push_back(k * 0.5);
+    y.push_back(k % 2 == 0 ? 0.0 : 1.0);
+  }
+  const Waveform square(std::move(t), std::move(y));
+  EXPECT_NEAR(sm::oscillation_period(square, 0.5), 1.0, 1e-9);
+}

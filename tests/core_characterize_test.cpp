@@ -1,0 +1,105 @@
+// Transition characterization: the measurement layer all figure benches use.
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "devices/tech40.hpp"
+
+namespace sc = softfet::cells;
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+using softfet::core::TransitionMetrics;
+using softfet::core::characterize_inverter;
+
+namespace {
+sc::InverterTestbenchSpec baseline_spec() {
+  sc::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  return spec;
+}
+}  // namespace
+
+TEST(Characterize, BaselineMetricsSane) {
+  const TransitionMetrics m = characterize_inverter(baseline_spec());
+  EXPECT_GT(m.i_max, 50e-6);
+  EXPECT_LT(m.i_max, 500e-6);
+  EXPECT_GT(m.delay, 5e-12);
+  EXPECT_LT(m.delay, 200e-12);
+  EXPECT_GT(m.max_didt, 0.0);
+  EXPECT_EQ(m.imt_count, 0);
+  // Output charge ~ C_load * VCC: FO4 load is a few fF.
+  EXPECT_GT(m.q_output, 1e-15);
+  EXPECT_LT(m.q_output, 20e-15);
+  EXPECT_GT(m.energy, 0.0);
+}
+
+TEST(Characterize, SoftFetReducesImaxAndDidt) {
+  auto spec = baseline_spec();
+  const TransitionMetrics base = characterize_inverter(spec);
+  spec.dut.ptm = sd::PtmParams{};
+  const TransitionMetrics soft = characterize_inverter(spec);
+  EXPECT_LT(soft.i_max, 0.7 * base.i_max);   // paper: significant reduction
+  EXPECT_LT(soft.max_didt, 0.8 * base.max_didt);
+  EXPECT_GT(soft.delay, base.delay);         // the cost: delay penalty
+  EXPECT_GE(soft.imt_count, 1);
+  EXPECT_GE(soft.mit_count, 1);
+}
+
+TEST(Characterize, RisingInputMirrorsFalling) {
+  auto spec = baseline_spec();
+  spec.input_rising = true;
+  const TransitionMetrics m = characterize_inverter(spec);
+  EXPECT_GT(m.delay, 0.0);
+  // For a falling output, the NMOS discharges the load: q_output positive.
+  EXPECT_GT(m.q_output, 1e-16);
+}
+
+TEST(Characterize, OutputChargeMatchesLoad) {
+  // q_output ~ (C_load + parasitics) * VCC; check against the known FO4
+  // load input capacitance within a loose band.
+  auto spec = baseline_spec();
+  const TransitionMetrics m = characterize_inverter(spec);
+  softfet::sim::Circuit probe;
+  auto* nm = probe.add<sd::Mosfet>("n", probe.node("d"), probe.node("g"),
+                                   softfet::sim::kGroundNode,
+                                   softfet::sim::kGroundNode, t40::nmos(),
+                                   t40::min_nmos_dims());
+  auto* pm = probe.add<sd::Mosfet>("p", probe.node("d"), probe.node("g"),
+                                   softfet::sim::kGroundNode,
+                                   softfet::sim::kGroundNode, t40::pmos(),
+                                   t40::min_pmos_dims());
+  const double c_fo4 =
+      4.0 * (nm->gate_capacitance() + pm->gate_capacitance());
+  EXPECT_GT(m.q_output, 0.7 * c_fo4 * spec.vcc);
+  EXPECT_LT(m.q_output, 3.0 * c_fo4 * spec.vcc);
+}
+
+TEST(Characterize, SlowVariantGetsStretchedWindow) {
+  // A huge series resistance makes the transition far slower than the
+  // default stop-time heuristic; the retry loop must still complete it.
+  auto spec = baseline_spec();
+  spec.dut.gate_series_r = 2e6;
+  const TransitionMetrics m = characterize_inverter(spec);
+  EXPECT_GT(m.delay, 100e-12);  // very slow
+  EXPECT_GT(m.q_output, 1e-15);  // but the transition completed
+}
+
+TEST(Characterize, LowVccStillMeasures) {
+  auto spec = baseline_spec();
+  spec.vcc = 0.5;
+  spec.dut.nmos_model = t40::nmos(t40::kVtHvt);
+  spec.dut.pmos_model = t40::pmos(t40::kVtHvt);
+  const TransitionMetrics m = characterize_inverter(spec);
+  // HVT at half VCC: decades slower than nominal but still measurable.
+  EXPECT_GT(m.delay, 1e-9);
+}
+
+TEST(Characterize, EnergyScalesWithVccSquaredRoughly) {
+  auto spec = baseline_spec();
+  const TransitionMetrics at_1v = characterize_inverter(spec);
+  spec.vcc = 0.8;
+  const TransitionMetrics at_08 = characterize_inverter(spec);
+  const double ratio = at_08.energy / at_1v.energy;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.9);  // ~0.64 expected from CV^2
+}

@@ -1,0 +1,96 @@
+// Iso-I_MAX study: calibration machinery and paper Fig. 5 trends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/iso_imax.hpp"
+#include "devices/ptm.hpp"
+#include "util/error.hpp"
+
+namespace sd = softfet::devices;
+using softfet::core::IsoImaxSpec;
+using softfet::core::bisect_to_target;
+using softfet::core::run_iso_imax_study;
+
+TEST(Bisect, FindsRootOfIncreasingFunction) {
+  const double knob = bisect_to_target([](double x) { return x * x; }, 0.0,
+                                       10.0, 25.0, true, 1e-6);
+  EXPECT_NEAR(knob, 5.0, 1e-3);
+}
+
+TEST(Bisect, FindsRootOfDecreasingFunction) {
+  const double knob = bisect_to_target([](double x) { return 10.0 - x; }, 0.0,
+                                       10.0, 4.0, false, 1e-9);
+  EXPECT_NEAR(knob, 6.0, 1e-6);
+}
+
+TEST(Bisect, AcceptsMatchingEndpoint) {
+  const double knob = bisect_to_target([](double x) { return x; }, 5.0, 10.0,
+                                       5.0, true, 1e-3);
+  EXPECT_DOUBLE_EQ(knob, 5.0);
+}
+
+TEST(Bisect, ThrowsWhenNotBracketed) {
+  EXPECT_THROW((void)bisect_to_target([](double x) { return x; }, 0.0, 1.0,
+                                      5.0, true, 1e-6),
+               softfet::ConvergenceError);
+}
+
+TEST(IsoImax, RequiresSoftFetBase) {
+  IsoImaxSpec spec;  // no PTM set
+  EXPECT_THROW((void)run_iso_imax_study(spec), softfet::Error);
+}
+
+namespace {
+IsoImaxSpec quick_spec() {
+  IsoImaxSpec spec;
+  spec.base.input_transition = 30e-12;
+  spec.base.input_rising = false;
+  spec.base.dut.ptm = sd::PtmParams{};
+  spec.vcc_sweep = {0.6, 0.8, 1.0};  // keep the test fast
+  return spec;
+}
+}  // namespace
+
+TEST(IsoImax, CalibrationMatchesTargets) {
+  const auto result = run_iso_imax_study(quick_spec());
+  EXPECT_GT(result.target_imax, 10e-6);
+  // Knobs moved away from their trivial values.
+  EXPECT_GT(result.hvt_delta_vt, 0.02);
+  EXPECT_GT(result.series_r, 100.0);
+  EXPECT_GT(result.stack_width_mult, 0.1);
+  // Every calibrated variant hits the target at VCC = 1 within tolerance.
+  for (const char* name : {"hvt", "series-r", "stacked"}) {
+    const auto& curve = result.curves.at(name);
+    const auto& last = curve.back();  // vcc = 1.0
+    EXPECT_NEAR(last.i_max, result.target_imax, 0.06 * result.target_imax)
+        << name;
+  }
+}
+
+TEST(IsoImax, PaperFig5Trends) {
+  const auto result = run_iso_imax_study(quick_spec());
+  const auto& soft = result.curves.at("softfet");
+  const auto& hvt = result.curves.at("hvt");
+  const auto& base = result.curves.at("baseline");
+
+  // The Soft-FET cuts I_MAX versus the un-calibrated baseline at 1 V.
+  EXPECT_LT(soft.back().i_max, 0.75 * base.back().i_max);
+
+  // The paper's central claim: at low VCC the iso-I_MAX HVT variant's delay
+  // explodes (subthreshold operation) while the Soft-FET degrades mildly.
+  const double hvt_blowup = hvt.front().delay / hvt.back().delay;
+  const double soft_blowup = soft.front().delay / soft.back().delay;
+  EXPECT_GT(hvt_blowup, 3.0 * soft_blowup);
+  EXPECT_GT(hvt.front().delay, soft.front().delay);
+}
+
+TEST(IsoImax, DelayMonotoneInVcc) {
+  const auto result = run_iso_imax_study(quick_spec());
+  for (const auto& [name, curve] : result.curves) {
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      EXPECT_LE(curve[i].delay, curve[i - 1].delay * 1.05)
+          << name << " at vcc=" << curve[i].vcc;
+    }
+  }
+}

@@ -1,0 +1,97 @@
+// Design-space, T_PTM, slew, and ratio sweeps (paper Figs. 6, 8, 9, IV.E).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sweeps.hpp"
+#include "devices/ptm.hpp"
+#include "util/error.hpp"
+
+namespace sd = softfet::devices;
+namespace sc = softfet::core;
+
+namespace {
+softfet::cells::InverterTestbenchSpec soft_base() {
+  softfet::cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = sd::PtmParams{};
+  return spec;
+}
+}  // namespace
+
+TEST(Sweeps, RequireSoftFetBase) {
+  softfet::cells::InverterTestbenchSpec plain;
+  EXPECT_THROW((void)sc::sweep_vimt_vmit(plain, {0.4}, {0.1}), softfet::Error);
+  EXPECT_THROW((void)sc::sweep_tptm(plain, {1e-12}), softfet::Error);
+  EXPECT_THROW((void)sc::sweep_slew(plain, {1e-12}), softfet::Error);
+  EXPECT_THROW((void)sc::sweep_slew_tptm_ratio(plain, {1e-12}, {1e-12}),
+               softfet::Error);
+}
+
+TEST(Sweeps, DesignSpaceSkipsInfeasiblePoints) {
+  const auto points =
+      sc::sweep_vimt_vmit(soft_base(), {0.2, 0.4}, {0.1, 0.3});
+  // (0.2, 0.3) infeasible -> 3 points remain.
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) EXPECT_LT(p.v_mit, p.v_imt);
+}
+
+TEST(Sweeps, TransitionCountDecreasesWithVimt) {
+  // Paper Fig. 6 mechanism: lower V_IMT thresholds re-fire more often.
+  const auto points = sc::sweep_vimt_vmit(
+      soft_base(), {0.25, 0.35, 0.45, 0.55}, {0.2});
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_GE(points.front().metrics.imt_count,
+            points.back().metrics.imt_count);
+  EXPECT_GE(points.front().metrics.imt_count, 2);
+}
+
+TEST(Sweeps, DidtGrowsWithVimt) {
+  // Paper Fig. 6: max di/dt increases with V_IMT (single bigger jump).
+  const auto points =
+      sc::sweep_vimt_vmit(soft_base(), {0.25, 0.55}, {0.2});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points.back().metrics.max_didt,
+            points.front().metrics.max_didt);
+}
+
+TEST(Sweeps, TptmSweepShapes) {
+  const auto points = sc::sweep_tptm(
+      soft_base(), {2e-12, 10e-12, 50e-12, 150e-12});
+  ASSERT_EQ(points.size(), 4u);
+  // Very large T_PTM behaves like a slow constant-R gate: delay grows.
+  EXPECT_GT(points.back().metrics.delay, points[1].metrics.delay);
+  // All points still switch.
+  for (const auto& p : points) EXPECT_GE(p.metrics.imt_count, 1);
+}
+
+TEST(Sweeps, SlewSweepReductionShrinksWithSlowerInput) {
+  // Paper Fig. 9: soft switching vanishes as the input slows.
+  const auto points =
+      sc::sweep_slew(soft_base(), {10e-12, 30e-12, 300e-12});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GT(points[0].imax_reduction_pct(), 25.0);
+  EXPECT_GT(points[0].imax_reduction_pct(), points[2].imax_reduction_pct());
+  // Baseline metrics come from the PTM-free twin.
+  EXPECT_EQ(points[0].baseline.imt_count, 0);
+}
+
+TEST(Sweeps, RatioSweepFindsPaperWindow) {
+  // Paper IV.E: best operation near slew/T_PTM of 1.5-3.
+  const auto points = sc::sweep_slew_tptm_ratio(
+      soft_base(), {15e-12, 30e-12, 60e-12}, {5e-12, 10e-12, 20e-12});
+  ASSERT_EQ(points.size(), 9u);
+  // The best I_MAX reduction in the grid sits at a ratio in [1, 6].
+  const auto best = std::max_element(
+      points.begin(), points.end(), [](const auto& a, const auto& b) {
+        return a.imax_reduction_pct < b.imax_reduction_pct;
+      });
+  EXPECT_GE(best->ratio, 0.75);
+  EXPECT_LE(best->ratio, 12.0);
+  EXPECT_GT(best->imax_reduction_pct, 20.0);
+  // Ratios are self-consistent.
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.ratio, p.slew / p.t_ptm, 1e-9);
+  }
+}

@@ -1,0 +1,92 @@
+// PTM sensitivity and Monte-Carlo variability analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/variation.hpp"
+#include "devices/ptm.hpp"
+#include "util/error.hpp"
+
+namespace sc = softfet::core;
+namespace sd = softfet::devices;
+
+namespace {
+softfet::cells::InverterTestbenchSpec soft_base() {
+  softfet::cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = sd::PtmParams{};
+  return spec;
+}
+}  // namespace
+
+TEST(Sensitivity, RequiresSoftFetAndSaneDelta) {
+  softfet::cells::InverterTestbenchSpec plain;
+  EXPECT_THROW((void)sc::ptm_sensitivity(plain), softfet::Error);
+  EXPECT_THROW((void)sc::ptm_sensitivity(soft_base(), 0.0), softfet::Error);
+  EXPECT_THROW((void)sc::ptm_sensitivity(soft_base(), 0.6), softfet::Error);
+}
+
+TEST(Sensitivity, CoversAllFiveParameters) {
+  const auto rows = sc::ptm_sensitivity(soft_base(), 0.05);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].parameter, "r_ins");
+  EXPECT_EQ(rows[2].parameter, "v_imt");
+  EXPECT_EQ(rows[4].parameter, "t_ptm");
+  for (const auto& row : rows) {
+    EXPECT_GT(row.nominal, 0.0);
+    EXPECT_TRUE(std::isfinite(row.imax_sensitivity));
+    EXPECT_TRUE(std::isfinite(row.didt_sensitivity));
+    EXPECT_TRUE(std::isfinite(row.delay_sensitivity));
+  }
+}
+
+TEST(Sensitivity, ThresholdsMatterMoreThanNothing) {
+  // The design-space study showed V_MIT moves I_MAX strongly; its
+  // sensitivity must be clearly nonzero.
+  const auto rows = sc::ptm_sensitivity(soft_base(), 0.10);
+  double v_mit_sens = 0.0;
+  for (const auto& row : rows) {
+    if (row.parameter == "v_mit") v_mit_sens = std::fabs(row.imax_sensitivity);
+  }
+  EXPECT_GT(v_mit_sens, 0.05);
+}
+
+TEST(MonteCarlo, StatisticsAreSane) {
+  sc::MonteCarloSpec mc;
+  mc.samples = 24;  // keep the test quick
+  const auto stats = sc::ptm_monte_carlo(soft_base(), mc);
+  EXPECT_EQ(stats.samples, 24);
+  EXPECT_GT(stats.imax_mean, 20e-6);
+  EXPECT_LT(stats.imax_mean, 200e-6);
+  EXPECT_GT(stats.imax_std, 0.0);
+  EXPECT_GE(stats.imax_worst, stats.imax_mean);
+  EXPECT_GT(stats.delay_mean, 0.0);
+  EXPECT_GE(stats.fraction_below_baseline, 0.0);
+  EXPECT_LE(stats.fraction_below_baseline, 1.0);
+}
+
+TEST(MonteCarlo, Reproducible) {
+  sc::MonteCarloSpec mc;
+  mc.samples = 8;
+  mc.seed = 42;
+  const auto a = sc::ptm_monte_carlo(soft_base(), mc);
+  const auto b = sc::ptm_monte_carlo(soft_base(), mc);
+  EXPECT_DOUBLE_EQ(a.imax_mean, b.imax_mean);
+  EXPECT_DOUBLE_EQ(a.delay_std, b.delay_std);
+}
+
+TEST(MonteCarlo, MostSamplesKeepTheBenefit) {
+  sc::MonteCarloSpec mc;
+  mc.samples = 32;
+  const auto stats = sc::ptm_monte_carlo(soft_base(), mc);
+  // With 5-15% spreads the Soft-FET advantage should survive in nearly all
+  // samples (the paper's benefit is not knife-edge).
+  EXPECT_GT(stats.fraction_below_baseline, 0.85);
+}
+
+TEST(MonteCarlo, RejectsTinySampleCount) {
+  sc::MonteCarloSpec mc;
+  mc.samples = 1;
+  EXPECT_THROW((void)sc::ptm_monte_carlo(soft_base(), mc), softfet::Error);
+}

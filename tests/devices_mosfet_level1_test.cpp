@@ -1,0 +1,100 @@
+// Smoothed Level-1 (Shichman-Hodges) model option.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/mosfet.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "devices/tech40.hpp"
+#include "sim/analyses.hpp"
+
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+namespace t40 = softfet::devices::tech40;
+
+namespace {
+sd::MosfetModel level1() {
+  auto m = t40::nmos();
+  m.level = sd::MosfetLevel::kSquareLaw;
+  return m;
+}
+}  // namespace
+
+TEST(MosfetLevel1, QuadraticInSaturation) {
+  const auto m = level1();
+  const auto dims = t40::min_nmos_dims();
+  // Deep saturation (vds = 1 >> vov), lambda contributes a fixed factor.
+  const auto at = [&](double vgs) {
+    return sd::mosfet_evaluate(m, dims, vgs, 1.0).id;
+  };
+  const double i1 = at(m.vt0 + 0.2);
+  const double i2 = at(m.vt0 + 0.4);
+  EXPECT_NEAR(i2 / i1, 4.0, 0.15);  // I ~ vov^2
+}
+
+TEST(MosfetLevel1, LinearInDeepTriode) {
+  const auto m = level1();
+  const auto dims = t40::min_nmos_dims();
+  const double i1 = sd::mosfet_evaluate(m, dims, 1.0, 0.02).id;
+  const double i2 = sd::mosfet_evaluate(m, dims, 1.0, 0.04).id;
+  EXPECT_NEAR(i2 / i1, 2.0, 0.1);  // I ~ vds for vds << vov
+}
+
+TEST(MosfetLevel1, EssentiallyNoSubthresholdCurrent) {
+  const auto m = level1();
+  const auto dims = t40::min_nmos_dims();
+  const double off = sd::mosfet_evaluate(m, dims, 0.0, 1.0).id;
+  const double ekv_off =
+      sd::mosfet_evaluate(t40::nmos(), dims, 0.0, 1.0).id;
+  // The smoothed cutoff leaks far less than the EKV exponential tail.
+  EXPECT_LT(off, 0.01 * ekv_off);
+}
+
+TEST(MosfetLevel1, DerivativesMatchFiniteDifferences) {
+  const auto m = level1();
+  const auto dims = t40::min_nmos_dims();
+  const double h = 1e-7;
+  for (const double vgs : {0.3, 0.5, 0.9}) {
+    for (const double vds : {0.05, 0.4, 1.0}) {
+      const auto op = sd::mosfet_evaluate(m, dims, vgs, vds);
+      const auto dg = sd::mosfet_evaluate(m, dims, vgs + h, vds);
+      const auto dd = sd::mosfet_evaluate(m, dims, vgs, vds + h);
+      EXPECT_NEAR(op.gm, (dg.id - op.id) / h,
+                  3e-3 * std::max((dg.id - op.id) / h, 1e-9));
+      EXPECT_NEAR(op.gds, (dd.id - op.id) / h,
+                  3e-3 * std::max((dd.id - op.id) / h, 1e-9));
+    }
+  }
+}
+
+TEST(MosfetLevel1, AgreesWithEkvInStrongInversionOrder) {
+  // Not identical models, but the same card should land within ~2x in
+  // strong inversion (EKV carries mobility reduction; Level-1 does not).
+  const auto dims = t40::min_nmos_dims();
+  const double l1 = sd::mosfet_evaluate(level1(), dims, 1.0, 1.0).id;
+  const double ekv = sd::mosfet_evaluate(t40::nmos(), dims, 1.0, 1.0).id;
+  EXPECT_GT(l1 / ekv, 0.5);
+  EXPECT_LT(l1 / ekv, 5.0);
+}
+
+TEST(MosfetLevel1, InverterConvergesInNewton) {
+  // The smoothed cutoffs must keep the DC sweep convergent.
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode, sd::SourceSpec::dc(0.0));
+  auto pm = t40::pmos();
+  pm.level = sd::MosfetLevel::kSquareLaw;
+  c.add<sd::Mosfet>("MP", out, in, vdd, vdd, pm, t40::min_pmos_dims());
+  c.add<sd::Mosfet>("MN", out, in, ss::kGroundNode, ss::kGroundNode,
+                    level1(), t40::min_nmos_dims());
+  std::vector<double> vin;
+  for (int i = 0; i <= 20; ++i) vin.push_back(i * 0.05);
+  const auto sweep = ss::dc_sweep(c, "Vin", vin);
+  const auto& vout = sweep.table.signal("v(out)");
+  EXPECT_NEAR(vout.front(), 1.0, 1e-2);
+  EXPECT_NEAR(vout.back(), 0.0, 1e-2);
+}

@@ -1,0 +1,179 @@
+// EKV MOSFET model: characteristics, derivative consistency, polarity
+// mirroring, and inverter behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/capacitor.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "devices/tech40.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace ss = softfet::sim;
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+using softfet::measure::Waveform;
+
+TEST(MosfetModel, OnCurrentInRealisticRange) {
+  const auto op = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 1.0, 1.0);
+  // ~1 mA/um class: 120nm device => on the order of 100 uA.
+  EXPECT_GT(op.id, 50e-6);
+  EXPECT_LT(op.id, 400e-6);
+}
+
+TEST(MosfetModel, OffCurrentSmall) {
+  const auto op = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.0, 1.0);
+  EXPECT_GT(op.id, 0.0);
+  EXPECT_LT(op.id, 10e-9);
+  const auto on = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 1.0, 1.0);
+  EXPECT_GT(on.id / op.id, 1e4);  // healthy Ion/Ioff
+}
+
+TEST(MosfetModel, SubthresholdSlopeNearTheory) {
+  // S = n * Vt * ln(10) ~ 80 mV/dec for n = 1.35.
+  const auto lo = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.10, 1.0);
+  const auto hi = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.20, 1.0);
+  const double decades = std::log10(hi.id / lo.id);
+  const double swing_mv = 100.0 / decades;
+  EXPECT_NEAR(swing_mv, 1.35 * 0.02585 * std::log(10.0) * 1e3, 6.0);
+}
+
+TEST(MosfetModel, ZeroVdsZeroCurrent) {
+  const auto op = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.8, 0.0);
+  EXPECT_NEAR(op.id, 0.0, 1e-15);
+}
+
+TEST(MosfetModel, AntisymmetricInVds) {
+  const auto fwd = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.8, 0.3);
+  // Swapping source and drain: vgs' = vgs - vds, vds' = -vds.
+  const auto rev = sd::mosfet_evaluate(t40::nmos(), t40::min_nmos_dims(), 0.5, -0.3);
+  EXPECT_NEAR(rev.id, -fwd.id, 1e-12);
+}
+
+TEST(MosfetModel, DerivativesMatchFiniteDifference) {
+  const auto dims = t40::min_nmos_dims();
+  const auto model = t40::nmos();
+  const double h = 1e-6;
+  for (const double vgs : {0.2, 0.4, 0.7, 1.0}) {
+    for (const double vds : {-0.5, 0.05, 0.5, 1.0}) {
+      const auto op = sd::mosfet_evaluate(model, dims, vgs, vds);
+      const auto gp = sd::mosfet_evaluate(model, dims, vgs + h, vds);
+      const auto gm_fd = (gp.id - op.id) / h;
+      const auto dp = sd::mosfet_evaluate(model, dims, vgs, vds + h);
+      const auto gds_fd = (dp.id - op.id) / h;
+      const double scale = std::max(std::fabs(op.gm), 1e-9);
+      EXPECT_NEAR(op.gm, gm_fd, 1e-3 * scale) << vgs << "," << vds;
+      EXPECT_NEAR(op.gds, gds_fd,
+                  1e-3 * std::max(std::fabs(op.gds), 1e-9))
+          << vgs << "," << vds;
+    }
+  }
+}
+
+TEST(MosfetModel, ContinuousAcrossVdsZero) {
+  const auto dims = t40::min_nmos_dims();
+  const auto model = t40::nmos();
+  const auto just_pos = sd::mosfet_evaluate(model, dims, 0.8, 1e-9);
+  const auto just_neg = sd::mosfet_evaluate(model, dims, 0.8, -1e-9);
+  EXPECT_NEAR(just_pos.id, -just_neg.id, 1e-12);
+  EXPECT_NEAR(just_pos.gds, just_neg.gds, 1e-6 * just_pos.gds);
+}
+
+TEST(MosfetModel, HigherVtLowersCurrent) {
+  const auto svt = sd::mosfet_evaluate(t40::nmos(t40::kVtSvt),
+                                       t40::min_nmos_dims(), 1.0, 1.0);
+  const auto hvt = sd::mosfet_evaluate(t40::nmos(t40::kVtHvt),
+                                       t40::min_nmos_dims(), 1.0, 1.0);
+  EXPECT_LT(hvt.id, svt.id);
+  // At low VCC the HVT penalty explodes (paper Fig. 5 mechanism).
+  const auto svt_low = sd::mosfet_evaluate(t40::nmos(t40::kVtSvt),
+                                           t40::min_nmos_dims(), 0.5, 0.5);
+  const auto hvt_low = sd::mosfet_evaluate(t40::nmos(t40::kVtHvt),
+                                           t40::min_nmos_dims(), 0.5, 0.5);
+  EXPECT_GT(svt.id / hvt.id, 1.0);
+  EXPECT_GT(svt_low.id / hvt_low.id, svt.id / hvt.id);
+}
+
+TEST(MosfetDevice, NmosCommonSourceOp) {
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto g = c.node("g");
+  const auto d = c.node("d");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::VSource>("Vg", g, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::Resistor>("RL", vdd, d, 5e3);
+  c.add<sd::Mosfet>("M1", d, g, ss::kGroundNode, ss::kGroundNode, t40::nmos(),
+                    t40::min_nmos_dims());
+  const auto op = ss::dc_operating_point(c);
+  // Transistor on: drain pulled low.
+  EXPECT_LT(op.voltage("d"), 0.5);
+  EXPECT_GT(op.voltage("d"), 0.0);
+}
+
+TEST(MosfetDevice, PmosMirror) {
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto d = c.node("d");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  // PMOS source at vdd, gate grounded (on), drain through load to ground.
+  c.add<sd::Mosfet>("M1", d, ss::kGroundNode, vdd, vdd, t40::pmos(),
+                    t40::min_pmos_dims());
+  c.add<sd::Resistor>("RL", d, ss::kGroundNode, 5e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_GT(op.voltage("d"), 0.5);  // pulled toward vdd
+}
+
+TEST(MosfetDevice, InverterVtcIsMonotoneAndFullSwing) {
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode, sd::SourceSpec::dc(0.0));
+  c.add<sd::Mosfet>("MP", out, in, vdd, vdd, t40::pmos(), t40::min_pmos_dims());
+  c.add<sd::Mosfet>("MN", out, in, ss::kGroundNode, ss::kGroundNode,
+                    t40::nmos(), t40::min_nmos_dims());
+  std::vector<double> vin_values;
+  for (int i = 0; i <= 40; ++i) vin_values.push_back(i * 0.025);
+  const auto sweep = ss::dc_sweep(c, "Vin", vin_values);
+  const auto& vout = sweep.table.signal("v(out)");
+  EXPECT_NEAR(vout.front(), 1.0, 1e-3);
+  EXPECT_NEAR(vout.back(), 0.0, 1e-3);
+  for (std::size_t i = 1; i < vout.size(); ++i) {
+    EXPECT_LE(vout[i], vout[i - 1] + 1e-6);  // monotone falling
+  }
+  // Switching threshold near mid-rail (balanced sizing).
+  const Waveform vtc = Waveform::from_sweep(sweep, "v(out)");
+  const double vm = vtc.first_crossing(0.5, softfet::measure::CrossDirection::kFalling, 0.0);
+  EXPECT_NEAR(vm, 0.5, 0.1);
+}
+
+TEST(MosfetDevice, GateCapacitanceIsFemtofarads) {
+  ss::Circuit c;
+  auto* m = c.add<sd::Mosfet>("M1", c.node("d"), c.node("g"), ss::kGroundNode,
+                              ss::kGroundNode, t40::nmos(),
+                              t40::min_nmos_dims());
+  EXPECT_GT(m->gate_capacitance(), 0.05e-15);
+  EXPECT_LT(m->gate_capacitance(), 2e-15);
+}
+
+TEST(MosfetDevice, InverterTransientSwitches) {
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 100e-12, 30e-12));
+  c.add<sd::Mosfet>("MP", out, in, vdd, vdd, t40::pmos(), t40::min_pmos_dims());
+  c.add<sd::Mosfet>("MN", out, in, ss::kGroundNode, ss::kGroundNode,
+                    t40::nmos(), t40::min_nmos_dims());
+  c.add<sd::Capacitor>("CL", out, ss::kGroundNode, 2e-15);
+  const auto result = ss::run_transient(c, 1e-9);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  EXPECT_NEAR(vout.value(50e-12), 1.0, 0.05);   // before edge
+  EXPECT_NEAR(vout.value(0.9e-9), 0.0, 0.05);   // after edge
+}

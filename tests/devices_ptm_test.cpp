@@ -1,0 +1,224 @@
+// PTM hysteretic resistor: resistance law, DC hysteresis loop (paper
+// Fig. 2), and soft (staircase) capacitor charging (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/capacitor.hpp"
+#include "devices/ptm.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+
+namespace ss = softfet::sim;
+namespace sd = softfet::devices;
+using sd::Ptm;
+using sd::PtmParams;
+using softfet::measure::Waveform;
+
+TEST(PtmParams, ValidateRejectsNonsense) {
+  PtmParams p;
+  p.r_met = p.r_ins;  // not less
+  EXPECT_THROW(p.validate(), softfet::InvalidCircuitError);
+  p = PtmParams{};
+  p.v_mit = p.v_imt;
+  EXPECT_THROW(p.validate(), softfet::InvalidCircuitError);
+  p = PtmParams{};
+  p.t_ptm = 0.0;
+  EXPECT_THROW(p.validate(), softfet::InvalidCircuitError);
+  EXPECT_NO_THROW(PtmParams{}.validate());
+}
+
+TEST(PtmParams, DerivedCurrentThresholds) {
+  const PtmParams p;
+  EXPECT_DOUBLE_EQ(p.i_imt(), p.v_imt / p.r_ins);
+  EXPECT_DOUBLE_EQ(p.i_mit(), p.v_mit / p.r_met);
+}
+
+TEST(Ptm, ResistanceInterpolationLaws) {
+  PtmParams p;  // default law: linear
+  EXPECT_NEAR(Ptm::resistance_at(p, 0.0), p.r_ins, 1e-6 * p.r_ins);
+  EXPECT_NEAR(Ptm::resistance_at(p, 1.0), p.r_met, 1e-6 * p.r_met);
+  EXPECT_NEAR(Ptm::resistance_at(p, 0.5), 0.5 * (p.r_ins + p.r_met), 1.0);
+  p.law = sd::PtmResistanceLaw::kLogarithmic;
+  EXPECT_NEAR(Ptm::resistance_at(p, 0.0), p.r_ins, 1e-6 * p.r_ins);
+  EXPECT_NEAR(Ptm::resistance_at(p, 1.0), p.r_met, 1e-6 * p.r_met);
+  EXPECT_NEAR(Ptm::resistance_at(p, 0.5), std::sqrt(p.r_ins * p.r_met), 1e-3);
+}
+
+namespace {
+
+/// V source -> series R -> PTM to ground: the paper's Fig. 2 test setup.
+struct PtmIvFixture {
+  ss::Circuit circuit;
+  Ptm* ptm = nullptr;
+
+  explicit PtmIvFixture(double r_series = 1e3,
+                        const PtmParams& params = PtmParams{}) {
+    const auto in = circuit.node("in");
+    const auto mid = circuit.node("mid");
+    circuit.add<sd::VSource>("Vs", in, ss::kGroundNode, sd::SourceSpec::dc(0.0));
+    circuit.add<sd::Resistor>("Rs", in, mid, r_series);
+    ptm = circuit.add<Ptm>("P1", mid, ss::kGroundNode, params);
+  }
+};
+
+}  // namespace
+
+TEST(Ptm, DcHysteresisLoop) {
+  PtmIvFixture f;
+
+  // Sweep up past the IMT trigger and back down: states must differ at the
+  // same bias (hysteresis).
+  std::vector<double> up;
+  std::vector<double> down;
+  for (int i = 0; i <= 60; ++i) up.push_back(i * 0.02);          // 0 -> 1.2
+  for (int i = 60; i >= 0; --i) down.push_back(i * 0.02);        // 1.2 -> 0
+
+  std::vector<double> all = up;
+  all.insert(all.end(), down.begin(), down.end());
+  const auto sweep = ss::dc_sweep(f.circuit, "Vs", all);
+  const auto& v_mid = sweep.table.signal("v(mid)");
+  const auto& s_phase = sweep.table.signal("s(p1)");
+
+  // Early in the up sweep: insulating.
+  EXPECT_DOUBLE_EQ(s_phase[5], 0.0);
+  // At full bias: metallic (1k series + 500k ins: v_mid hits 0.4 when
+  // Vs ~ 0.4008).
+  EXPECT_DOUBLE_EQ(s_phase[60], 1.0);
+  // On the way down at the same Vs where the up-sweep was insulating, the
+  // device can still be metallic: check a mid bias point.
+  const std::size_t up_idx = 19;            // Vs = 0.38 going up
+  const std::size_t down_idx = all.size() - 1 - up_idx;  // Vs = 0.38 going down
+  EXPECT_DOUBLE_EQ(s_phase[up_idx], 0.0);
+  EXPECT_DOUBLE_EQ(s_phase[down_idx], 1.0);
+  // Metallic branch pulls v_mid visibly lower (divider with the series R).
+  EXPECT_LT(v_mid[down_idx], v_mid[up_idx] - 0.04);
+  EXPECT_GE(f.ptm->imt_count(), 1);
+  EXPECT_GE(f.ptm->mit_count(), 1);
+}
+
+TEST(Ptm, DcTransitionAtExpectedBias) {
+  PtmIvFixture f(1e3);
+  const PtmParams p = f.ptm->params();
+  // v_mid = Vs * r_ins/(r_ins + 10k); IMT when v_mid = v_imt
+  const double vs_trigger = p.v_imt * (p.r_ins + 1e3) / p.r_ins;
+  std::vector<double> values;
+  for (double v = 0.0; v <= 0.5; v += 0.002) values.push_back(v);
+  const auto sweep = ss::dc_sweep(f.circuit, "Vs", values);
+  const auto& s_phase = sweep.table.signal("s(p1)");
+  // Find first metallic point.
+  std::size_t first_met = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (s_phase[i] == 1.0) {
+      first_met = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_met, values.size());
+  EXPECT_NEAR(values[first_met], vs_trigger, 0.01);
+}
+
+TEST(Ptm, SoftChargingStaircase) {
+  // Paper Fig. 3: ramp -> PTM -> capacitor exhibits staircase charging with
+  // multiple IMT/MIT pairs.
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto vc = c.node("vc");
+  PtmParams p;
+  p.v_imt = 0.3;  // lower threshold encourages multiple transitions
+  p.v_mit = 0.15;
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 20e-12, 30e-12));
+  auto* ptm = c.add<Ptm>("P1", in, vc, p);
+  c.add<sd::Capacitor>("C1", vc, ss::kGroundNode, 0.5e-15);
+
+  const auto result = ss::run_transient(c, 2e-9);
+  const Waveform v_cap = Waveform::from_tran(result, "v(vc)");
+
+  // The cap eventually reaches the rail.
+  EXPECT_NEAR(v_cap.value(2e-9), 1.0, 0.02);
+  // Multiple transitions occurred (staircase).
+  EXPECT_GE(ptm->imt_count(), 1);
+  EXPECT_GE(ptm->mit_count(), 1);
+  EXPECT_GE(result.event_count, 2u);
+  // Voltage across PTM never exceeded V_IMT by much (event resolution).
+  const Waveform v_in = Waveform::from_tran(result, "v(in)");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < v_in.size(); ++i) {
+    worst = std::max(worst, v_in.y()[i] - v_cap.y()[i]);
+  }
+  // Finite T_PTM lets the voltage overshoot during the transition, but it
+  // must stay bounded well below the full rail swing.
+  EXPECT_LT(worst, p.v_imt + 0.3);
+  EXPECT_GT(worst, p.v_imt);  // the threshold was actually reached
+}
+
+TEST(Ptm, StaircaseIsMonotoneForRisingRamp) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto vc = c.node("vc");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 10e-12, 30e-12));
+  c.add<Ptm>("P1", in, vc, PtmParams{});
+  c.add<sd::Capacitor>("C1", vc, ss::kGroundNode, 0.5e-15);
+  const auto result = ss::run_transient(c, 1e-9);
+  const auto& y = result.table.signal("v(vc)");
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    EXPECT_GE(y[i], y[i - 1] - 1e-4);
+  }
+}
+
+TEST(Ptm, SlowRampNoTransition) {
+  // If the input rises much slower than R_INS*C, the cap tracks and the
+  // PTM never fires (paper Section IV.D mechanism).
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto vc = c.node("vc");
+  auto* ptm = c.add<Ptm>("P1", in, vc, PtmParams{});
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 0.0, 100e-9));
+  c.add<sd::Capacitor>("C1", vc, ss::kGroundNode, 0.5e-15);
+  // tau_ins = 500k * 0.5f = 0.25 ns << 100 ns ramp: v across stays tiny.
+  const auto result = ss::run_transient(c, 150e-9);
+  EXPECT_EQ(ptm->imt_count(), 0);
+  EXPECT_EQ(result.event_count, 0u);
+  const Waveform v_cap = Waveform::from_tran(result, "v(vc)");
+  EXPECT_NEAR(v_cap.value(150e-9), 1.0, 0.01);
+}
+
+TEST(Ptm, FallingRampStaircasesDown) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto vc = c.node("vc");
+  auto* ptm = c.add<Ptm>("P1", in, vc, PtmParams{});
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(1.0, 0.0, 50e-12, 30e-12));
+  c.add<sd::Capacitor>("C1", vc, ss::kGroundNode, 0.5e-15);
+  const auto result = ss::run_transient(c, 2e-9);
+  const Waveform v_cap = Waveform::from_tran(result, "v(vc)");
+  EXPECT_NEAR(v_cap.value(0.0), 1.0, 1e-3);   // starts charged (DC op)
+  EXPECT_NEAR(v_cap.value(2e-9), 0.0, 0.02);  // fully discharged
+  EXPECT_GE(ptm->imt_count(), 1);
+}
+
+TEST(Ptm, ProbesExposePhaseAndResistance) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode, sd::SourceSpec::dc(0.1));
+  c.add<Ptm>("P1", in, ss::kGroundNode, PtmParams{});
+  const auto op = ss::dc_operating_point(c);
+  (void)op;
+  ss::Circuit c2;  // transient probe signals present
+  const auto in2 = c2.node("in");
+  c2.add<sd::VSource>("Vin", in2, ss::kGroundNode, sd::SourceSpec::dc(0.1));
+  c2.add<Ptm>("P1", in2, ss::kGroundNode, PtmParams{});
+  const auto tr = ss::run_transient(c2, 1e-10);
+  EXPECT_TRUE(tr.table.has("i(p1)"));
+  EXPECT_TRUE(tr.table.has("r(p1)"));
+  EXPECT_TRUE(tr.table.has("s(p1)"));
+  const auto& r = tr.table.signal("r(p1)");
+  EXPECT_NEAR(r.back(), PtmParams{}.r_ins, 1.0);
+}

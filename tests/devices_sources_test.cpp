@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "devices/sources.hpp"
+#include "sim/device.hpp"
+#include "util/error.hpp"
+
+namespace sd = softfet::devices;
+using sd::SourceSpec;
+
+TEST(SourceSpec, DcConstant) {
+  const auto s = SourceSpec::dc(1.5);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.value(1.0), 1.5);
+  EXPECT_EQ(s.next_breakpoint(0.0), softfet::sim::kNeverTime);
+}
+
+TEST(SourceSpec, PulseShape) {
+  // 0->1V, delay 1n, rise 2n, width 3n, fall 2n.
+  const auto s = SourceSpec::pulse(0.0, 1.0, 1e-9, 2e-9, 2e-9, 3e-9, 0.0);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(2e-9), 0.5);   // mid-rise
+  EXPECT_DOUBLE_EQ(s.value(3e-9), 1.0);   // top
+  EXPECT_DOUBLE_EQ(s.value(5e-9), 1.0);   // still high
+  EXPECT_DOUBLE_EQ(s.value(7e-9), 0.5);   // mid-fall
+  EXPECT_DOUBLE_EQ(s.value(9e-9), 0.0);   // back low
+}
+
+TEST(SourceSpec, PulsePeriodicRepeats) {
+  const auto s = SourceSpec::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 10e-9);
+  EXPECT_DOUBLE_EQ(s.value(0.5e-9), 0.5);
+  EXPECT_NEAR(s.value(10.5e-9), 0.5, 1e-9);  // next period
+  EXPECT_DOUBLE_EQ(s.value(25e-9), 0.0);    // between pulses? t_rel=5n: after fall
+}
+
+TEST(SourceSpec, PulseBreakpoints) {
+  const auto s = SourceSpec::pulse(0.0, 1.0, 1e-9, 2e-9, 2e-9, 3e-9, 0.0);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(1e-9), 3e-9);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(3e-9), 6e-9);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(6e-9), 8e-9);
+  EXPECT_EQ(s.next_breakpoint(8e-9), softfet::sim::kNeverTime);
+}
+
+TEST(SourceSpec, PeriodicPulseBreakpointsRepeat) {
+  const auto s = SourceSpec::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 10e-9);
+  // Inside period 1 the next corner after 3n is the next-period start (10n).
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(3e-9), 10e-9);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(10e-9), 11e-9);
+}
+
+TEST(SourceSpec, PwlAndRamp) {
+  const auto s = SourceSpec::ramp(1.0, 0.0, 100e-12, 30e-12);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(100e-12), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(115e-12), 0.5);
+  EXPECT_NEAR(s.value(130e-12), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.value(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(0.0), 100e-12);
+  EXPECT_DOUBLE_EQ(s.next_breakpoint(100e-12), 130e-12);
+}
+
+TEST(SourceSpec, Sine) {
+  const auto s = SourceSpec::sine(0.5, 0.5, 1e9);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.5);
+  EXPECT_NEAR(s.value(0.25e-9), 1.0, 1e-12);
+  EXPECT_NEAR(s.value(0.75e-9), 0.0, 1e-12);
+}
+
+TEST(SourceSpec, SetDcValueOverrides) {
+  auto s = SourceSpec::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 0.0);
+  s.set_dc_value(0.7);
+  EXPECT_TRUE(s.is_dc());
+  EXPECT_DOUBLE_EQ(s.value(0.5e-9), 0.7);
+}
+
+TEST(SourceSpec, NegativeTimingThrows) {
+  EXPECT_THROW(SourceSpec::pulse(0.0, 1.0, 0.0, -1e-9, 0.0, 0.0),
+               softfet::InvalidCircuitError);
+}

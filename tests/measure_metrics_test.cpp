@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/metrics.hpp"
+#include "util/error.hpp"
+
+namespace sm = softfet::measure;
+using sm::CrossDirection;
+using sm::Waveform;
+
+namespace {
+
+/// Linear edge from v0 to v1 between t0 and t1, held outside.
+Waveform edge(double v0, double v1, double t0, double t1) {
+  return Waveform({0.0, t0, t1, t1 + 1.0}, {v0, v0, v1, v1});
+}
+
+}  // namespace
+
+TEST(Metrics, PeakCurrentIsMagnitude) {
+  const Waveform i({0.0, 1.0, 2.0}, {0.0, -3e-3, 1e-3});
+  EXPECT_DOUBLE_EQ(sm::peak_current(i), 3e-3);
+}
+
+TEST(Metrics, MaxDidt) {
+  const Waveform i({0.0, 1e-9, 2e-9}, {0.0, 1e-3, 1e-3});
+  EXPECT_NEAR(sm::max_didt(i), 1e6, 1.0);
+}
+
+TEST(Metrics, PropagationDelayRisingOutput) {
+  // Inverter: input falls 1->0 over [10, 20] ns; output rises 0->1 over
+  // [18, 38] ns. Input 50% at 15ns; output 80% at 18 + 0.8*20 = 34 ns.
+  const auto in = edge(1.0, 0.0, 10e-9, 20e-9);
+  const auto out = edge(0.0, 1.0, 18e-9, 38e-9);
+  const double d = sm::propagation_delay(in, out, 0.0, 1.0, true);
+  EXPECT_NEAR(d, 34e-9 - 15e-9, 1e-12);
+}
+
+TEST(Metrics, PropagationDelayFallingOutput) {
+  // Input rises, output falls; 20% level at 0.2.
+  const auto in = edge(0.0, 1.0, 10e-9, 20e-9);
+  const auto out = edge(1.0, 0.0, 18e-9, 38e-9);
+  const double d = sm::propagation_delay(in, out, 0.0, 1.0, false);
+  // Output falls to 0.2 at 18 + 0.8*20 = 34 ns.
+  EXPECT_NEAR(d, 34e-9 - 15e-9, 1e-12);
+}
+
+TEST(Metrics, TransitionTime2080) {
+  const auto rising = edge(0.0, 1.0, 0.0, 10e-9);
+  EXPECT_NEAR(sm::transition_time(rising, 0.0, 1.0, true), 6e-9, 1e-12);
+  const auto falling = edge(1.0, 0.0, 0.0, 10e-9);
+  EXPECT_NEAR(sm::transition_time(falling, 0.0, 1.0, false), 6e-9, 1e-12);
+}
+
+TEST(Metrics, ChargeIntegralOfRectangle) {
+  const Waveform i({0.0, 1e-9, 1e-9, 2e-9, 2e-9, 3e-9},
+                   {0.0, 0.0, 2e-3, 2e-3, 0.0, 0.0});
+  EXPECT_NEAR(sm::charge(i, 0.0, 3e-9), 2e-12, 1e-18);
+  EXPECT_NEAR(sm::charge(i, 1e-9, 2e-9), 2e-12, 1e-18);
+}
+
+TEST(Metrics, DroopAndBounce) {
+  const Waveform rail({0.0, 1.0, 2.0, 3.0}, {1.0, 0.93, 1.04, 1.0});
+  EXPECT_NEAR(sm::worst_droop(rail, 1.0), 0.07, 1e-12);
+  EXPECT_NEAR(sm::worst_bounce(rail, 1.0), 0.07, 1e-12);
+  const Waveform calm({0.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(sm::worst_droop(calm, 1.0), 0.0);
+}
+
+TEST(Metrics, EnergyOfConstantPower) {
+  const Waveform v({0.0, 1.0}, {2.0, 2.0});
+  const Waveform i({0.0, 1.0}, {3.0, 3.0});
+  EXPECT_NEAR(sm::energy(v, i), 6.0, 1e-12);
+}
+
+TEST(Metrics, EnergyUsesOverlapOnly) {
+  const Waveform v({0.0, 2.0}, {1.0, 1.0});
+  const Waveform i({1.0, 3.0}, {1.0, 1.0});
+  EXPECT_NEAR(sm::energy(v, i), 1.0, 1e-12);  // overlap [1,2]
+}

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/waveform.hpp"
+#include "util/error.hpp"
+
+using softfet::measure::CrossDirection;
+using softfet::measure::Waveform;
+
+namespace {
+Waveform triangle() {
+  // 0 at t=0, 1 at t=1, 0 at t=2.
+  return Waveform({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+}
+}  // namespace
+
+TEST(Waveform, ValueInterpolatesAndClamps) {
+  const auto w = triangle();
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.value(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(5.0), 0.0);
+}
+
+TEST(Waveform, MinMaxPeak) {
+  const auto w = Waveform({0.0, 1.0, 2.0}, {-2.0, 1.0, 0.5});
+  EXPECT_DOUBLE_EQ(w.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(w.peak_magnitude(), 2.0);
+}
+
+TEST(Waveform, DerivativeOfTriangle) {
+  const auto d = triangle().derivative();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.y()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.y()[1], -1.0);
+  EXPECT_DOUBLE_EQ(triangle().max_abs_derivative(), 1.0);
+}
+
+TEST(Waveform, MaxAbsDerivativeMergesMicroSteps) {
+  // A glitch over 1e-15 s looks like a huge slope unless merged.
+  const Waveform w({0.0, 1e-9, 1e-9 + 1e-15, 2e-9},
+                   {0.0, 0.0, 1e-3, 1e-3});
+  EXPECT_GT(w.max_abs_derivative(0.0), 1e11);
+  EXPECT_LT(w.max_abs_derivative(10e-12), 1e9);
+}
+
+TEST(Waveform, IntegralOfTriangle) {
+  EXPECT_DOUBLE_EQ(triangle().integral(), 1.0);
+  EXPECT_DOUBLE_EQ(triangle().integral(0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(triangle().integral(0.5, 1.5), 0.75);
+  EXPECT_DOUBLE_EQ(triangle().integral(1.0, 0.0), 0.0);  // empty window
+}
+
+TEST(Waveform, Crossings) {
+  const auto w = triangle();
+  const auto rising = w.crossings(0.5, CrossDirection::kRising);
+  ASSERT_EQ(rising.size(), 1u);
+  EXPECT_DOUBLE_EQ(rising[0], 0.5);
+  const auto falling = w.crossings(0.5, CrossDirection::kFalling);
+  ASSERT_EQ(falling.size(), 1u);
+  EXPECT_DOUBLE_EQ(falling[0], 1.5);
+  EXPECT_EQ(w.crossings(0.5, CrossDirection::kEither).size(), 2u);
+  EXPECT_TRUE(w.crossings(2.0, CrossDirection::kEither).empty());
+}
+
+TEST(Waveform, FirstCrossingAfter) {
+  const auto w = triangle();
+  EXPECT_DOUBLE_EQ(w.first_crossing(0.5, CrossDirection::kEither, 1.0), 1.5);
+  EXPECT_THROW((void)w.first_crossing(0.5, CrossDirection::kRising, 1.0),
+               softfet::Error);
+  EXPECT_TRUE(w.has_crossing(0.5, CrossDirection::kFalling, 1.0));
+  EXPECT_FALSE(w.has_crossing(0.5, CrossDirection::kRising, 1.0));
+}
+
+TEST(Waveform, WindowInterpolatesEndpoints) {
+  const auto w = triangle().window(0.5, 1.5);
+  EXPECT_DOUBLE_EQ(w.t_begin(), 0.5);
+  EXPECT_DOUBLE_EQ(w.t_end(), 1.5);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(w.max_value(), 1.0);
+}
+
+TEST(Waveform, ScaledAppliesAffineMap) {
+  const auto w = triangle().scaled(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+}
+
+TEST(Waveform, MultiplyOnUnionGrid) {
+  const Waveform a({0.0, 2.0}, {1.0, 1.0});
+  const Waveform b({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  const auto p = Waveform::multiply(a, b);
+  EXPECT_DOUBLE_EQ(p.value(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.integral(), 1.0);
+}
+
+TEST(Waveform, ConstructionValidation) {
+  EXPECT_THROW(Waveform({0.0, 1.0}, {0.0}), softfet::Error);
+  EXPECT_THROW(Waveform({1.0, 0.0}, {0.0, 0.0}), softfet::Error);
+  EXPECT_NO_THROW(Waveform({0.0, 0.0}, {0.0, 1.0}));  // repeated t allowed
+}

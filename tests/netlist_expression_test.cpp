@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "netlist/expression.hpp"
+#include "util/error.hpp"
+
+using softfet::netlist::ParamScope;
+using softfet::netlist::evaluate_expression;
+
+namespace {
+ParamScope scope_with(std::initializer_list<std::pair<const char*, double>> kv) {
+  ParamScope s;
+  for (const auto& [k, v] : kv) s.set(k, v);
+  return s;
+}
+}  // namespace
+
+TEST(Expression, Arithmetic) {
+  const ParamScope s;
+  EXPECT_DOUBLE_EQ(evaluate_expression("1+2*3", s), 7.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("(1+2)*3", s), 9.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("10/4", s), 2.5);
+  EXPECT_DOUBLE_EQ(evaluate_expression("2^10", s), 1024.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("2^2^3", s), 256.0);  // right assoc
+  EXPECT_DOUBLE_EQ(evaluate_expression("-3 + 5", s), 2.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("--4", s), 4.0);
+}
+
+TEST(Expression, EngineeringSuffixes) {
+  const ParamScope s;
+  EXPECT_DOUBLE_EQ(evaluate_expression("500k + 1meg", s), 1.5e6);
+  EXPECT_DOUBLE_EQ(evaluate_expression("10p * 2", s), 20e-12);
+  EXPECT_DOUBLE_EQ(evaluate_expression("1e-9 + 1n", s), 2e-9);
+}
+
+TEST(Expression, Parameters) {
+  const auto s = scope_with({{"vcc", 1.0}, {"ratio", 0.4}});
+  EXPECT_DOUBLE_EQ(evaluate_expression("vcc/2", s), 0.5);
+  EXPECT_DOUBLE_EQ(evaluate_expression("vcc*ratio", s), 0.4);
+  EXPECT_TRUE(s.has("VCC"));  // case-insensitive
+  EXPECT_DOUBLE_EQ(s.get("VCC"), 1.0);
+}
+
+TEST(Expression, ScopeChain) {
+  const auto parent = scope_with({{"a", 1.0}, {"b", 2.0}});
+  ParamScope child(&parent);
+  child.set("b", 20.0);  // shadow
+  EXPECT_DOUBLE_EQ(evaluate_expression("a + b", child), 21.0);
+  EXPECT_FALSE(child.has("c"));
+}
+
+TEST(Expression, Functions) {
+  const ParamScope s;
+  EXPECT_DOUBLE_EQ(evaluate_expression("abs(-3)", s), 3.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("sqrt(16)", s), 4.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("min(2, 3)", s), 2.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("max(2, 3)", s), 3.0);
+  EXPECT_DOUBLE_EQ(evaluate_expression("pow(2, 8)", s), 256.0);
+  EXPECT_NEAR(evaluate_expression("exp(ln(5))", s), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(evaluate_expression("log10(1000)", s), 3.0);
+}
+
+TEST(Expression, Errors) {
+  const ParamScope s;
+  EXPECT_THROW((void)evaluate_expression("1 +", s), softfet::Error);
+  EXPECT_THROW((void)evaluate_expression("(1", s), softfet::Error);
+  EXPECT_THROW((void)evaluate_expression("foo", s), softfet::Error);
+  EXPECT_THROW((void)evaluate_expression("min(1)", s), softfet::Error);
+  EXPECT_THROW((void)evaluate_expression("1 2", s), softfet::Error);
+  EXPECT_THROW((void)evaluate_expression("nope(1)", s), softfet::Error);
+}

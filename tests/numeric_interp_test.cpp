@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "numeric/interp.hpp"
+#include "util/error.hpp"
+
+namespace sn = softfet::numeric;
+
+TEST(PwlCurve, InterpolatesAndClamps) {
+  const sn::PwlCurve curve({{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(curve.value(-1.0), 0.0);  // clamp left
+  EXPECT_DOUBLE_EQ(curve.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(curve.value(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(curve.value(9.0), 2.0);  // clamp right
+}
+
+TEST(PwlCurve, Slope) {
+  const sn::PwlCurve curve({{0.0, 0.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(curve.slope(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(curve.slope(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.slope(5.0), 0.0);
+}
+
+TEST(PwlCurve, RejectsUnsortedPoints) {
+  EXPECT_THROW(sn::PwlCurve({{1.0, 0.0}, {0.5, 1.0}}), softfet::Error);
+  EXPECT_THROW(sn::PwlCurve({{1.0, 0.0}, {1.0, 1.0}}), softfet::Error);
+}
+
+TEST(PwlCurve, EmptyIsZero) {
+  const sn::PwlCurve curve;
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.value(1.0), 0.0);
+}
+
+TEST(LerpSorted, Basic) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(sn::lerp_sorted(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(sn::lerp_sorted(xs, ys, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(sn::lerp_sorted(xs, ys, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sn::lerp_sorted(xs, ys, 3.0), 0.0);
+}
+
+TEST(LerpSorted, SizeMismatchThrows) {
+  EXPECT_THROW((void)sn::lerp_sorted({0.0}, {}, 0.0), softfet::Error);
+}

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/newton.hpp"
+#include "util/error.hpp"
+
+namespace sn = softfet::numeric;
+
+namespace {
+
+// F(x) = x^2 - 4 = 0, scalar.
+class Quadratic final : public sn::NonlinearSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 1; }
+  void load(const std::vector<double>& x, sn::SparseMatrix& jacobian,
+            std::vector<double>& residual) override {
+    residual[0] = x[0] * x[0] - 4.0;
+    jacobian.add(0, 0, 2.0 * x[0]);
+  }
+  [[nodiscard]] double abstol(std::size_t) const override { return 1e-12; }
+};
+
+// Coupled 2-D system: x0 + x1 = 3, x0 * x1 = 2 -> (1,2) or (2,1).
+class Coupled final : public sn::NonlinearSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 2; }
+  void load(const std::vector<double>& x, sn::SparseMatrix& jacobian,
+            std::vector<double>& residual) override {
+    residual[0] = x[0] + x[1] - 3.0;
+    residual[1] = x[0] * x[1] - 2.0;
+    jacobian.add(0, 0, 1.0);
+    jacobian.add(0, 1, 1.0);
+    jacobian.add(1, 0, x[1]);
+    jacobian.add(1, 1, x[0]);
+  }
+  [[nodiscard]] double abstol(std::size_t) const override { return 1e-12; }
+};
+
+// Exponential (diode-like) residual that benefits from step limiting:
+// F(x) = e^{10x} - 1 - 5.
+class StiffExponential final : public sn::NonlinearSystem {
+ public:
+  explicit StiffExponential(double limit) : limit_(limit) {}
+  [[nodiscard]] std::size_t size() const override { return 1; }
+  void load(const std::vector<double>& x, sn::SparseMatrix& jacobian,
+            std::vector<double>& residual) override {
+    residual[0] = std::exp(10.0 * x[0]) - 6.0;
+    jacobian.add(0, 0, 10.0 * std::exp(10.0 * x[0]));
+  }
+  [[nodiscard]] double abstol(std::size_t) const override { return 1e-14; }
+  [[nodiscard]] double max_step(std::size_t) const override { return limit_; }
+
+ private:
+  double limit_;
+};
+
+}  // namespace
+
+TEST(Newton, SolvesQuadratic) {
+  Quadratic system;
+  std::vector<double> x{3.0};
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_LT(result.iterations, 12);
+}
+
+TEST(Newton, FindsNegativeRootFromNegativeGuess) {
+  Quadratic system;
+  std::vector<double> x{-1.0};
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], -2.0, 1e-6);
+}
+
+TEST(Newton, SolvesCoupledSystem) {
+  Coupled system;
+  std::vector<double> x{0.5, 2.5};
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0] + x[1], 3.0, 1e-6);
+  EXPECT_NEAR(x[0] * x[1], 2.0, 1e-6);
+}
+
+TEST(Newton, StepLimitingTamesExponential) {
+  StiffExponential system(0.2);
+  std::vector<double> x{2.0};  // exp(20): wildly off
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(x[0], std::log(6.0) / 10.0, 1e-9);
+}
+
+TEST(Newton, ReportsNonConvergence) {
+  StiffExponential system(0.0);  // no limiting
+  sn::NewtonOptions options;
+  options.max_iterations = 3;  // not enough from a bad start
+  std::vector<double> x{5.0};
+  // Either throws (overflow detected) or reports non-convergence.
+  try {
+    const auto result = sn::solve_newton(system, x, options);
+    EXPECT_FALSE(result.converged);
+  } catch (const softfet::ConvergenceError&) {
+    SUCCEED();
+  }
+}
+
+TEST(Newton, SizeMismatchThrows) {
+  Quadratic system;
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)sn::solve_newton(system, x), softfet::Error);
+}

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/dense_lu.hpp"
+#include "numeric/linear_solver.hpp"
+#include "numeric/sparse_lu.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "util/error.hpp"
+
+namespace sn = softfet::numeric;
+
+TEST(SparseMatrix, AddAccumulates) {
+  sn::SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(1, 1), 0.0);
+  EXPECT_EQ(a.nonzeros(), 1u);
+}
+
+TEST(SparseMatrix, SetZeroKeepsStructure) {
+  sn::SparseMatrix a(2);
+  a.add(0, 1, 5.0);
+  a.set_zero_keep_structure();
+  EXPECT_DOUBLE_EQ(a.get(0, 1), 0.0);
+  EXPECT_EQ(a.nonzeros(), 1u);  // entry still present
+}
+
+TEST(SparseMatrix, ToDenseMatchesMultiply) {
+  sn::SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(1, 2, -1.0);
+  a.add(2, 1, 4.0);
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const auto y_sparse = a.multiply(x);
+  const auto y_dense = a.to_dense().multiply(x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(y_sparse[i], y_dense[i]);
+  }
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSystems) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, 29);
+  const std::size_t n = 30;
+  for (int trial = 0; trial < 10; ++trial) {
+    sn::SparseMatrix a(n);
+    // Sparse random pattern + dominant diagonal.
+    for (std::size_t k = 0; k < 4 * n; ++k) {
+      a.add(pick(rng), pick(rng), dist(rng));
+    }
+    for (std::size_t i = 0; i < n; ++i) a.add(i, i, 5.0);
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = dist(rng);
+    const auto b = a.multiply(x_true);
+
+    const auto x_sparse = sn::SparseLu(a).solve(b);
+    const auto x_dense = sn::DenseLu(a.to_dense()).solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_sparse[i], x_true[i], 1e-9);
+      EXPECT_NEAR(x_sparse[i], x_dense[i], 1e-9);
+    }
+  }
+}
+
+TEST(SparseLu, PivotingHandlesZeroDiagonal) {
+  sn::SparseMatrix a(2);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  const auto x = sn::SparseLu(a).solve({3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+  sn::SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(1, 0, 1.0);  // column 1 empty -> singular
+  EXPECT_THROW(sn::SparseLu{a}, softfet::ConvergenceError);
+}
+
+TEST(LinearSolver, AutoSelectsAndSolves) {
+  sn::SparseMatrix a(3);
+  a.add(0, 0, 1.0);
+  a.add(1, 1, 2.0);
+  a.add(2, 2, 4.0);
+  const sn::LinearSolver solver(sn::SolverKind::kAuto);
+  const auto x = solver.solve(a, {1.0, 2.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(LinearSolver, ForcedSparseMatchesForcedDense) {
+  sn::SparseMatrix a(4);
+  a.add(0, 0, 3.0);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 2, 1.0);
+  a.add(3, 3, 2.0);
+  a.add(2, 3, 0.5);
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  const auto xs = sn::LinearSolver(sn::SolverKind::kSparse).solve(a, b);
+  const auto xd = sn::LinearSolver(sn::SolverKind::kDense).solve(a, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+}

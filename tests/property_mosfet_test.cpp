@@ -1,0 +1,125 @@
+// Property-based MOSFET model checks over a parameter grid: every model
+// card must satisfy the same structural invariants (antisymmetry, analytic
+// derivatives, monotonicity, Ion/Ioff ordering).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "devices/mosfet.hpp"
+#include "devices/tech40.hpp"
+
+namespace sd = softfet::devices;
+namespace t40 = softfet::devices::tech40;
+
+namespace {
+
+// (vt0, kp, theta, lambda)
+using ModelCardParam = std::tuple<double, double, double, double>;
+
+class MosfetProperty : public ::testing::TestWithParam<ModelCardParam> {
+ protected:
+  [[nodiscard]] sd::MosfetModel model() const {
+    auto m = t40::nmos();
+    m.vt0 = std::get<0>(GetParam());
+    m.kp = std::get<1>(GetParam());
+    m.theta = std::get<2>(GetParam());
+    m.lambda = std::get<3>(GetParam());
+    return m;
+  }
+  sd::MosfetDims dims_ = t40::min_nmos_dims();
+};
+
+}  // namespace
+
+TEST_P(MosfetProperty, AntisymmetricUnderSourceDrainExchange) {
+  const auto m = model();
+  for (const double vgs : {0.1, 0.4, 0.8, 1.2}) {
+    for (const double vds : {0.05, 0.3, 0.9}) {
+      const auto fwd = sd::mosfet_evaluate(m, dims_, vgs, vds);
+      const auto rev = sd::mosfet_evaluate(m, dims_, vgs - vds, -vds);
+      EXPECT_NEAR(rev.id, -fwd.id, 1e-12 + 1e-9 * std::fabs(fwd.id))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_P(MosfetProperty, DerivativesMatchFiniteDifferences) {
+  const auto m = model();
+  const double h = 1e-7;
+  for (const double vgs : {0.2, 0.6, 1.0}) {
+    for (const double vds : {-0.4, 0.1, 0.8}) {
+      const auto op = sd::mosfet_evaluate(m, dims_, vgs, vds);
+      const auto dg = sd::mosfet_evaluate(m, dims_, vgs + h, vds);
+      const auto dd = sd::mosfet_evaluate(m, dims_, vgs, vds + h);
+      const double gm_fd = (dg.id - op.id) / h;
+      const double gds_fd = (dd.id - op.id) / h;
+      EXPECT_NEAR(op.gm, gm_fd, 2e-3 * std::max(std::fabs(gm_fd), 1e-9));
+      EXPECT_NEAR(op.gds, gds_fd, 2e-3 * std::max(std::fabs(gds_fd), 1e-9));
+    }
+  }
+}
+
+TEST_P(MosfetProperty, CurrentMonotoneInVgs) {
+  const auto m = model();
+  double previous = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2001; vgs += 0.05) {
+    const auto op = sd::mosfet_evaluate(m, dims_, vgs, 1.0);
+    EXPECT_GT(op.id, previous) << "vgs=" << vgs;
+    previous = op.id;
+  }
+}
+
+TEST_P(MosfetProperty, CurrentMonotoneInVdsForward) {
+  const auto m = model();
+  double previous = -1e-18;
+  for (double vds = 0.0; vds <= 1.2001; vds += 0.05) {
+    const auto op = sd::mosfet_evaluate(m, dims_, 0.9, vds);
+    EXPECT_GE(op.id, previous) << "vds=" << vds;
+    previous = op.id;
+  }
+}
+
+TEST_P(MosfetProperty, OnOffOrdering) {
+  const auto m = model();
+  const auto off = sd::mosfet_evaluate(m, dims_, 0.0, 1.0);
+  const auto on = sd::mosfet_evaluate(m, dims_, 1.0, 1.0);
+  EXPECT_GT(off.id, 0.0);
+  EXPECT_GT(on.id, 100.0 * off.id);
+}
+
+TEST_P(MosfetProperty, ConductancesNonNegativeInForwardOperation) {
+  const auto m = model();
+  for (const double vgs : {0.2, 0.6, 1.0}) {
+    for (const double vds : {0.1, 0.5, 1.0}) {
+      const auto op = sd::mosfet_evaluate(m, dims_, vgs, vds);
+      EXPECT_GE(op.gm, 0.0);
+      EXPECT_GE(op.gds, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelCards, MosfetProperty,
+    ::testing::Values(
+        ModelCardParam{0.25, 500e-6, 1.5, 0.15},   // LVT
+        ModelCardParam{0.35, 500e-6, 1.5, 0.15},   // SVT (default card)
+        ModelCardParam{0.55, 500e-6, 1.5, 0.15},   // HVT
+        ModelCardParam{0.35, 250e-6, 1.5, 0.15},   // PMOS-strength kp
+        ModelCardParam{0.35, 500e-6, 0.0, 0.15},   // no mobility reduction
+        ModelCardParam{0.35, 500e-6, 3.0, 0.15},   // heavy mobility reduction
+        ModelCardParam{0.35, 500e-6, 1.5, 0.0},    // no CLM
+        ModelCardParam{0.45, 800e-6, 2.0, 0.3}),   // off-grid combo
+    [](const ::testing::TestParamInfo<ModelCardParam>& param_info) {
+      // Structured bindings are unusable inside macro arguments (their
+      // commas split the argument list), so use std::get.
+      return "vt" +
+             std::to_string(static_cast<int>(std::get<0>(param_info.param) * 100)) +
+             "_kp" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 1e6)) +
+             "_th" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 10)) +
+             "_la" +
+             std::to_string(static_cast<int>(std::get<3>(param_info.param) * 100));
+    });

@@ -1,0 +1,144 @@
+// Property-based PTM checks over parameter cards and both resistance laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "devices/capacitor.hpp"
+#include "devices/ptm.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+using sd::Ptm;
+using sd::PtmParams;
+using sd::PtmResistanceLaw;
+using softfet::measure::Waveform;
+
+namespace {
+
+// (r_ins, r_met, v_imt, v_mit, t_ptm, law)
+using PtmCard = std::tuple<double, double, double, double, double,
+                           PtmResistanceLaw>;
+
+class PtmProperty : public ::testing::TestWithParam<PtmCard> {
+ protected:
+  [[nodiscard]] PtmParams params() const {
+    PtmParams p;
+    std::tie(p.r_ins, p.r_met, p.v_imt, p.v_mit, p.t_ptm, p.law) = GetParam();
+    return p;
+  }
+};
+
+}  // namespace
+
+TEST_P(PtmProperty, CardIsValid) {
+  EXPECT_NO_THROW(params().validate());
+}
+
+TEST_P(PtmProperty, ResistanceMonotoneDecreasingInPhase) {
+  const auto p = params();
+  double previous = Ptm::resistance_at(p, 0.0);
+  EXPECT_NEAR(previous, p.r_ins, 1e-6 * p.r_ins);
+  for (double s = 0.05; s <= 1.0001; s += 0.05) {
+    const double r = Ptm::resistance_at(p, s);
+    EXPECT_LT(r, previous) << "s=" << s;
+    previous = r;
+  }
+  EXPECT_NEAR(previous, p.r_met, 1e-6 * p.r_met);
+}
+
+TEST_P(PtmProperty, ResistanceBoundedByEndpoints) {
+  const auto p = params();
+  for (double s = 0.0; s <= 1.0001; s += 0.1) {
+    const double r = Ptm::resistance_at(p, s);
+    EXPECT_GE(r, p.r_met * (1.0 - 1e-9));
+    EXPECT_LE(r, p.r_ins * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(PtmProperty, DcHysteresisWindowRespectsThresholds) {
+  // Drive the PTM directly with a swept ideal source: the IMT must fire at
+  // v >= v_imt, and once metallic the device must hold until v <= v_mit.
+  const auto p = params();
+  ss::Circuit c;
+  const auto in = c.node("in");
+  c.add<sd::VSource>("Vs", in, ss::kGroundNode, sd::SourceSpec::dc(0.0));
+  auto* device = c.add<Ptm>("P1", in, ss::kGroundNode, p);
+
+  std::vector<double> up;
+  std::vector<double> down;
+  const double v_top = p.v_imt * 1.5;
+  for (int i = 0; i <= 50; ++i) up.push_back(v_top * i / 50.0);
+  for (int i = 50; i >= 0; --i) down.push_back(v_top * i / 50.0);
+  std::vector<double> all = up;
+  all.insert(all.end(), down.begin(), down.end());
+  const auto sweep = ss::dc_sweep(c, "Vs", all);
+  const auto& phase = sweep.table.signal("s(p1)");
+
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    if (all[i] < p.v_imt * 0.999) {
+      EXPECT_DOUBLE_EQ(phase[i], 0.0) << "up bias " << all[i];
+    } else if (all[i] > p.v_imt * 1.001) {
+      EXPECT_DOUBLE_EQ(phase[i], 1.0) << "up bias " << all[i];
+    }
+  }
+  for (std::size_t i = up.size(); i < all.size(); ++i) {
+    if (all[i] > p.v_mit * 1.001) {
+      EXPECT_DOUBLE_EQ(phase[i], 1.0) << "down bias " << all[i];
+    } else if (all[i] < p.v_mit * 0.999) {
+      EXPECT_DOUBLE_EQ(phase[i], 0.0) << "down bias " << all[i];
+    }
+  }
+  EXPECT_EQ(device->imt_count(), 1);
+  EXPECT_EQ(device->mit_count(), 1);
+}
+
+TEST_P(PtmProperty, SoftChargingReachesTheRailAndCounts) {
+  const auto p = params();
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto vc = c.node("vc");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 20e-12, 30e-12));
+  auto* device = c.add<Ptm>("P1", in, vc, p);
+  const double cap = 0.5e-15;
+  c.add<sd::Capacitor>("C1", vc, ss::kGroundNode, cap);
+  // Stop after several insulating time constants so the tail completes.
+  const double tstop = 50e-12 + 10.0 * p.r_ins * cap;
+  const auto result = ss::run_transient(c, tstop);
+  const Waveform v = Waveform::from_tran(result, "v(vc)");
+  EXPECT_NEAR(v.value(tstop), 1.0, 0.03);
+  // Balanced transitions: every IMT eventually re-insulates.
+  EXPECT_EQ(device->imt_count(), device->mit_count());
+  EXPECT_GE(device->imt_count(), 1);
+  // Capacitor never overshoots the rail (passivity).
+  EXPECT_LT(v.max_value(), 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cards, PtmProperty,
+    ::testing::Values(
+        PtmCard{500e3, 5e3, 0.4, 0.3, 10e-12, PtmResistanceLaw::kLinear},
+        PtmCard{500e3, 5e3, 0.4, 0.3, 10e-12, PtmResistanceLaw::kLogarithmic},
+        PtmCard{500e3, 5e3, 0.3, 0.15, 5e-12, PtmResistanceLaw::kLinear},
+        PtmCard{100e3, 1e3, 0.5, 0.1, 20e-12, PtmResistanceLaw::kLinear},
+        PtmCard{2e6, 50e3, 0.25, 0.2, 2e-12, PtmResistanceLaw::kLinear},
+        PtmCard{50e3, 500.0, 0.45, 0.05, 10e-12,
+                PtmResistanceLaw::kLogarithmic}),
+    [](const ::testing::TestParamInfo<PtmCard>& param_info) {
+      return "rins" +
+             std::to_string(static_cast<int>(std::get<0>(param_info.param) / 1e3)) +
+             "k_vimt" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 100)) +
+             "_vmit" +
+             std::to_string(static_cast<int>(std::get<3>(param_info.param) * 100)) +
+             "_t" +
+             std::to_string(static_cast<int>(std::get<4>(param_info.param) * 1e12)) +
+             "ps_" +
+             (std::get<5>(param_info.param) == PtmResistanceLaw::kLinear ? "lin"
+                                                                   : "log");
+    });

@@ -1,0 +1,159 @@
+// Property-based transient-engine accuracy: for every (R, C) combination
+// the simulated RC step response must match the closed form within
+// tolerance, and basic conservation/passivity laws must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "devices/capacitor.hpp"
+#include "devices/inductor.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "measure/metrics.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+namespace sm = softfet::measure;
+using softfet::measure::Waveform;
+
+namespace {
+
+using RcParam = std::tuple<double, double>;  // (R, C)
+
+class RcStepProperty : public ::testing::TestWithParam<RcParam> {};
+
+}  // namespace
+
+TEST_P(RcStepProperty, MatchesClosedForm) {
+  const auto [r, c_val] = GetParam();
+  const double tau = r * c_val;
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, tau / 10.0, tau / 1e4,
+                                           tau / 1e4, 1e6 * tau));
+  c.add<sd::Resistor>("R1", in, out, r);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, c_val);
+  const auto result = ss::run_transient(c, 8.0 * tau);
+  const Waveform v = Waveform::from_tran(result, "v(out)");
+  const double t0 = tau / 10.0;
+  for (const double multiple : {0.5, 1.0, 2.0, 4.0, 6.0}) {
+    const double t = t0 + multiple * tau;
+    const double expected = 1.0 - std::exp(-multiple);
+    EXPECT_NEAR(v.value(t), expected, 8e-3)
+        << "R=" << r << " C=" << c_val << " t/tau=" << multiple;
+  }
+}
+
+TEST_P(RcStepProperty, ChargeDeliveredEqualsCV) {
+  const auto [r, c_val] = GetParam();
+  const double tau = r * c_val;
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, tau / 10.0, tau / 1e4,
+                                           tau / 1e4, 1e6 * tau));
+  c.add<sd::Resistor>("R1", in, out, r);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, c_val);
+  const auto result = ss::run_transient(c, 15.0 * tau);
+  const Waveform i = Waveform::from_tran(result, "i(vin)");
+  EXPECT_NEAR(-i.integral(), c_val * 1.0, 0.02 * c_val);
+}
+
+TEST_P(RcStepProperty, OutputNeverOvershoots) {
+  const auto [r, c_val] = GetParam();
+  const double tau = r * c_val;
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, tau / 10.0, tau / 1e4,
+                                           tau / 1e4, 1e6 * tau));
+  c.add<sd::Resistor>("R1", in, out, r);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, c_val);
+  const auto result = ss::run_transient(c, 8.0 * tau);
+  const Waveform v = Waveform::from_tran(result, "v(out)");
+  // First-order RC is passive and monotone: no overshoot, no undershoot.
+  EXPECT_LE(v.max_value(), 1.0 + 1e-6);
+  EXPECT_GE(v.min_value(), -1e-6);
+}
+
+// Time constants spanning twelve orders of magnitude exercise the adaptive
+// step controller at every scale the paper's circuits use (ps gate edges to
+// us PDN settling).
+INSTANTIATE_TEST_SUITE_P(
+    TimeConstants, RcStepProperty,
+    ::testing::Values(RcParam{1e3, 1e-9},    // tau = 1 us
+                      RcParam{1e3, 1e-12},   // 1 ns
+                      RcParam{50.0, 2e-12},  // 100 ps
+                      RcParam{500e3, 0.5e-15},  // 250 ps (Soft-FET gate)
+                      RcParam{5e3, 0.5e-15},    // 2.5 ps (metallic gate)
+                      RcParam{1e6, 1e-6},       // 1 s
+                      RcParam{10.0, 1e-15}),    // 10 fs
+    [](const ::testing::TestParamInfo<RcParam>& param_info) {
+      const double tau = std::get<0>(param_info.param) * std::get<1>(param_info.param);
+      const int exponent = static_cast<int>(std::round(std::log10(tau)));
+      return "case" + std::to_string(param_info.index) + "_tau_1e" +
+             std::string(exponent < 0 ? "m" : "p") +
+             std::to_string(std::abs(exponent));
+    });
+
+namespace {
+using RlcParam = std::tuple<double, double, double>;  // (R, L, C)
+class RlcStepProperty : public ::testing::TestWithParam<RlcParam> {};
+}  // namespace
+
+TEST_P(RlcStepProperty, SettlesToDcAndRespectsDampingClass) {
+  const auto [r, l, c_val] = GetParam();
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  const auto out = c.node("out");
+  const double w0 = 1.0 / std::sqrt(l * c_val);
+  const double t_char = 2.0 * M_PI / w0;
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, t_char / 10.0,
+                                           t_char / 1e4, t_char / 1e4, 1e9));
+  c.add<sd::Resistor>("R1", in, mid, r);
+  c.add<sd::Inductor>("L1", mid, out, l);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, c_val);
+  const double zeta = r / 2.0 * std::sqrt(c_val / l);
+  // Underdamped rings decay with 1/(zeta*w0): give them 8 decay constants.
+  const double tstop =
+      (zeta < 1.0) ? std::max(40.0 * t_char, 8.0 / (zeta * w0))
+                   : 40.0 * t_char * zeta;
+  // High-Q rings need enough samples per period: trapezoidal integration
+  // preserves oscillation amplitude when the step is a large fraction of
+  // the period, so cap dtmax well below t_char.
+  ss::SimOptions options;
+  options.dtmax = t_char / 40.0;
+  const auto result = ss::run_transient(c, tstop, options);
+  const Waveform v = Waveform::from_tran(result, "v(out)");
+  EXPECT_NEAR(v.value(tstop), 1.0, 2e-2) << "zeta=" << zeta;
+  if (zeta >= 1.0) {
+    EXPECT_LE(v.max_value(), 1.005);  // overdamped: no overshoot
+  } else {
+    const double overshoot =
+        std::exp(-zeta * M_PI / std::sqrt(1.0 - zeta * zeta));
+    EXPECT_NEAR(v.max_value(), 1.0 + overshoot, 0.05) << "zeta=" << zeta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DampingClasses, RlcStepProperty,
+    ::testing::Values(RlcParam{10.0, 1e-6, 1e-9},     // zeta ~ 0.16
+                      RlcParam{30.0, 1e-6, 1e-9},     // zeta ~ 0.47
+                      RlcParam{63.2, 1e-6, 1e-9},     // zeta ~ 1 (critical)
+                      RlcParam{300.0, 1e-6, 1e-9},    // overdamped
+                      RlcParam{0.05, 0.5e-9, 100e-12}),  // PDN-like hi-Q
+    [](const ::testing::TestParamInfo<RlcParam>& param_info) {
+      const double zeta = std::get<0>(param_info.param) / 2.0 *
+                          std::sqrt(std::get<2>(param_info.param) /
+                                    std::get<1>(param_info.param));
+      return "zeta_" + std::to_string(static_cast<int>(zeta * 100));
+    });

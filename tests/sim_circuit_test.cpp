@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "sim/circuit.hpp"
+#include "util/error.hpp"
+
+namespace ss = softfet::sim;
+namespace sd = softfet::devices;
+
+TEST(Circuit, GroundAliases) {
+  ss::Circuit c;
+  EXPECT_EQ(c.node("0"), ss::kGroundNode);
+  EXPECT_EQ(c.node("gnd"), ss::kGroundNode);
+  EXPECT_EQ(c.node("GND"), ss::kGroundNode);
+  EXPECT_EQ(c.node("ground"), ss::kGroundNode);
+}
+
+TEST(Circuit, NodesAreCaseInsensitiveAndStable) {
+  ss::Circuit c;
+  const auto a = c.node("VDD");
+  const auto b = c.node("vdd");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(c.node_name(a), "vdd");
+  EXPECT_EQ(c.node_count(), 2u);  // ground + vdd
+}
+
+TEST(Circuit, FindNodeThrowsOnUnknown) {
+  ss::Circuit c;
+  EXPECT_THROW((void)c.find_node("nope"), softfet::InvalidCircuitError);
+  (void)c.node("a");
+  EXPECT_EQ(c.find_node("A"), c.node("a"));
+  EXPECT_TRUE(c.has_node("a"));
+  EXPECT_FALSE(c.has_node("b"));
+}
+
+TEST(Circuit, UnknownLayoutNodesThenBranches) {
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto out = c.node("out");
+  c.add<sd::Resistor>("R1", vdd, out, 1e3);
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode,
+                     sd::SourceSpec::dc(1.0));
+  c.prepare();
+  // 2 node unknowns + 1 branch current.
+  EXPECT_EQ(c.unknown_count(), 3u);
+  const auto& labels = c.unknown_labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "v(vdd)");
+  EXPECT_EQ(labels[1], "v(out)");
+  EXPECT_EQ(labels[2], "i(vdd)");
+  EXPECT_TRUE(c.unknown_is_voltage(0));
+  EXPECT_FALSE(c.unknown_is_voltage(2));
+}
+
+TEST(Circuit, FindDeviceCaseInsensitive) {
+  ss::Circuit c;
+  c.add<sd::Resistor>("Rload", c.node("a"), ss::kGroundNode, 50.0);
+  EXPECT_NE(c.find_device("rload"), nullptr);
+  EXPECT_EQ(c.find_device("nothere"), nullptr);
+}
+
+TEST(Circuit, PrepareIsIdempotent) {
+  ss::Circuit c;
+  c.add<sd::VSource>("V1", c.node("a"), ss::kGroundNode,
+                     sd::SourceSpec::dc(1.0));
+  c.prepare();
+  const auto n = c.unknown_count();
+  c.prepare();
+  EXPECT_EQ(c.unknown_count(), n);
+}
+
+TEST(Circuit, InvalidDeviceParamsThrow) {
+  ss::Circuit c;
+  EXPECT_THROW(
+      c.add<sd::Resistor>("R1", c.node("a"), ss::kGroundNode, -5.0),
+      softfet::InvalidCircuitError);
+  EXPECT_THROW(c.add<sd::Resistor>("R2", c.node("a"), ss::kGroundNode, 0.0),
+               softfet::InvalidCircuitError);
+}

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "devices/controlled.hpp"
+#include "devices/diode.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "devices/vswitch.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+
+namespace ss = softfet::sim;
+namespace sd = softfet::devices;
+
+TEST(DcOp, VoltageDivider) {
+  ss::Circuit c;
+  const auto vin = c.node("in");
+  const auto mid = c.node("mid");
+  c.add<sd::VSource>("V1", vin, ss::kGroundNode, sd::SourceSpec::dc(10.0));
+  c.add<sd::Resistor>("R1", vin, mid, 1e3);
+  c.add<sd::Resistor>("R2", mid, ss::kGroundNode, 3e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("mid"), 7.5, 1e-6);
+  EXPECT_NEAR(op.voltage("in"), 10.0, 1e-9);
+  // SPICE sign convention: source delivering current reads negative.
+  EXPECT_NEAR(op.unknown("i(v1)"), -10.0 / 4e3, 1e-9);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+  ss::Circuit c;
+  const auto n1 = c.node("n1");
+  // 1 mA pulled from ground into n1 (source from n1 to ground pushes
+  // current n1 -> gnd; to get +1V we drive gnd -> n1).
+  c.add<sd::ISource>("I1", ss::kGroundNode, n1, sd::SourceSpec::dc(1e-3));
+  c.add<sd::Resistor>("R1", n1, ss::kGroundNode, 1e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("n1"), 1.0, 1e-6);
+}
+
+TEST(DcOp, VcvsGain) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("V1", in, ss::kGroundNode, sd::SourceSpec::dc(0.25));
+  c.add<sd::Vcvs>("E1", out, ss::kGroundNode, in, ss::kGroundNode, 4.0);
+  c.add<sd::Resistor>("RL", out, ss::kGroundNode, 1e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("out"), 1.0, 1e-6);
+}
+
+TEST(DcOp, VccsTransconductance) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("V1", in, ss::kGroundNode, sd::SourceSpec::dc(2.0));
+  // i = gm*v(in) = 2 mA flows out -> gnd through the source; the resistor
+  // then develops -2 V at `out`.
+  c.add<sd::Vccs>("G1", out, ss::kGroundNode, in, ss::kGroundNode, 1e-3);
+  c.add<sd::Resistor>("RL", out, ss::kGroundNode, 1e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("out"), -2.0, 1e-6);
+}
+
+TEST(DcOp, DiodeForwardDrop) {
+  ss::Circuit c;
+  const auto vin = c.node("in");
+  const auto va = c.node("a");
+  c.add<sd::VSource>("V1", vin, ss::kGroundNode, sd::SourceSpec::dc(5.0));
+  c.add<sd::Resistor>("R1", vin, va, 1e3);
+  c.add<sd::Diode>("D1", va, ss::kGroundNode);
+  const auto op = ss::dc_operating_point(c);
+  const double vd = op.voltage("a");
+  EXPECT_GT(vd, 0.4);
+  EXPECT_LT(vd, 0.8);
+  // KCL: diode current equals resistor current.
+  double id = 0.0;
+  double gd = 0.0;
+  sd::Diode::evaluate({}, vd, id, gd);
+  EXPECT_NEAR(id, (5.0 - vd) / 1e3, 1e-6);
+}
+
+TEST(DcOp, SwitchOnOff) {
+  ss::Circuit c;
+  const auto ctrl = c.node("ctrl");
+  const auto out = c.node("out");
+  const auto vdd = c.node("vdd");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  auto* vc = c.add<sd::VSource>("Vc", ctrl, ss::kGroundNode,
+                                sd::SourceSpec::dc(1.0));
+  c.add<sd::VSwitch>("S1", vdd, out, ctrl, ss::kGroundNode,
+                     sd::VSwitchParams{10.0, 1e9, 0.5, 0.02});
+  c.add<sd::Resistor>("RL", out, ss::kGroundNode, 1e3);
+  auto op = ss::dc_operating_point(c);
+  EXPECT_GT(op.voltage("out"), 0.97);  // on: tiny drop across 10 ohm
+
+  vc->set_dc(0.0);
+  op = ss::dc_operating_point(c);
+  EXPECT_LT(op.voltage("out"), 0.01);  // off
+}
+
+TEST(DcSweep, ResistorLadderTracksSource) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  c.add<sd::VSource>("Vs", in, ss::kGroundNode, sd::SourceSpec::dc(0.0));
+  c.add<sd::Resistor>("R1", in, mid, 2e3);
+  c.add<sd::Resistor>("R2", mid, ss::kGroundNode, 2e3);
+  const std::vector<double> values{0.0, 0.5, 1.0, 1.5, 2.0};
+  const auto sweep = ss::dc_sweep(c, "Vs", values);
+  ASSERT_EQ(sweep.axis.size(), values.size());
+  const auto& vm = sweep.table.signal("v(mid)");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(vm[i], values[i] / 2.0, 1e-6);
+  }
+}
+
+TEST(DcSweep, UnknownSourceThrows) {
+  ss::Circuit c;
+  c.add<sd::Resistor>("R1", c.node("a"), ss::kGroundNode, 1e3);
+  EXPECT_THROW((void)ss::dc_sweep(c, "Vmissing", {0.0}),
+               softfet::InvalidCircuitError);
+  EXPECT_THROW((void)ss::dc_sweep(c, "R1", {0.0}),
+               softfet::InvalidCircuitError);
+}
+
+TEST(DcOp, FloatingNodePinnedByGmin) {
+  ss::Circuit c;
+  (void)c.node("float");
+  c.add<sd::Resistor>("R1", c.node("a"), c.node("float"), 1e3);
+  c.add<sd::VSource>("V1", c.node("a"), ss::kGroundNode,
+                     sd::SourceSpec::dc(1.0));
+  const auto op = ss::dc_operating_point(c);
+  // No DC path from "float" to ground except gmin: it floats to v(a).
+  EXPECT_NEAR(op.voltage("float"), 1.0, 1e-3);
+}

@@ -1,0 +1,130 @@
+// Engine robustness: homotopy fallbacks, stiff circuits, degenerate
+// inputs, logging plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/capacitor.hpp"
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "devices/tech40.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace sd = softfet::devices;
+namespace ss = softfet::sim;
+namespace t40 = softfet::devices::tech40;
+using softfet::measure::Waveform;
+
+TEST(Robustness, DiodeChainNeedsHomotopy) {
+  // A long diode chain from a high supply is a classic direct-Newton
+  // killer; gmin/source stepping must still land it.
+  ss::Circuit c;
+  auto prev = c.node("in");
+  c.add<sd::VSource>("V1", prev, ss::kGroundNode, sd::SourceSpec::dc(6.0));
+  for (int i = 0; i < 8; ++i) {
+    const auto next = (i == 7) ? ss::kGroundNode
+                               : c.node("d" + std::to_string(i));
+    c.add<sd::Diode>("D" + std::to_string(i), prev, next);
+    prev = next;
+  }
+  const auto op = ss::dc_operating_point(c);
+  // Each junction drops ~0.75 V at these currents.
+  EXPECT_NEAR(op.voltage("d0"), 6.0 * 7.0 / 8.0, 0.6);
+}
+
+TEST(Robustness, CrossCoupledLatchResolves) {
+  // Bistable SRAM-style latch: the op must converge to one of the stable
+  // states (not hang between them).
+  ss::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto a = c.node("a");
+  const auto b = c.node("b");
+  c.add<sd::VSource>("Vdd", vdd, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::Mosfet>("MPa", a, b, vdd, vdd, t40::pmos(), t40::min_pmos_dims());
+  c.add<sd::Mosfet>("MNa", a, b, ss::kGroundNode, ss::kGroundNode,
+                    t40::nmos(), t40::min_nmos_dims());
+  c.add<sd::Mosfet>("MPb", b, a, vdd, vdd, t40::pmos(), t40::min_pmos_dims());
+  c.add<sd::Mosfet>("MNb", b, a, ss::kGroundNode, ss::kGroundNode,
+                    t40::nmos(), t40::min_nmos_dims());
+  // A slight imbalance picks the state deterministically.
+  c.add<sd::Resistor>("Rtilt", a, ss::kGroundNode, 10e6);
+  const auto op = ss::dc_operating_point(c);
+  const double va = op.voltage("a");
+  const double vb = op.voltage("b");
+  EXPECT_NEAR(va + vb, 1.0, 0.35);  // complementary-ish
+}
+
+TEST(Robustness, StiffTimeConstantMix) {
+  // fs-scale RC hanging off a us-scale RC: the adaptive engine must
+  // resolve both without millions of steps.
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto slow = c.node("slow");
+  const auto fast = c.node("fast");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, 1e-9, 1e-12, 1e-12, 1.0));
+  c.add<sd::Resistor>("Rslow", in, slow, 1e6);
+  c.add<sd::Capacitor>("Cslow", slow, ss::kGroundNode, 1e-12);  // 1 us
+  c.add<sd::Resistor>("Rfast", in, fast, 10.0);
+  c.add<sd::Capacitor>("Cfast", fast, ss::kGroundNode, 1e-15);  // 10 fs
+  const auto result = ss::run_transient(c, 5e-6);
+  EXPECT_LT(result.accepted_steps, 20000u);
+  const Waveform vslow = Waveform::from_tran(result, "v(slow)");
+  EXPECT_NEAR(vslow.value(5e-6), 1.0 - std::exp(-(5e-6 - 1e-9) / 1e-6), 2e-2);
+  const Waveform vfast = Waveform::from_tran(result, "v(fast)");
+  EXPECT_NEAR(vfast.value(5e-6), 1.0, 1e-3);
+}
+
+TEST(Robustness, SineSourceDrivenRc) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  // 100 MHz sine into an RC with f3dB = 1.59 MHz: expect strong
+  // attenuation and ~90 degree lag.
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::sine(0.5, 0.5, 100e6));
+  c.add<sd::Resistor>("R1", in, out, 1e3);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, 100e-12);
+  const auto result = ss::run_transient(c, 100e-9);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  const Waveform settled = vout.window(50e-9, 100e-9);
+  const double swing = settled.max_value() - settled.min_value();
+  const double expected =
+      1.0 / std::sqrt(1.0 + std::pow(2.0 * M_PI * 100e6 * 1e3 * 100e-12, 2.0));
+  EXPECT_NEAR(swing, expected, 0.25 * expected);
+}
+
+TEST(Robustness, EmptyishCircuitOpWorks) {
+  ss::Circuit c;
+  c.add<sd::VSource>("V1", c.node("a"), ss::kGroundNode,
+                     sd::SourceSpec::dc(1.0));
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("a"), 1.0, 1e-9);
+  EXPECT_NEAR(op.unknown("i(v1)"), 0.0, 1e-9);
+}
+
+TEST(Robustness, LogLevelsFilter) {
+  using softfet::util::LogLevel;
+  const auto old = softfet::util::log_level();
+  softfet::util::set_log_level(LogLevel::kOff);
+  EXPECT_EQ(softfet::util::log_level(), LogLevel::kOff);
+  // These must be no-ops (nothing to assert beyond not crashing).
+  softfet::util::log_debug("quiet");
+  softfet::util::log_error("quiet");
+  softfet::util::set_log_level(old);
+}
+
+TEST(Robustness, ParallelVoltageSourcesConflictIsSingular) {
+  // Two ideal sources fighting across the same nodes: the MNA matrix is
+  // singular; the engine must throw, not return garbage.
+  ss::Circuit c;
+  const auto a = c.node("a");
+  c.add<sd::VSource>("V1", a, ss::kGroundNode, sd::SourceSpec::dc(1.0));
+  c.add<sd::VSource>("V2", a, ss::kGroundNode, sd::SourceSpec::dc(2.0));
+  EXPECT_THROW((void)ss::dc_operating_point(c), softfet::ConvergenceError);
+}

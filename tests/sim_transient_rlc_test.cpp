@@ -1,0 +1,127 @@
+// Transient engine validation on RLC circuits (inductor branch unknowns,
+// second-order dynamics, ringing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/capacitor.hpp"
+#include "devices/inductor.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "measure/waveform.hpp"
+#include "sim/analyses.hpp"
+
+namespace ss = softfet::sim;
+namespace sd = softfet::devices;
+using softfet::measure::Waveform;
+
+namespace {
+
+struct RlcParams {
+  double r = 10.0;
+  double l = 1e-6;
+  double c = 1e-9;
+};
+
+/// Series RLC driven by a voltage step; returns v(cap).
+ss::TranResult simulate_series_rlc(const RlcParams& p, double tstop) {
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 1.0, 1e-9, 1e-12, 1e-12, 1.0));
+  c.add<sd::Resistor>("R1", in, mid, p.r);
+  c.add<sd::Inductor>("L1", mid, out, p.l);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, p.c);
+  return ss::run_transient(c, tstop);
+}
+
+}  // namespace
+
+TEST(TransientRlc, UnderdampedStepMatchesAnalytic) {
+  const RlcParams p{10.0, 1e-6, 1e-9};
+  const double w0 = 1.0 / std::sqrt(p.l * p.c);       // 3.16e7 rad/s
+  const double alpha = p.r / (2.0 * p.l);             // 5e6 1/s
+  ASSERT_LT(alpha, w0);                               // underdamped
+  const double wd = std::sqrt(w0 * w0 - alpha * alpha);
+
+  const auto result = simulate_series_rlc(p, 2e-6);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  const double t0 = 1e-9;  // step instant
+  for (const double t : {50e-9, 120e-9, 300e-9, 700e-9, 1.5e-6}) {
+    const double tt = t - t0;
+    const double expected =
+        1.0 - std::exp(-alpha * tt) *
+                  (std::cos(wd * tt) + (alpha / wd) * std::sin(wd * tt));
+    EXPECT_NEAR(vout.value(t), expected, 0.02) << "t=" << t;
+  }
+}
+
+TEST(TransientRlc, OverdampedNoOvershoot) {
+  const RlcParams p{2000.0, 1e-6, 1e-9};  // alpha = 1e9 >> w0
+  const auto result = simulate_series_rlc(p, 20e-6);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  EXPECT_LT(vout.max_value(), 1.001);
+  EXPECT_NEAR(vout.value(20e-6 - 1e-9), 1.0, 5e-3);
+}
+
+TEST(TransientRlc, UnderdampedOvershootMatchesTheory) {
+  const RlcParams p{10.0, 1e-6, 1e-9};
+  const double w0 = 1.0 / std::sqrt(p.l * p.c);
+  const double zeta = p.r / 2.0 * std::sqrt(p.c / p.l);
+  const double overshoot =
+      std::exp(-zeta * M_PI / std::sqrt(1.0 - zeta * zeta));
+  (void)w0;
+  const auto result = simulate_series_rlc(p, 2e-6);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  EXPECT_NEAR(vout.max_value(), 1.0 + overshoot, 0.02);
+}
+
+TEST(TransientRlc, InductorDcShortInOp) {
+  // DC op: inductor shorts mid to out; cap open.
+  ss::Circuit c;
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode, sd::SourceSpec::dc(2.0));
+  c.add<sd::Resistor>("R1", in, mid, 1e3);
+  c.add<sd::Inductor>("L1", mid, out, 1e-6);
+  c.add<sd::Resistor>("R2", out, ss::kGroundNode, 1e3);
+  const auto op = ss::dc_operating_point(c);
+  EXPECT_NEAR(op.voltage("mid"), op.voltage("out"), 1e-9);
+  EXPECT_NEAR(op.voltage("out"), 1.0, 1e-6);
+  EXPECT_NEAR(op.unknown("i(l1)"), 1e-3, 1e-9);
+}
+
+TEST(TransientRlc, LcEnergyNearlyConserved) {
+  // Undriven LC tank with initial capacitor charge: trapezoidal integration
+  // should keep the oscillation amplitude within a few percent over many
+  // periods.
+  ss::Circuit c;
+  const auto top = c.node("top");
+  // Charge the cap through a source that steps 1->0 quickly? Simpler: drive
+  // with a pulse that ends, then watch ringing through a tiny resistor.
+  const auto drv = c.node("drv");
+  c.add<sd::VSource>("Vin", drv, ss::kGroundNode,
+                     sd::SourceSpec::pulse(1.0, 0.0, 1e-7, 1e-12, 1e-12, 10.0));
+  c.add<sd::Resistor>("Rdrv", drv, top, 0.05);  // small loss
+  c.add<sd::Inductor>("L1", top, ss::kGroundNode, 1e-6);
+  c.add<sd::Capacitor>("C1", top, ss::kGroundNode, 1e-9);
+
+  // Wait: at t<1e-7 the source holds 1V; inductor shunts DC -> i ramps.
+  // Actually the DC op makes v(top)=0 (inductor short). After the source
+  // drops at t=0.1us the inductor current rings with the cap.
+  const auto result = ss::run_transient(c, 3e-6);
+  const Waveform v = Waveform::from_tran(result, "v(top)");
+  // The tank rings; amplitude decays only via the 0.05 ohm resistor. Peak
+  // early vs late amplitude should be close (loss-limited, not numerics).
+  const Waveform early = v.window(0.15e-6, 0.7e-6);
+  const Waveform late = v.window(2.4e-6, 2.95e-6);
+  const double a_early = early.peak_magnitude();
+  const double a_late = late.peak_magnitude();
+  EXPECT_GT(a_early, 0.1);  // it does ring
+  // Analytic decay: tau = 2L/R = 40us >> 3us, so < ~7% decay expected;
+  // allow 15% total including numerical damping.
+  EXPECT_GT(a_late, 0.85 * a_early);
+}

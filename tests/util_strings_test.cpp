@@ -1,0 +1,53 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace su = softfet::util;
+
+TEST(Strings, TrimRemovesWhitespaceBothSides) {
+  EXPECT_EQ(su::trim("  abc \t"), "abc");
+  EXPECT_EQ(su::trim("abc"), "abc");
+  EXPECT_EQ(su::trim("   "), "");
+  EXPECT_EQ(su::trim(""), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(su::to_lower("AbC123"), "abc123");
+  EXPECT_EQ(su::to_lower(""), "");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  const auto parts = su::split("a  b\tc ", " \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitCustomDelims) {
+  const auto parts = su::split("1,2;3", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(Strings, SplitEmptyInput) {
+  EXPECT_TRUE(su::split("", " ").empty());
+  EXPECT_TRUE(su::split("   ", " ").empty());
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(su::iequals("VDD", "vdd"));
+  EXPECT_TRUE(su::iequals("", ""));
+  EXPECT_FALSE(su::iequals("vdd", "vd"));
+  EXPECT_FALSE(su::iequals("vdd", "vss"));
+}
+
+TEST(Strings, IStartsWith) {
+  EXPECT_TRUE(su::istarts_with("PULSE(0 1)", "pulse"));
+  EXPECT_FALSE(su::istarts_with("pu", "pulse"));
+}
+
+TEST(Strings, Contains) {
+  EXPECT_TRUE(su::contains("a=b", '='));
+  EXPECT_FALSE(su::contains("ab", '='));
+}

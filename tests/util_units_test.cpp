@@ -1,0 +1,57 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace su = softfet::util;
+
+TEST(Units, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("-3e-9"), -3e-9);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("0"), 0.0);
+}
+
+TEST(Units, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("500k"), 500e3);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("2.5n"), 2.5e-9);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1u"), 1e-6);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("3f"), 3e-15);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("7m"), 7e-3);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1G"), 1e9);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("2T"), 2e12);
+}
+
+TEST(Units, SuffixWithTrailingUnitLetters) {
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("5kOhm"), 5e3);
+  // Bare unit letters with no scale prefix.
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("10V"), 10.0);
+}
+
+TEST(Units, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(*su::parse_spice_number("1K"), 1e3);
+}
+
+TEST(Units, MalformedReturnsNullopt) {
+  EXPECT_FALSE(su::parse_spice_number("abc"));
+  EXPECT_FALSE(su::parse_spice_number(""));
+  EXPECT_FALSE(su::parse_spice_number("1.2.3x4"));
+  EXPECT_FALSE(su::parse_spice_number("10k!"));
+}
+
+TEST(Units, OrThrowThrows) {
+  EXPECT_THROW((void)su::parse_spice_number_or_throw("zz"), softfet::Error);
+  EXPECT_DOUBLE_EQ(su::parse_spice_number_or_throw(" 5n "), 5e-9);
+}
+
+TEST(Units, FormatSi) {
+  EXPECT_EQ(su::format_si(2.3e-11), "23p");
+  EXPECT_EQ(su::format_si(1e3), "1k");
+  EXPECT_EQ(su::format_si(0.0), "0");
+  EXPECT_EQ(su::format_si(1.5, 4, "V"), "1.5V");
+  EXPECT_EQ(su::format_si(-4.7e-6), "-4.7u");
+}
