@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compact_model.dir/ablation_compact_model.cpp.o"
+  "CMakeFiles/ablation_compact_model.dir/ablation_compact_model.cpp.o.d"
+  "ablation_compact_model"
+  "ablation_compact_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compact_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

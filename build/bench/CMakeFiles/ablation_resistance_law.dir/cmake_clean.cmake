@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resistance_law.dir/ablation_resistance_law.cpp.o"
+  "CMakeFiles/ablation_resistance_law.dir/ablation_resistance_law.cpp.o.d"
+  "ablation_resistance_law"
+  "ablation_resistance_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resistance_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slew_tptm_ratio.dir/ablation_slew_tptm_ratio.cpp.o"
+  "CMakeFiles/ablation_slew_tptm_ratio.dir/ablation_slew_tptm_ratio.cpp.o.d"
+  "ablation_slew_tptm_ratio"
+  "ablation_slew_tptm_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slew_tptm_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_slew_tptm_ratio.
+# This may be replaced when dependencies are built.

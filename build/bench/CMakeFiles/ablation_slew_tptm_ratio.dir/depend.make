@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_slew_tptm_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_pdn_impedance.dir/ac_pdn_impedance.cpp.o"
+  "CMakeFiles/ac_pdn_impedance.dir/ac_pdn_impedance.cpp.o.d"
+  "ac_pdn_impedance"
+  "ac_pdn_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_pdn_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

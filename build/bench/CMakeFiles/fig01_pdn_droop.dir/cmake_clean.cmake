@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pdn_droop.dir/fig01_pdn_droop.cpp.o"
+  "CMakeFiles/fig01_pdn_droop.dir/fig01_pdn_droop.cpp.o.d"
+  "fig01_pdn_droop"
+  "fig01_pdn_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pdn_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

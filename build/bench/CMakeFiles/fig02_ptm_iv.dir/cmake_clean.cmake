@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ptm_iv.dir/fig02_ptm_iv.cpp.o"
+  "CMakeFiles/fig02_ptm_iv.dir/fig02_ptm_iv.cpp.o.d"
+  "fig02_ptm_iv"
+  "fig02_ptm_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ptm_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_soft_charging.dir/fig03_soft_charging.cpp.o"
+  "CMakeFiles/fig03_soft_charging.dir/fig03_soft_charging.cpp.o.d"
+  "fig03_soft_charging"
+  "fig03_soft_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_soft_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_softfet_inverter.dir/fig04_softfet_inverter.cpp.o"
+  "CMakeFiles/fig04_softfet_inverter.dir/fig04_softfet_inverter.cpp.o.d"
+  "fig04_softfet_inverter"
+  "fig04_softfet_inverter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_softfet_inverter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_iso_imax.dir/fig05_iso_imax.cpp.o"
+  "CMakeFiles/fig05_iso_imax.dir/fig05_iso_imax.cpp.o.d"
+  "fig05_iso_imax"
+  "fig05_iso_imax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_iso_imax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_design_space.dir/fig06_design_space.cpp.o"
+  "CMakeFiles/fig06_design_space.dir/fig06_design_space.cpp.o.d"
+  "fig06_design_space"
+  "fig06_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_charge.dir/fig07_charge.cpp.o"
+  "CMakeFiles/fig07_charge.dir/fig07_charge.cpp.o.d"
+  "fig07_charge"
+  "fig07_charge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_charge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

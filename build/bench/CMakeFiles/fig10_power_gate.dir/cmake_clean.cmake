@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_power_gate.dir/fig10_power_gate.cpp.o"
+  "CMakeFiles/fig10_power_gate.dir/fig10_power_gate.cpp.o.d"
+  "fig10_power_gate"
+  "fig10_power_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_power_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_io_buffer.dir/fig11_io_buffer.cpp.o"
+  "CMakeFiles/fig11_io_buffer.dir/fig11_io_buffer.cpp.o.d"
+  "fig11_io_buffer"
+  "fig11_io_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_io_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3a_dc_noise_margin.dir/sec3a_dc_noise_margin.cpp.o"
+  "CMakeFiles/sec3a_dc_noise_margin.dir/sec3a_dc_noise_margin.cpp.o.d"
+  "sec3a_dc_noise_margin"
+  "sec3a_dc_noise_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3a_dc_noise_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3a_dc_noise_margin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_ptm_params.dir/sensitivity_ptm_params.cpp.o"
+  "CMakeFiles/sensitivity_ptm_params.dir/sensitivity_ptm_params.cpp.o.d"
+  "sensitivity_ptm_params"
+  "sensitivity_ptm_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_ptm_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

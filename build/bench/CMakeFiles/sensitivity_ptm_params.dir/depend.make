@@ -1,0 +1,2 @@
+# Empty dependencies file for sensitivity_ptm_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ptm_applications.dir/table1_ptm_applications.cpp.o"
+  "CMakeFiles/table1_ptm_applications.dir/table1_ptm_applications.cpp.o.d"
+  "table1_ptm_applications"
+  "table1_ptm_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ptm_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

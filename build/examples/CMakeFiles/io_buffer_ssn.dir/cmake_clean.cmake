@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_buffer_ssn.dir/io_buffer_ssn.cpp.o"
+  "CMakeFiles/io_buffer_ssn.dir/io_buffer_ssn.cpp.o.d"
+  "io_buffer_ssn"
+  "io_buffer_ssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_buffer_ssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

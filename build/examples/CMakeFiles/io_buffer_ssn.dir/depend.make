@@ -1,0 +1,2 @@
+# Empty dependencies file for io_buffer_ssn.
+# This may be replaced when dependencies are built.

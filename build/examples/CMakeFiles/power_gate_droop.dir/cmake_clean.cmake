@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_gate_droop.dir/power_gate_droop.cpp.o"
+  "CMakeFiles/power_gate_droop.dir/power_gate_droop.cpp.o.d"
+  "power_gate_droop"
+  "power_gate_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_gate_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+Three-stage buffer chain with subcircuits and parameters
+.param vcc=1
+.model nch nmos
+.model pch pmos
+
+.subckt inv in out vdd wn=120n
+MP out in vdd vdd pch W={2*wn} L=40n
+MN out in 0 0 nch W={wn} L=40n
+.ends
+
+Vdd vdd 0 {vcc}
+Vin a 0 PULSE(0 {vcc} 100p 20p 20p 400p 1n)
+
+X1 a b vdd inv
+X2 b c vdd inv wn=480n
+X3 c d vdd inv wn=1.92u
+Cpad d 0 100f
+
+.tran 1p 2n
+.end

@@ -1,0 +1,10 @@
+PDN impedance scan (AC analysis)
+* 1 A AC current probe into the rail: |v(rail)| is |Z(f)|.
+Iprobe rail 0 DC 0 AC 1
+Lpkg vreg pkg 500p
+Rpkg pkg rail 30m
+Resr rail dcap 50m
+Cdec dcap 0 100p
+Vreg vreg 0 1
+.ac dec 4 1meg 100g
+.end

@@ -1,0 +1,10 @@
+PTM I-V hysteresis (paper Fig. 2 setup)
+.model vo2 ptm rins=500k rmet=5k vimt=0.4 vmit=0.3 tptm=10p
+
+Vs in 0 0
+Rs in dev 1k
+P1 dev 0 vo2
+
+* Sweep the bias up; rerun with a falling range to trace the other branch.
+.dc Vs 0 0.6 0.01
+.end

@@ -1,0 +1,20 @@
+Soft-FET inverter, falling input (paper Fig. 4 setup)
+.param vcc=1 tedge=30p
+.model vo2 ptm rins=500k rmet=5k vimt=0.4 vmit=0.3 tptm=10p
+.model nch nmos
+.model pch pmos
+
+Vdd vdd 0 {vcc}
+Vin in 0 PWL(0 {vcc} 100p {vcc} {100p + tedge} 0)
+
+* PTM in series with the common gate: the Soft-FET.
+P1 in g vo2
+MP out g vdd vdd pch W=240n L=40n
+MN out g 0 0 nch W=120n L=40n
+Cl out 0 2f
+
+.tran 1p 1n
+.measure tran imax MIN i(vdd)
+.measure tran vout_final MAX v(out) FROM=0.9n
+.measure tran tdelay TRIG v(in) VAL=0.5 FALL=1 TARG v(out) VAL=0.8 RISE=1
+.end

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/hyperfet.cpp" "src/cells/CMakeFiles/softfet_cells.dir/hyperfet.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/hyperfet.cpp.o.d"
+  "/root/repo/src/cells/inverter.cpp" "src/cells/CMakeFiles/softfet_cells.dir/inverter.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/inverter.cpp.o.d"
+  "/root/repo/src/cells/io_buffer.cpp" "src/cells/CMakeFiles/softfet_cells.dir/io_buffer.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/io_buffer.cpp.o.d"
+  "/root/repo/src/cells/pdn.cpp" "src/cells/CMakeFiles/softfet_cells.dir/pdn.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/pdn.cpp.o.d"
+  "/root/repo/src/cells/power_gate.cpp" "src/cells/CMakeFiles/softfet_cells.dir/power_gate.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/power_gate.cpp.o.d"
+  "/root/repo/src/cells/ring_oscillator.cpp" "src/cells/CMakeFiles/softfet_cells.dir/ring_oscillator.cpp.o" "gcc" "src/cells/CMakeFiles/softfet_cells.dir/ring_oscillator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/softfet_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softfet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_cells.dir/hyperfet.cpp.o"
+  "CMakeFiles/softfet_cells.dir/hyperfet.cpp.o.d"
+  "CMakeFiles/softfet_cells.dir/inverter.cpp.o"
+  "CMakeFiles/softfet_cells.dir/inverter.cpp.o.d"
+  "CMakeFiles/softfet_cells.dir/io_buffer.cpp.o"
+  "CMakeFiles/softfet_cells.dir/io_buffer.cpp.o.d"
+  "CMakeFiles/softfet_cells.dir/pdn.cpp.o"
+  "CMakeFiles/softfet_cells.dir/pdn.cpp.o.d"
+  "CMakeFiles/softfet_cells.dir/power_gate.cpp.o"
+  "CMakeFiles/softfet_cells.dir/power_gate.cpp.o.d"
+  "CMakeFiles/softfet_cells.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/softfet_cells.dir/ring_oscillator.cpp.o.d"
+  "libsoftfet_cells.a"
+  "libsoftfet_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

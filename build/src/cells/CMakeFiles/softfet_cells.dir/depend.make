@@ -1,0 +1,2 @@
+# Empty dependencies file for softfet_cells.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_core.dir/case_studies.cpp.o"
+  "CMakeFiles/softfet_core.dir/case_studies.cpp.o.d"
+  "CMakeFiles/softfet_core.dir/characterize.cpp.o"
+  "CMakeFiles/softfet_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/softfet_core.dir/iso_imax.cpp.o"
+  "CMakeFiles/softfet_core.dir/iso_imax.cpp.o.d"
+  "CMakeFiles/softfet_core.dir/sweeps.cpp.o"
+  "CMakeFiles/softfet_core.dir/sweeps.cpp.o.d"
+  "CMakeFiles/softfet_core.dir/variation.cpp.o"
+  "CMakeFiles/softfet_core.dir/variation.cpp.o.d"
+  "libsoftfet_core.a"
+  "libsoftfet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftfet_core.a"
+)

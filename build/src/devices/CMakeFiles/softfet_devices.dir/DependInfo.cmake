@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/capacitor.cpp" "src/devices/CMakeFiles/softfet_devices.dir/capacitor.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/capacitor.cpp.o.d"
+  "/root/repo/src/devices/controlled.cpp" "src/devices/CMakeFiles/softfet_devices.dir/controlled.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/controlled.cpp.o.d"
+  "/root/repo/src/devices/diode.cpp" "src/devices/CMakeFiles/softfet_devices.dir/diode.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/diode.cpp.o.d"
+  "/root/repo/src/devices/inductor.cpp" "src/devices/CMakeFiles/softfet_devices.dir/inductor.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/inductor.cpp.o.d"
+  "/root/repo/src/devices/mosfet.cpp" "src/devices/CMakeFiles/softfet_devices.dir/mosfet.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/mosfet.cpp.o.d"
+  "/root/repo/src/devices/ptm.cpp" "src/devices/CMakeFiles/softfet_devices.dir/ptm.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/ptm.cpp.o.d"
+  "/root/repo/src/devices/resistor.cpp" "src/devices/CMakeFiles/softfet_devices.dir/resistor.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/resistor.cpp.o.d"
+  "/root/repo/src/devices/sources.cpp" "src/devices/CMakeFiles/softfet_devices.dir/sources.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/sources.cpp.o.d"
+  "/root/repo/src/devices/vswitch.cpp" "src/devices/CMakeFiles/softfet_devices.dir/vswitch.cpp.o" "gcc" "src/devices/CMakeFiles/softfet_devices.dir/vswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softfet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_devices.dir/capacitor.cpp.o"
+  "CMakeFiles/softfet_devices.dir/capacitor.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/controlled.cpp.o"
+  "CMakeFiles/softfet_devices.dir/controlled.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/diode.cpp.o"
+  "CMakeFiles/softfet_devices.dir/diode.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/inductor.cpp.o"
+  "CMakeFiles/softfet_devices.dir/inductor.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/mosfet.cpp.o"
+  "CMakeFiles/softfet_devices.dir/mosfet.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/ptm.cpp.o"
+  "CMakeFiles/softfet_devices.dir/ptm.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/resistor.cpp.o"
+  "CMakeFiles/softfet_devices.dir/resistor.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/sources.cpp.o"
+  "CMakeFiles/softfet_devices.dir/sources.cpp.o.d"
+  "CMakeFiles/softfet_devices.dir/vswitch.cpp.o"
+  "CMakeFiles/softfet_devices.dir/vswitch.cpp.o.d"
+  "libsoftfet_devices.a"
+  "libsoftfet_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

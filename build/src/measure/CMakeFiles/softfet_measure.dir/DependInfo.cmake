@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/metrics.cpp" "src/measure/CMakeFiles/softfet_measure.dir/metrics.cpp.o" "gcc" "src/measure/CMakeFiles/softfet_measure.dir/metrics.cpp.o.d"
+  "/root/repo/src/measure/waveform.cpp" "src/measure/CMakeFiles/softfet_measure.dir/waveform.cpp.o" "gcc" "src/measure/CMakeFiles/softfet_measure.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softfet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_measure.dir/metrics.cpp.o"
+  "CMakeFiles/softfet_measure.dir/metrics.cpp.o.d"
+  "CMakeFiles/softfet_measure.dir/waveform.cpp.o"
+  "CMakeFiles/softfet_measure.dir/waveform.cpp.o.d"
+  "libsoftfet_measure.a"
+  "libsoftfet_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

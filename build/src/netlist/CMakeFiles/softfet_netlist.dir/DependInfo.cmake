@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/elaborate.cpp" "src/netlist/CMakeFiles/softfet_netlist.dir/elaborate.cpp.o" "gcc" "src/netlist/CMakeFiles/softfet_netlist.dir/elaborate.cpp.o.d"
+  "/root/repo/src/netlist/expression.cpp" "src/netlist/CMakeFiles/softfet_netlist.dir/expression.cpp.o" "gcc" "src/netlist/CMakeFiles/softfet_netlist.dir/expression.cpp.o.d"
+  "/root/repo/src/netlist/measure_eval.cpp" "src/netlist/CMakeFiles/softfet_netlist.dir/measure_eval.cpp.o" "gcc" "src/netlist/CMakeFiles/softfet_netlist.dir/measure_eval.cpp.o.d"
+  "/root/repo/src/netlist/parser.cpp" "src/netlist/CMakeFiles/softfet_netlist.dir/parser.cpp.o" "gcc" "src/netlist/CMakeFiles/softfet_netlist.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/softfet_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/softfet_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softfet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

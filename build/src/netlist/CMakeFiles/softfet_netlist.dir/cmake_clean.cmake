@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_netlist.dir/elaborate.cpp.o"
+  "CMakeFiles/softfet_netlist.dir/elaborate.cpp.o.d"
+  "CMakeFiles/softfet_netlist.dir/expression.cpp.o"
+  "CMakeFiles/softfet_netlist.dir/expression.cpp.o.d"
+  "CMakeFiles/softfet_netlist.dir/measure_eval.cpp.o"
+  "CMakeFiles/softfet_netlist.dir/measure_eval.cpp.o.d"
+  "CMakeFiles/softfet_netlist.dir/parser.cpp.o"
+  "CMakeFiles/softfet_netlist.dir/parser.cpp.o.d"
+  "libsoftfet_netlist.a"
+  "libsoftfet_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

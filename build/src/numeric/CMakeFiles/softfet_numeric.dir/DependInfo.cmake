@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/complex_lu.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/complex_lu.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/complex_lu.cpp.o.d"
+  "/root/repo/src/numeric/dense_lu.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/dense_lu.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/dense_lu.cpp.o.d"
+  "/root/repo/src/numeric/dense_matrix.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/dense_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/interp.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/interp.cpp.o.d"
+  "/root/repo/src/numeric/linear_solver.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/linear_solver.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/linear_solver.cpp.o.d"
+  "/root/repo/src/numeric/newton.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/newton.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/newton.cpp.o.d"
+  "/root/repo/src/numeric/sparse_lu.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/sparse_lu.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/sparse_lu.cpp.o.d"
+  "/root/repo/src/numeric/sparse_matrix.cpp" "src/numeric/CMakeFiles/softfet_numeric.dir/sparse_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/softfet_numeric.dir/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

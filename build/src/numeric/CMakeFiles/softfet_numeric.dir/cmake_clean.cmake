@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_numeric.dir/complex_lu.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/complex_lu.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/dense_lu.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/dense_lu.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/dense_matrix.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/interp.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/interp.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/linear_solver.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/linear_solver.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/newton.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/newton.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/sparse_lu.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/sparse_lu.cpp.o.d"
+  "CMakeFiles/softfet_numeric.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/softfet_numeric.dir/sparse_matrix.cpp.o.d"
+  "libsoftfet_numeric.a"
+  "libsoftfet_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

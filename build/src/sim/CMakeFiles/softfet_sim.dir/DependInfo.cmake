@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac_sweep.cpp" "src/sim/CMakeFiles/softfet_sim.dir/ac_sweep.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/ac_sweep.cpp.o.d"
+  "/root/repo/src/sim/circuit.cpp" "src/sim/CMakeFiles/softfet_sim.dir/circuit.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/circuit.cpp.o.d"
+  "/root/repo/src/sim/dc_sweep.cpp" "src/sim/CMakeFiles/softfet_sim.dir/dc_sweep.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/dc_sweep.cpp.o.d"
+  "/root/repo/src/sim/mna_system.cpp" "src/sim/CMakeFiles/softfet_sim.dir/mna_system.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/mna_system.cpp.o.d"
+  "/root/repo/src/sim/op.cpp" "src/sim/CMakeFiles/softfet_sim.dir/op.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/op.cpp.o.d"
+  "/root/repo/src/sim/result.cpp" "src/sim/CMakeFiles/softfet_sim.dir/result.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/result.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/softfet_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/softfet_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

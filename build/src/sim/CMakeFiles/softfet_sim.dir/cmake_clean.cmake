@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_sim.dir/ac_sweep.cpp.o"
+  "CMakeFiles/softfet_sim.dir/ac_sweep.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/circuit.cpp.o"
+  "CMakeFiles/softfet_sim.dir/circuit.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/dc_sweep.cpp.o"
+  "CMakeFiles/softfet_sim.dir/dc_sweep.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/mna_system.cpp.o"
+  "CMakeFiles/softfet_sim.dir/mna_system.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/op.cpp.o"
+  "CMakeFiles/softfet_sim.dir/op.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/result.cpp.o"
+  "CMakeFiles/softfet_sim.dir/result.cpp.o.d"
+  "CMakeFiles/softfet_sim.dir/transient.cpp.o"
+  "CMakeFiles/softfet_sim.dir/transient.cpp.o.d"
+  "libsoftfet_sim.a"
+  "libsoftfet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

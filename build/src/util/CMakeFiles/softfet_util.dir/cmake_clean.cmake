@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softfet_util.dir/csv.cpp.o"
+  "CMakeFiles/softfet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/softfet_util.dir/error.cpp.o"
+  "CMakeFiles/softfet_util.dir/error.cpp.o.d"
+  "CMakeFiles/softfet_util.dir/logging.cpp.o"
+  "CMakeFiles/softfet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/softfet_util.dir/strings.cpp.o"
+  "CMakeFiles/softfet_util.dir/strings.cpp.o.d"
+  "CMakeFiles/softfet_util.dir/table.cpp.o"
+  "CMakeFiles/softfet_util.dir/table.cpp.o.d"
+  "CMakeFiles/softfet_util.dir/units.cpp.o"
+  "CMakeFiles/softfet_util.dir/units.cpp.o.d"
+  "libsoftfet_util.a"
+  "libsoftfet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softfet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

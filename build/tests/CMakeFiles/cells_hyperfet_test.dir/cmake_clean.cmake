@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_hyperfet_test.dir/cells_hyperfet_test.cpp.o"
+  "CMakeFiles/cells_hyperfet_test.dir/cells_hyperfet_test.cpp.o.d"
+  "cells_hyperfet_test"
+  "cells_hyperfet_test.pdb"
+  "cells_hyperfet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_hyperfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

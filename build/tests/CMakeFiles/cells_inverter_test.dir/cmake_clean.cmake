@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_inverter_test.dir/cells_inverter_test.cpp.o"
+  "CMakeFiles/cells_inverter_test.dir/cells_inverter_test.cpp.o.d"
+  "cells_inverter_test"
+  "cells_inverter_test.pdb"
+  "cells_inverter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_inverter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

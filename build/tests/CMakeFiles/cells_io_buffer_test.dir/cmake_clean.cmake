@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_io_buffer_test.dir/cells_io_buffer_test.cpp.o"
+  "CMakeFiles/cells_io_buffer_test.dir/cells_io_buffer_test.cpp.o.d"
+  "cells_io_buffer_test"
+  "cells_io_buffer_test.pdb"
+  "cells_io_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_io_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

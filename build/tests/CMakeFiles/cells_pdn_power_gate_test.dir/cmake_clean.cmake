@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_pdn_power_gate_test.dir/cells_pdn_power_gate_test.cpp.o"
+  "CMakeFiles/cells_pdn_power_gate_test.dir/cells_pdn_power_gate_test.cpp.o.d"
+  "cells_pdn_power_gate_test"
+  "cells_pdn_power_gate_test.pdb"
+  "cells_pdn_power_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_pdn_power_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

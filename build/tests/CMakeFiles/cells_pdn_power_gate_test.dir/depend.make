@@ -1,0 +1,2 @@
+# Empty dependencies file for cells_pdn_power_gate_test.
+# This may be replaced when dependencies are built.

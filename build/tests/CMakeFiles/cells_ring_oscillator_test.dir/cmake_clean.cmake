@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cells_ring_oscillator_test.dir/cells_ring_oscillator_test.cpp.o"
+  "CMakeFiles/cells_ring_oscillator_test.dir/cells_ring_oscillator_test.cpp.o.d"
+  "cells_ring_oscillator_test"
+  "cells_ring_oscillator_test.pdb"
+  "cells_ring_oscillator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cells_ring_oscillator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_case_studies_test.dir/core_case_studies_test.cpp.o"
+  "CMakeFiles/core_case_studies_test.dir/core_case_studies_test.cpp.o.d"
+  "core_case_studies_test"
+  "core_case_studies_test.pdb"
+  "core_case_studies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_case_studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

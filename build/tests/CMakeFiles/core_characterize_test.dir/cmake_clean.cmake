@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_characterize_test.dir/core_characterize_test.cpp.o"
+  "CMakeFiles/core_characterize_test.dir/core_characterize_test.cpp.o.d"
+  "core_characterize_test"
+  "core_characterize_test.pdb"
+  "core_characterize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_iso_imax_test.dir/core_iso_imax_test.cpp.o"
+  "CMakeFiles/core_iso_imax_test.dir/core_iso_imax_test.cpp.o.d"
+  "core_iso_imax_test"
+  "core_iso_imax_test.pdb"
+  "core_iso_imax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_iso_imax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

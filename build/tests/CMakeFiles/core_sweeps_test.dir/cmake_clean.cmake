@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sweeps_test.dir/core_sweeps_test.cpp.o"
+  "CMakeFiles/core_sweeps_test.dir/core_sweeps_test.cpp.o.d"
+  "core_sweeps_test"
+  "core_sweeps_test.pdb"
+  "core_sweeps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_variation_test.dir/core_variation_test.cpp.o"
+  "CMakeFiles/core_variation_test.dir/core_variation_test.cpp.o.d"
+  "core_variation_test"
+  "core_variation_test.pdb"
+  "core_variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

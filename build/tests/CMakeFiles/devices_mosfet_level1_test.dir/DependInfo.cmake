@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/devices_mosfet_level1_test.cpp" "tests/CMakeFiles/devices_mosfet_level1_test.dir/devices_mosfet_level1_test.cpp.o" "gcc" "tests/CMakeFiles/devices_mosfet_level1_test.dir/devices_mosfet_level1_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/softfet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/softfet_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/softfet_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/softfet_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/softfet_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softfet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/softfet_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/softfet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_mosfet_level1_test.dir/devices_mosfet_level1_test.cpp.o"
+  "CMakeFiles/devices_mosfet_level1_test.dir/devices_mosfet_level1_test.cpp.o.d"
+  "devices_mosfet_level1_test"
+  "devices_mosfet_level1_test.pdb"
+  "devices_mosfet_level1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_mosfet_level1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_mosfet_test.dir/devices_mosfet_test.cpp.o"
+  "CMakeFiles/devices_mosfet_test.dir/devices_mosfet_test.cpp.o.d"
+  "devices_mosfet_test"
+  "devices_mosfet_test.pdb"
+  "devices_mosfet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_mosfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

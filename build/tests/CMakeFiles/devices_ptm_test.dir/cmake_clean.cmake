@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_ptm_test.dir/devices_ptm_test.cpp.o"
+  "CMakeFiles/devices_ptm_test.dir/devices_ptm_test.cpp.o.d"
+  "devices_ptm_test"
+  "devices_ptm_test.pdb"
+  "devices_ptm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_ptm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_sources_test.dir/devices_sources_test.cpp.o"
+  "CMakeFiles/devices_sources_test.dir/devices_sources_test.cpp.o.d"
+  "devices_sources_test"
+  "devices_sources_test.pdb"
+  "devices_sources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_sources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_metrics_test.dir/measure_metrics_test.cpp.o"
+  "CMakeFiles/measure_metrics_test.dir/measure_metrics_test.cpp.o.d"
+  "measure_metrics_test"
+  "measure_metrics_test.pdb"
+  "measure_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

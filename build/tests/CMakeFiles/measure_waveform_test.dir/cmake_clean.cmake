@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_waveform_test.dir/measure_waveform_test.cpp.o"
+  "CMakeFiles/measure_waveform_test.dir/measure_waveform_test.cpp.o.d"
+  "measure_waveform_test"
+  "measure_waveform_test.pdb"
+  "measure_waveform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

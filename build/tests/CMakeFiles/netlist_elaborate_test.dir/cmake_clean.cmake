@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_elaborate_test.dir/netlist_elaborate_test.cpp.o"
+  "CMakeFiles/netlist_elaborate_test.dir/netlist_elaborate_test.cpp.o.d"
+  "netlist_elaborate_test"
+  "netlist_elaborate_test.pdb"
+  "netlist_elaborate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_elaborate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_expression_test.dir/netlist_expression_test.cpp.o"
+  "CMakeFiles/netlist_expression_test.dir/netlist_expression_test.cpp.o.d"
+  "netlist_expression_test"
+  "netlist_expression_test.pdb"
+  "netlist_expression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_expression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

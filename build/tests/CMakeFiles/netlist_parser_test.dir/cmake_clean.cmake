@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_parser_test.dir/netlist_parser_test.cpp.o"
+  "CMakeFiles/netlist_parser_test.dir/netlist_parser_test.cpp.o.d"
+  "netlist_parser_test"
+  "netlist_parser_test.pdb"
+  "netlist_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_dense_test.dir/numeric_dense_test.cpp.o"
+  "CMakeFiles/numeric_dense_test.dir/numeric_dense_test.cpp.o.d"
+  "numeric_dense_test"
+  "numeric_dense_test.pdb"
+  "numeric_dense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

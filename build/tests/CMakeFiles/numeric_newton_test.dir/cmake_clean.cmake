@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_newton_test.dir/numeric_newton_test.cpp.o"
+  "CMakeFiles/numeric_newton_test.dir/numeric_newton_test.cpp.o.d"
+  "numeric_newton_test"
+  "numeric_newton_test.pdb"
+  "numeric_newton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_newton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_mosfet_test.dir/property_mosfet_test.cpp.o"
+  "CMakeFiles/property_mosfet_test.dir/property_mosfet_test.cpp.o.d"
+  "property_mosfet_test"
+  "property_mosfet_test.pdb"
+  "property_mosfet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_mosfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_ptm_test.dir/property_ptm_test.cpp.o"
+  "CMakeFiles/property_ptm_test.dir/property_ptm_test.cpp.o.d"
+  "property_ptm_test"
+  "property_ptm_test.pdb"
+  "property_ptm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_ptm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_transient_test.dir/property_transient_test.cpp.o"
+  "CMakeFiles/property_transient_test.dir/property_transient_test.cpp.o.d"
+  "property_transient_test"
+  "property_transient_test.pdb"
+  "property_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ac_test.dir/sim_ac_test.cpp.o"
+  "CMakeFiles/sim_ac_test.dir/sim_ac_test.cpp.o.d"
+  "sim_ac_test"
+  "sim_ac_test.pdb"
+  "sim_ac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_circuit_test.dir/sim_circuit_test.cpp.o"
+  "CMakeFiles/sim_circuit_test.dir/sim_circuit_test.cpp.o.d"
+  "sim_circuit_test"
+  "sim_circuit_test.pdb"
+  "sim_circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dc_test.dir/sim_dc_test.cpp.o"
+  "CMakeFiles/sim_dc_test.dir/sim_dc_test.cpp.o.d"
+  "sim_dc_test"
+  "sim_dc_test.pdb"
+  "sim_dc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_robustness_test.dir/sim_robustness_test.cpp.o"
+  "CMakeFiles/sim_robustness_test.dir/sim_robustness_test.cpp.o.d"
+  "sim_robustness_test"
+  "sim_robustness_test.pdb"
+  "sim_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_transient_rc_test.dir/sim_transient_rc_test.cpp.o"
+  "CMakeFiles/sim_transient_rc_test.dir/sim_transient_rc_test.cpp.o.d"
+  "sim_transient_rc_test"
+  "sim_transient_rc_test.pdb"
+  "sim_transient_rc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_transient_rc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
