@@ -1,12 +1,22 @@
-// Simulator kernel performance (google-benchmark): linear solves, DC
-// operating points, transient steps/second, and a full Soft-FET inverter
-// characterization.
+// Simulator kernel performance (google-benchmark): linear solves, the
+// cached-refactorization path, DC operating points, transient steps/second,
+// Monte Carlo scaling, and a full Soft-FET inverter characterization.
+//
+// Machine-readable trajectory: run with
+//   perf_simulator --benchmark_format=json > BENCH_perf.json
+// (or `cmake --build build --target perf_json`) so successive PRs can diff
+// kernel throughput.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <limits>
+#include <map>
 #include <random>
+#include <stdexcept>
 
 #include "cells/inverter.hpp"
 #include "core/characterize.hpp"
+#include "core/variation.hpp"
 #include "devices/capacitor.hpp"
 #include "devices/ptm.hpp"
 #include "devices/resistor.hpp"
@@ -14,6 +24,7 @@
 #include "numeric/dense_lu.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "sim/analyses.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -28,6 +39,82 @@ numeric::SparseMatrix random_system(std::size_t n, std::mt19937& rng) {
   return a;
 }
 
+/// The seed's map-based right-looking LU (pre-CSR), kept verbatim here as
+/// the reference point for the refactorization speedup claims.
+class LegacyMapLu {
+ public:
+  explicit LegacyMapLu(const numeric::SparseMatrix& a) {
+    const std::size_t n = a.size();
+    rows_.resize(n);
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[i] = a.row(i);
+      perm_[i] = i;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t pivot_row = n;
+      double pivot_mag = 0.0;
+      for (std::size_t i = k; i < n; ++i) {
+        const auto it = rows_[i].find(k);
+        if (it == rows_[i].end()) continue;
+        const double mag = std::fabs(it->second);
+        if (mag > pivot_mag) {
+          pivot_mag = mag;
+          pivot_row = i;
+        }
+      }
+      if (pivot_row == n || !(pivot_mag > 0.0)) {
+        throw std::runtime_error("LegacyMapLu: singular");
+      }
+      if (pivot_row != k) {
+        std::swap(rows_[k], rows_[pivot_row]);
+        std::swap(perm_[k], perm_[pivot_row]);
+      }
+      const auto& pivot_entries = rows_[k];
+      const double pivot = pivot_entries.at(k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        auto& row = rows_[i];
+        const auto it = row.find(k);
+        if (it == row.end()) continue;
+        const double factor = it->second / pivot;
+        it->second = factor;
+        if (factor == 0.0) continue;
+        for (auto pit = pivot_entries.upper_bound(k);
+             pit != pivot_entries.end(); ++pit) {
+          row[pit->first] -= factor * pit->second;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const {
+    const std::size_t n = rows_.size();
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = b[perm_[i]];
+      const auto& row = rows_[i];
+      for (auto it = row.begin(); it != row.end() && it->first < i; ++it) {
+        acc -= it->second * y[it->first];
+      }
+      y[i] = acc;
+    }
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc = y[ii];
+      const auto& row = rows_[ii];
+      for (auto it = row.upper_bound(ii); it != row.end(); ++it) {
+        acc -= it->second * x[it->first];
+      }
+      x[ii] = acc / row.at(ii);
+    }
+    return x;
+  }
+
+ private:
+  std::vector<std::map<std::size_t, double>> rows_;
+  std::vector<std::size_t> perm_;
+};
+
 void BM_DenseLuSolve(benchmark::State& state) {
   std::mt19937 rng(1);
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -39,6 +126,20 @@ void BM_DenseLuSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(64)->Arg(128);
 
+// The seed's solver: full map-based factorization on every call (what every
+// Newton iteration used to pay).
+void BM_LegacyMapLuFactorSolve(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng);
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LegacyMapLu(a).solve(b));
+  }
+}
+BENCHMARK(BM_LegacyMapLuFactorSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+// Fresh CSR factorization each call (symbolic analysis every time).
 void BM_SparseLuSolve(benchmark::State& state) {
   std::mt19937 rng(1);
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -49,6 +150,27 @@ void BM_SparseLuSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseLuSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+// The hot path after this PR: analyze once, then numeric refactor + solve on
+// every call with the values refreshed in place (fixed pattern), exactly the
+// shape of a Newton iteration.
+void BM_SparseLuRefactorSolve(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = random_system(n, rng);
+  const std::vector<double> b(n, 1.0);
+  numeric::SparseLu lu(a);
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  if (lu.analyze_count() != 1) {
+    state.SkipWithError("refactor path fell back to analysis");
+  }
+  state.counters["refactors"] =
+      static_cast<double>(lu.refactor_count());
+}
+BENCHMARK(BM_SparseLuRefactorSolve)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_RcLadderDcOp(benchmark::State& state) {
   const int stages = static_cast<int>(state.range(0));
@@ -92,6 +214,34 @@ void BM_RcTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_RcTransient);
 
+// RC-ladder transient above the dense threshold: every timestep rides the
+// cached sparse refactorization.
+void BM_RcLadderTransient(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Circuit c;
+    auto prev = c.node("in");
+    c.add<devices::VSource>(
+        "Vin", prev, sim::kGroundNode,
+        devices::SourceSpec::pulse(0.0, 1.0, 1e-9, 1e-12, 1e-12, 1.0));
+    for (int i = 0; i < stages; ++i) {
+      const auto next = c.node("n" + std::to_string(i));
+      c.add<devices::Resistor>("R" + std::to_string(i), prev, next, 100.0);
+      c.add<devices::Capacitor>("C" + std::to_string(i), next,
+                                sim::kGroundNode, 1e-12);
+      prev = next;
+    }
+    state.ResumeTiming();
+    const auto result = sim::run_transient(c, 1e-6);
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(result.accepted_steps),
+        benchmark::Counter::kIsIterationInvariantRate);
+    benchmark::DoNotOptimize(result.accepted_steps);
+  }
+}
+BENCHMARK(BM_RcLadderTransient)->Arg(50)->Unit(benchmark::kMillisecond);
+
 void BM_SoftFetInverterCharacterization(benchmark::State& state) {
   cells::InverterTestbenchSpec spec;
   spec.input_transition = 30e-12;
@@ -102,6 +252,26 @@ void BM_SoftFetInverterCharacterization(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftFetInverterCharacterization);
+
+// Monte Carlo variability study, serial vs. thread pool (arg = worker
+// count; 0 lets the pool use every hardware thread). Statistics are
+// identical across arguments — only the wall clock moves.
+void BM_PtmMonteCarlo(benchmark::State& state) {
+  cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = devices::PtmParams{};
+  core::MonteCarloSpec mc;
+  mc.samples = 8;
+  mc.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ptm_monte_carlo(spec, mc));
+  }
+  state.counters["workers"] = static_cast<double>(
+      mc.threads == 0 ? util::hardware_threads()
+                      : static_cast<std::size_t>(mc.threads));
+}
+BENCHMARK(BM_PtmMonteCarlo)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

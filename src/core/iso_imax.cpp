@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace softfet::core {
 
@@ -79,67 +80,89 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
 
   const auto base = baseline_of(spec.base);
 
-  // --- HVT: raise |VT| of both devices until I_MAX matches --------------
-  result.hvt_delta_vt = bisect_to_target(
-      [&](double dvt) {
-        auto s = with_vcc(base, spec.calibration_vcc);
-        s.dut.nmos_model.vt0 += dvt;
-        s.dut.pmos_model.vt0 += dvt;
-        return imax_of(s, options);
-      },
-      0.0, 0.45, result.target_imax, /*increasing=*/false, spec.tolerance);
-
-  // --- series R: constant gate resistance ------------------------------
-  result.series_r = bisect_to_target(
-      [&](double log_r) {
-        auto s = with_vcc(base, spec.calibration_vcc);
-        s.dut.gate_series_r = std::exp(log_r);
-        return imax_of(s, options);
-      },
-      std::log(10.0), std::log(1e8), result.target_imax,
-      /*increasing=*/false, spec.tolerance);
-  result.series_r = std::exp(result.series_r);
-
-  // --- stacked: two in series, width-scaled to hit the target ----------
-  result.stack_width_mult = bisect_to_target(
-      [&](double mult) {
-        auto s = with_vcc(base, spec.calibration_vcc);
-        s.dut.stack = 2;
-        s.dut.m = spec.base.dut.m * mult;
-        return imax_of(s, options);
-      },
-      0.1, 6.0, result.target_imax, /*increasing=*/true, spec.tolerance);
+  // --- calibrate the three iso-I_MAX knobs (independent bisections) -----
+  const auto calibrate_hvt = [&] {
+    result.hvt_delta_vt = bisect_to_target(
+        [&](double dvt) {
+          auto s = with_vcc(base, spec.calibration_vcc);
+          s.dut.nmos_model.vt0 += dvt;
+          s.dut.pmos_model.vt0 += dvt;
+          return imax_of(s, options);
+        },
+        0.0, 0.45, result.target_imax, /*increasing=*/false, spec.tolerance);
+  };
+  const auto calibrate_series_r = [&] {
+    result.series_r = bisect_to_target(
+        [&](double log_r) {
+          auto s = with_vcc(base, spec.calibration_vcc);
+          s.dut.gate_series_r = std::exp(log_r);
+          return imax_of(s, options);
+        },
+        std::log(10.0), std::log(1e8), result.target_imax,
+        /*increasing=*/false, spec.tolerance);
+    result.series_r = std::exp(result.series_r);
+  };
+  const auto calibrate_stack = [&] {
+    result.stack_width_mult = bisect_to_target(
+        [&](double mult) {
+          auto s = with_vcc(base, spec.calibration_vcc);
+          s.dut.stack = 2;
+          s.dut.m = spec.base.dut.m * mult;
+          return imax_of(s, options);
+        },
+        0.1, 6.0, result.target_imax, /*increasing=*/true, spec.tolerance);
+  };
+  // Each bisection is sequential internally but they don't depend on each
+  // other; run them side by side.
+  util::parallel_for(3, [&](std::size_t task) {
+    switch (task) {
+      case 0: calibrate_hvt(); break;
+      case 1: calibrate_series_r(); break;
+      default: calibrate_stack(); break;
+    }
+  });
 
   // --- sweep VCC for every variant --------------------------------------
-  const auto record = [&](const std::string& name,
-                          const std::function<cells::InverterTestbenchSpec(double)>&
-                              make_spec) {
-    std::vector<VariantPoint> points;
-    for (const double vcc : spec.vcc_sweep) {
-      const TransitionMetrics m = characterize_inverter(make_spec(vcc), options);
-      points.push_back({vcc, m.i_max, m.max_didt, m.delay});
-    }
-    result.curves[name] = std::move(points);
+  using SpecMaker = std::function<cells::InverterTestbenchSpec(double)>;
+  const std::vector<std::pair<std::string, SpecMaker>> variants = {
+      {"softfet", [&](double vcc) { return with_vcc(spec.base, vcc); }},
+      {"baseline", [&](double vcc) { return with_vcc(base, vcc); }},
+      {"hvt",
+       [&](double vcc) {
+         auto s = with_vcc(base, vcc);
+         s.dut.nmos_model.vt0 += result.hvt_delta_vt;
+         s.dut.pmos_model.vt0 += result.hvt_delta_vt;
+         return s;
+       }},
+      {"series-r",
+       [&](double vcc) {
+         auto s = with_vcc(base, vcc);
+         s.dut.gate_series_r = result.series_r;
+         return s;
+       }},
+      {"stacked",
+       [&](double vcc) {
+         auto s = with_vcc(base, vcc);
+         s.dut.stack = 2;
+         s.dut.m = spec.base.dut.m * result.stack_width_mult;
+         return s;
+       }},
   };
 
-  record("softfet", [&](double vcc) { return with_vcc(spec.base, vcc); });
-  record("baseline", [&](double vcc) { return with_vcc(base, vcc); });
-  record("hvt", [&](double vcc) {
-    auto s = with_vcc(base, vcc);
-    s.dut.nmos_model.vt0 += result.hvt_delta_vt;
-    s.dut.pmos_model.vt0 += result.hvt_delta_vt;
-    return s;
-  });
-  record("series-r", [&](double vcc) {
-    auto s = with_vcc(base, vcc);
-    s.dut.gate_series_r = result.series_r;
-    return s;
-  });
-  record("stacked", [&](double vcc) {
-    auto s = with_vcc(base, vcc);
-    s.dut.stack = 2;
-    s.dut.m = spec.base.dut.m * result.stack_width_mult;
-    return s;
+  // Pre-size every curve, then characterize the whole (variant, vcc) grid
+  // as one flat parallel batch writing into disjoint slots.
+  const std::size_t sweep_size = spec.vcc_sweep.size();
+  for (const auto& [name, make_spec] : variants) {
+    (void)make_spec;
+    result.curves[name].resize(sweep_size);
+  }
+  util::parallel_for(variants.size() * sweep_size, [&](std::size_t task) {
+    const std::size_t v = task / sweep_size;
+    const std::size_t i = task % sweep_size;
+    const double vcc = spec.vcc_sweep[i];
+    const TransitionMetrics m =
+        characterize_inverter(variants[v].second(vcc), options);
+    result.curves[variants[v].first][i] = {vcc, m.i_max, m.max_didt, m.delay};
   });
 
   return result;

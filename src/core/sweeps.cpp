@@ -1,6 +1,7 @@
 #include "core/sweeps.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace softfet::core {
 
@@ -17,20 +18,25 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
     const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
     const std::vector<double>& v_mit, const sim::SimOptions& options) {
   require_softfet(base, "sweep_vimt_vmit");
+
+  // Enumerate the feasible grid first so the characterizations can run as
+  // one flat parallel batch with a stable output order.
   std::vector<DesignSpacePoint> points;
   for (const double imt : v_imt) {
     for (const double mit : v_mit) {
       if (mit >= imt) continue;  // infeasible hysteresis window
-      auto spec = base;
-      spec.dut.ptm->v_imt = imt;
-      spec.dut.ptm->v_mit = mit;
       DesignSpacePoint point;
       point.v_imt = imt;
       point.v_mit = mit;
-      point.metrics = characterize_inverter(spec, options);
       points.push_back(std::move(point));
     }
   }
+  util::parallel_for(points.size(), [&](std::size_t i) {
+    auto spec = base;
+    spec.dut.ptm->v_imt = points[i].v_imt;
+    spec.dut.ptm->v_mit = points[i].v_mit;
+    points[i].metrics = characterize_inverter(spec, options);
+  });
   return points;
 }
 
@@ -38,15 +44,13 @@ std::vector<TptmPoint> sweep_tptm(const cells::InverterTestbenchSpec& base,
                                   const std::vector<double>& t_ptm_values,
                                   const sim::SimOptions& options) {
   require_softfet(base, "sweep_tptm");
-  std::vector<TptmPoint> points;
-  for (const double t_ptm : t_ptm_values) {
+  std::vector<TptmPoint> points(t_ptm_values.size());
+  util::parallel_for(points.size(), [&](std::size_t i) {
     auto spec = base;
-    spec.dut.ptm->t_ptm = t_ptm;
-    TptmPoint point;
-    point.t_ptm = t_ptm;
-    point.metrics = characterize_inverter(spec, options);
-    points.push_back(std::move(point));
-  }
+    spec.dut.ptm->t_ptm = t_ptm_values[i];
+    points[i].t_ptm = t_ptm_values[i];
+    points[i].metrics = characterize_inverter(spec, options);
+  });
   return points;
 }
 
@@ -56,18 +60,23 @@ std::vector<SlewPoint> sweep_slew(const cells::InverterTestbenchSpec& base,
   require_softfet(base, "sweep_slew");
   auto baseline_spec = base;
   baseline_spec.dut.ptm.reset();
-  std::vector<SlewPoint> points;
-  for (const double transition : transitions) {
-    SlewPoint point;
-    point.input_transition = transition;
-    auto soft = base;
-    soft.input_transition = transition;
-    point.soft = characterize_inverter(soft, options);
-    auto plain = baseline_spec;
-    plain.input_transition = transition;
-    point.baseline = characterize_inverter(plain, options);
-    points.push_back(std::move(point));
+  std::vector<SlewPoint> points(transitions.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].input_transition = transitions[i];
   }
+  // Two independent characterizations per slew point; flatten to 2N tasks.
+  util::parallel_for(2 * points.size(), [&](std::size_t task) {
+    const std::size_t i = task / 2;
+    if (task % 2 == 0) {
+      auto soft = base;
+      soft.input_transition = transitions[i];
+      points[i].soft = characterize_inverter(soft, options);
+    } else {
+      auto plain = baseline_spec;
+      plain.input_transition = transitions[i];
+      points[i].baseline = characterize_inverter(plain, options);
+    }
+  });
   return points;
 }
 
@@ -78,25 +87,30 @@ std::vector<RatioPoint> sweep_slew_tptm_ratio(
   auto baseline_spec = base;
   baseline_spec.dut.ptm.reset();
 
-  std::vector<RatioPoint> points;
-  for (const double slew : slews) {
+  // Per-slew baseline references, computed in parallel.
+  std::vector<TransitionMetrics> refs(slews.size());
+  util::parallel_for(slews.size(), [&](std::size_t s) {
     auto plain = baseline_spec;
-    plain.input_transition = slew;
-    const TransitionMetrics ref = characterize_inverter(plain, options);
-    for (const double t_ptm : t_ptms) {
-      auto spec = base;
-      spec.input_transition = slew;
-      spec.dut.ptm->t_ptm = t_ptm;
-      const TransitionMetrics m = characterize_inverter(spec, options);
-      RatioPoint point;
-      point.slew = slew;
-      point.t_ptm = t_ptm;
-      point.ratio = slew / t_ptm;
-      point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / ref.i_max);
-      point.delay_penalty = m.delay / ref.delay;
-      points.push_back(point);
-    }
-  }
+    plain.input_transition = slews[s];
+    refs[s] = characterize_inverter(plain, options);
+  });
+
+  // The full (slew, t_ptm) grid as one flat batch.
+  std::vector<RatioPoint> points(slews.size() * t_ptms.size());
+  util::parallel_for(points.size(), [&](std::size_t task) {
+    const std::size_t s = task / t_ptms.size();
+    const std::size_t t = task % t_ptms.size();
+    auto spec = base;
+    spec.input_transition = slews[s];
+    spec.dut.ptm->t_ptm = t_ptms[t];
+    const TransitionMetrics m = characterize_inverter(spec, options);
+    RatioPoint& point = points[task];
+    point.slew = slews[s];
+    point.t_ptm = t_ptms[t];
+    point.ratio = slews[s] / t_ptms[t];
+    point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / refs[s].i_max);
+    point.delay_penalty = m.delay / refs[s].delay;
+  });
   return points;
 }
 

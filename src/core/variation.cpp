@@ -1,10 +1,13 @@
 #include "core/variation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <iterator>
 #include <random>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace softfet::core {
 
@@ -25,6 +28,8 @@ constexpr ParamInfo kParams[] = {
     {"t_ptm", &devices::PtmParams::t_ptm},
 };
 
+constexpr std::size_t kParamCount = std::size(kParams);
+
 void require_softfet(const cells::InverterTestbenchSpec& base,
                      const char* who) {
   if (!base.dut.ptm) {
@@ -42,34 +47,49 @@ std::vector<SensitivityRow> ptm_sensitivity(
     throw Error("ptm_sensitivity: delta_fraction must be in (0, 0.5)");
   }
 
+  const auto metrics_at = [&](const ParamInfo& info, double scale) {
+    auto spec = base;
+    (*spec.dut.ptm).*(info.member) = ((*base.dut.ptm).*(info.member)) * scale;
+    // Perturbations can make the hysteresis window collapse; surface
+    // that as an invalid-parameter error instead of a crash.
+    spec.dut.ptm->validate();
+    return characterize_inverter(spec, options);
+  };
+
+  // The unperturbed characterization is identical for every parameter, so
+  // it runs once; the 2 perturbed runs per parameter are all independent.
+  // Flatten everything into one parallel batch (task 0 is the baseline,
+  // then hi/lo pairs per parameter).
+  TransitionMetrics mid;
+  std::vector<TransitionMetrics> hi(kParamCount);
+  std::vector<TransitionMetrics> lo(kParamCount);
+  util::parallel_for(1 + 2 * kParamCount, [&](std::size_t task) {
+    if (task == 0) {
+      mid = characterize_inverter(base, options);
+      return;
+    }
+    const std::size_t p = (task - 1) / 2;
+    const bool is_hi = (task - 1) % 2 == 0;
+    auto& out = is_hi ? hi[p] : lo[p];
+    out = metrics_at(kParams[p],
+                     is_hi ? 1.0 + delta_fraction : 1.0 - delta_fraction);
+  });
+
+  const auto central = [&](double y_hi, double y_lo, double y_mid) {
+    // %metric per %param.
+    return ((y_hi - y_lo) / y_mid) / (2.0 * delta_fraction);
+  };
+
   std::vector<SensitivityRow> rows;
-  for (const auto& info : kParams) {
-    const double nominal = (*base.dut.ptm).*(info.member);
-
-    const auto metrics_at = [&](double scale) {
-      auto spec = base;
-      (*spec.dut.ptm).*(info.member) = nominal * scale;
-      // Perturbations can make the hysteresis window collapse; surface
-      // that as an invalid-parameter error instead of a crash.
-      spec.dut.ptm->validate();
-      return characterize_inverter(spec, options);
-    };
-
-    const TransitionMetrics hi = metrics_at(1.0 + delta_fraction);
-    const TransitionMetrics lo = metrics_at(1.0 - delta_fraction);
-
-    const auto central = [&](double y_hi, double y_lo, double y_mid) {
-      // %metric per %param.
-      return ((y_hi - y_lo) / y_mid) / (2.0 * delta_fraction);
-    };
-    const TransitionMetrics mid = metrics_at(1.0);
-
+  rows.reserve(kParamCount);
+  for (std::size_t p = 0; p < kParamCount; ++p) {
     SensitivityRow row;
-    row.parameter = info.name;
-    row.nominal = nominal;
-    row.imax_sensitivity = central(hi.i_max, lo.i_max, mid.i_max);
-    row.didt_sensitivity = central(hi.max_didt, lo.max_didt, mid.max_didt);
-    row.delay_sensitivity = central(hi.delay, lo.delay, mid.delay);
+    row.parameter = kParams[p].name;
+    row.nominal = (*base.dut.ptm).*(kParams[p].member);
+    row.imax_sensitivity = central(hi[p].i_max, lo[p].i_max, mid.i_max);
+    row.didt_sensitivity =
+        central(hi[p].max_didt, lo[p].max_didt, mid.max_didt);
+    row.delay_sensitivity = central(hi[p].delay, lo[p].delay, mid.delay);
     rows.push_back(std::move(row));
   }
   return rows;
@@ -81,26 +101,24 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
   require_softfet(base, "ptm_monte_carlo");
   if (mc.samples < 2) throw Error("ptm_monte_carlo: need >= 2 samples");
 
-  const double baseline_imax = [&] {
-    auto spec = base;
-    spec.dut.ptm.reset();
-    return characterize_inverter(spec, options).i_max;
-  }();
+  const auto sample_count = static_cast<std::size_t>(mc.samples);
+  double baseline_imax = 0.0;
+  std::vector<double> imaxes(sample_count, 0.0);
+  std::vector<double> delays(sample_count, 0.0);
 
-  std::mt19937 rng(mc.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  const auto draw = [&](double nominal, double sigma_rel) {
-    // Truncate at +-3 sigma so extreme tails can't invert the hysteresis.
-    double z = gauss(rng);
-    z = std::clamp(z, -3.0, 3.0);
-    return nominal * (1.0 + sigma_rel * z);
-  };
+  // Every sample owns an independent RNG stream seeded from mc.seed + k, so
+  // the draws — and therefore the statistics — are identical for any worker
+  // count, including the serial path.
+  const auto run_sample = [&](std::size_t k) {
+    std::mt19937 rng(mc.seed + static_cast<unsigned>(k));
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    const auto draw = [&](double nominal, double sigma_rel) {
+      // Truncate at +-3 sigma so extreme tails can't invert the hysteresis.
+      double z = gauss(rng);
+      z = std::clamp(z, -3.0, 3.0);
+      return nominal * (1.0 + sigma_rel * z);
+    };
 
-  MonteCarloStats stats;
-  std::vector<double> imaxes;
-  std::vector<double> delays;
-  int beat_baseline = 0;
-  for (int k = 0; k < mc.samples; ++k) {
     auto spec = base;
     auto& p = *spec.dut.ptm;
     for (int attempt = 0; attempt < 100; ++attempt) {
@@ -114,12 +132,39 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
         break;
       }
     }
+    try {
+      p.validate();
+    } catch (const Error& e) {
+      throw Error("ptm_monte_carlo: sample " + std::to_string(k) +
+                  " found no valid PTM parameter draw in 100 attempts (" +
+                  e.what() + "); check the sigma_* spreads against the card");
+    }
     const TransitionMetrics m = characterize_inverter(spec, options);
-    imaxes.push_back(m.i_max);
-    delays.push_back(m.delay);
-    if (m.i_max < baseline_imax) ++beat_baseline;
-  }
+    imaxes[k] = m.i_max;
+    delays[k] = m.delay;
+  };
 
+  // Task 0 is the PTM-less baseline; tasks 1..N are the samples.
+  util::parallel_for(
+      sample_count + 1,
+      [&](std::size_t task) {
+        if (task == 0) {
+          auto spec = base;
+          spec.dut.ptm.reset();
+          baseline_imax = characterize_inverter(spec, options).i_max;
+          return;
+        }
+        run_sample(task - 1);
+      },
+      static_cast<std::size_t>(std::max(mc.threads, 0)));
+
+  // Reductions stay serial and index-ordered so the floating-point
+  // accumulation order — hence the result — is thread-count independent.
+  MonteCarloStats stats;
+  int beat_baseline = 0;
+  for (const double imax : imaxes) {
+    if (imax < baseline_imax) ++beat_baseline;
+  }
   const auto mean_std = [](const std::vector<double>& v, double& mean,
                            double& stddev, double& worst) {
     mean = 0.0;

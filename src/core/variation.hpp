@@ -36,6 +36,10 @@ struct MonteCarloSpec {
   double sigma_threshold = 0.05;   ///< relative sigma of V_IMT / V_MIT
   double sigma_resistance = 0.15;  ///< relative sigma of R_INS / R_MET
   double sigma_tptm = 0.10;        ///< relative sigma of T_PTM
+  /// Worker threads for the sample loop: 0 = all hardware threads,
+  /// 1 = serial. Results are identical for every setting (each sample has
+  /// its own RNG stream seeded from `seed` + sample index).
+  int threads = 0;
 };
 
 struct MonteCarloStats {

@@ -19,8 +19,9 @@ std::vector<Complex> ComplexMatrix::multiply(
   return y;
 }
 
-ComplexLu::ComplexLu(const ComplexMatrix& a) : lu_(a) {
+void ComplexLu::factor(const ComplexMatrix& a) {
   if (a.rows() != a.cols()) throw Error("ComplexLu: matrix must be square");
+  lu_ = a;
   const std::size_t n = a.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;

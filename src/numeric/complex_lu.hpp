@@ -40,7 +40,13 @@ class ComplexMatrix {
 /// Factor A = P*L*U and solve A x = b. Throws ConvergenceError when singular.
 class ComplexLu {
  public:
-  explicit ComplexLu(const ComplexMatrix& a);
+  ComplexLu() = default;
+  explicit ComplexLu(const ComplexMatrix& a) { factor(a); }
+
+  /// Factorize a copy of `a`, reusing internal storage across calls (AC
+  /// sweeps refactor the same-size system at every frequency point).
+  void factor(const ComplexMatrix& a);
+
   [[nodiscard]] std::vector<Complex> solve(const std::vector<Complex>& b) const;
 
  private:

@@ -7,8 +7,9 @@
 
 namespace softfet::numeric {
 
-DenseLu::DenseLu(const DenseMatrix& a) : lu_(a) {
+void DenseLu::factor(const DenseMatrix& a) {
   if (a.rows() != a.cols()) throw Error("DenseLu: matrix must be square");
+  lu_ = a;
   const std::size_t n = a.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;

@@ -12,8 +12,14 @@ namespace softfet::numeric {
 /// Throws softfet::ConvergenceError if the matrix is numerically singular.
 class DenseLu {
  public:
+  DenseLu() = default;
+
   /// Factorize a copy of `a`.
-  explicit DenseLu(const DenseMatrix& a);
+  explicit DenseLu(const DenseMatrix& a) { factor(a); }
+
+  /// Factorize a copy of `a`, reusing this object's internal storage (no
+  /// reallocation when the size is unchanged — the repeated-solve hot path).
+  void factor(const DenseMatrix& a);
 
   /// Solve for one right-hand side.
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;

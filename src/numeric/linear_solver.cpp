@@ -1,18 +1,18 @@
 #include "numeric/linear_solver.hpp"
 
-#include "numeric/dense_lu.hpp"
-#include "numeric/sparse_lu.hpp"
-
 namespace softfet::numeric {
 
 std::vector<double> LinearSolver::solve(const SparseMatrix& a,
-                                        const std::vector<double>& b) const {
+                                        const std::vector<double>& b) {
   const bool dense = kind_ == SolverKind::kDense ||
                      (kind_ == SolverKind::kAuto && a.size() <= kDenseThreshold);
   if (dense) {
-    return DenseLu(a.to_dense()).solve(b);
+    a.to_dense_into(dense_);
+    dense_lu_.factor(dense_);
+    return dense_lu_.solve(b);
   }
-  return SparseLu(a).solve(b);
+  sparse_.factor(a);
+  return sparse_.solve(b);
 }
 
 }  // namespace softfet::numeric

@@ -1,9 +1,19 @@
 // Linear-solver facade: picks a dense or sparse LU based on system size.
+//
+// The solver is stateful: it caches the sparse symbolic analysis (pattern,
+// pivot order, fill structure) and the dense workspaces across calls, so a
+// Newton loop — or a whole transient — that repeatedly solves systems with
+// the same sparsity pattern pays for the analysis once and then takes the
+// numeric-only refactorization path. One LinearSolver should live per
+// analysis (per circuit); sharing across unrelated patterns is safe but
+// forfeits the caching.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "numeric/dense_lu.hpp"
+#include "numeric/sparse_lu.hpp"
 #include "numeric/sparse_matrix.hpp"
 
 namespace softfet::numeric {
@@ -14,20 +24,36 @@ enum class SolverKind {
   kSparse,
 };
 
-/// Factor-and-solve facade over DenseLu / SparseLu.
+/// Factor-and-solve facade over DenseLu / SparseLu with cached state.
 class LinearSolver {
  public:
-  static constexpr std::size_t kDenseThreshold = 128;
+  /// kAuto switches to the CSR path above this many unknowns. Kept small:
+  /// the cached refactorization beats a fresh dense factor well before the
+  /// O(n^3) crossover because it skips pivot search and densification.
+  static constexpr std::size_t kDenseThreshold = 16;
 
-  explicit LinearSolver(SolverKind kind = SolverKind::kAuto)
-      : kind_(kind) {}
+  explicit LinearSolver(SolverKind kind = SolverKind::kAuto) : kind_(kind) {}
 
-  /// Factor `a` and solve a·x = b in one call.
+  /// Factor `a` (reusing cached structure when the pattern is unchanged)
+  /// and solve a·x = b.
   [[nodiscard]] std::vector<double> solve(const SparseMatrix& a,
-                                          const std::vector<double>& b) const;
+                                          const std::vector<double>& b);
+
+  /// Drop cached factorization state (e.g. before reusing this solver for a
+  /// circuit with a different sparsity pattern).
+  void invalidate() noexcept { sparse_.invalidate(); }
+
+  [[nodiscard]] SolverKind kind() const noexcept { return kind_; }
+
+  /// Cached sparse factorization (analyze/refactor counters for tests and
+  /// benchmarks). Only meaningful after a sparse-path solve.
+  [[nodiscard]] const SparseLu& sparse() const noexcept { return sparse_; }
 
  private:
   SolverKind kind_;
+  SparseLu sparse_;
+  DenseMatrix dense_;
+  DenseLu dense_lu_;
 };
 
 }  // namespace softfet::numeric

@@ -25,7 +25,11 @@ NewtonResult solve_newton(NonlinearSystem& system, std::vector<double>& x,
 
   SparseMatrix jacobian(n);
   std::vector<double> residual(n, 0.0);
-  const LinearSolver solver(options.solver);
+  std::vector<double> rhs(n);
+  LinearSolver local_solver(options.solver);
+  LinearSolver& solver = options.solver_instance != nullptr
+                             ? *options.solver_instance
+                             : local_solver;
 
   NewtonResult result;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
@@ -39,7 +43,6 @@ NewtonResult solve_newton(NonlinearSystem& system, std::vector<double>& x,
     }
 
     // Newton step: J·dx = -F.
-    std::vector<double> rhs(n);
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -residual[i];
     std::vector<double> dx = solver.solve(jacobian, rhs);
     if (!all_finite(dx)) {

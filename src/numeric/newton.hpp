@@ -45,6 +45,12 @@ struct NewtonOptions {
   /// below `residual_tol_scale * abstol(i)` after the dx test passes.
   double residual_tol_scale = 1e3;
   SolverKind solver = SolverKind::kAuto;
+  /// Optional caller-owned linear solver shared across solve_newton calls.
+  /// Passing one lets the cached sparse factorization (symbolic analysis,
+  /// pivot order) survive from iteration to iteration and from timestep to
+  /// timestep; `solver` above is ignored in that case (the instance's own
+  /// kind wins). When null, a fresh solver is created per call.
+  LinearSolver* solver_instance = nullptr;
 };
 
 struct NewtonResult {

@@ -1,29 +1,45 @@
 #include "numeric/sparse_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "util/error.hpp"
 
 namespace softfet::numeric {
 
-SparseLu::SparseLu(const SparseMatrix& a) {
-  const std::size_t n = a.size();
-  rows_.resize(n);
-  perm_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    rows_[i] = a.row(i);
-    perm_[i] = i;
+void SparseLu::factor(const SparseMatrix& a) {
+  if (a.size() == n_ && n_ != 0 && try_refactor(a)) {
+    ++refactor_count_;
+    return;
   }
-  min_pivot_ = std::numeric_limits<double>::infinity();
+  analyze(a);
+}
+
+void SparseLu::analyze(const SparseMatrix& a) {
+  ++analyze_count_;
+  const std::size_t n = a.size();
+
+  // Right-looking elimination with partial pivoting over map rows. This is
+  // the one-time symbolic+numeric pass; fill positions are inserted even
+  // when a factor happens to be numerically zero so the recorded pattern is
+  // purely structural and stays valid for any later values.
+  std::vector<std::map<std::size_t, double>> rows(n);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i] = a.row(i);
+    perm[i] = i;
+  }
+  double min_pivot = std::numeric_limits<double>::infinity();
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: among rows i >= k, pick the largest |a[i][k]|.
     std::size_t pivot_row = n;
     double pivot_mag = 0.0;
     for (std::size_t i = k; i < n; ++i) {
-      const auto it = rows_[i].find(k);
-      if (it == rows_[i].end()) continue;
+      const auto it = rows[i].find(k);
+      if (it == rows[i].end()) continue;
       const double mag = std::fabs(it->second);
       if (mag > pivot_mag) {
         pivot_mag = mag;
@@ -34,59 +50,150 @@ SparseLu::SparseLu(const SparseMatrix& a) {
       throw ConvergenceError("SparseLu: singular matrix at column " +
                              std::to_string(k));
     }
-    min_pivot_ = std::min(min_pivot_, pivot_mag);
+    min_pivot = std::min(min_pivot, pivot_mag);
     if (pivot_row != k) {
-      std::swap(rows_[k], rows_[pivot_row]);
-      std::swap(perm_[k], perm_[pivot_row]);
+      std::swap(rows[k], rows[pivot_row]);
+      std::swap(perm[k], perm[pivot_row]);
     }
 
-    const auto& pivot_entries = rows_[k];
+    const auto& pivot_entries = rows[k];
     const double pivot = pivot_entries.at(k);
     for (std::size_t i = k + 1; i < n; ++i) {
-      auto& row = rows_[i];
+      auto& row = rows[i];
       const auto it = row.find(k);
       if (it == row.end()) continue;
-      const double factor = it->second / pivot;
-      it->second = factor;  // store the L entry in place
-      if (factor == 0.0) continue;
-      // row_i -= factor * pivot_row for columns > k (fill-in allowed).
+      const double f = it->second / pivot;
+      it->second = f;  // store the L entry in place
       for (auto pit = pivot_entries.upper_bound(k); pit != pivot_entries.end();
            ++pit) {
-        row[pit->first] -= factor * pit->second;
+        row[pit->first] -= f * pit->second;
       }
     }
   }
+
+  // Flatten the factored rows into CSR and record the permuted A pattern so
+  // later factor() calls can scatter + eliminate without any node churn.
+  n_ = n;
+  perm_ = std::move(perm);
+  min_pivot_ = min_pivot;
+
+  std::size_t nnz = 0;
+  for (const auto& row : rows) nnz += row.size();
+  row_ptr_.assign(n + 1, 0);
+  cols_.clear();
+  vals_.clear();
+  cols_.reserve(nnz);
+  vals_.reserve(nnz);
+  diag_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [col, value] : rows[i]) {
+      if (col == i) diag_[i] = cols_.size();
+      cols_.push_back(col);
+      vals_.push_back(value);
+    }
+    row_ptr_[i + 1] = cols_.size();
+  }
+
+  std::size_t a_nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) a_nnz += a.row(i).size();
+  a_row_ptr_.assign(n + 1, 0);
+  a_cols_.clear();
+  a_cols_.reserve(a_nnz);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& [col, value] : a.row(perm_[i])) {
+      (void)value;
+      a_cols_.push_back(col);
+    }
+    a_row_ptr_[i + 1] = a_cols_.size();
+  }
+
+  work_.assign(n, 0.0);
+}
+
+bool SparseLu::try_refactor(const SparseMatrix& a) {
+  const std::size_t n = n_;
+  double min_pivot = std::numeric_limits<double>::infinity();
+
+  // Up-looking elimination over the cached structure: per factored row,
+  // scatter the permuted A row into the dense accumulator, apply the updates
+  // from all earlier U rows in ascending pivot order (the same operation
+  // order as the analyzing pass), then gather back into the CSR slots.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a_row = a.row(perm_[i]);
+    const std::size_t expected = a_row_ptr_[i + 1] - a_row_ptr_[i];
+    if (a_row.size() != expected) {
+      // Pattern changed; clean the accumulator before bailing out.
+      std::fill(work_.begin(), work_.end(), 0.0);
+      return false;
+    }
+    std::size_t slot = a_row_ptr_[i];
+    bool pattern_ok = true;
+    for (const auto& [col, value] : a_row) {
+      if (a_cols_[slot] != col) {
+        pattern_ok = false;
+        break;
+      }
+      work_[col] = value;
+      ++slot;
+    }
+    if (!pattern_ok) {
+      std::fill(work_.begin(), work_.end(), 0.0);
+      return false;
+    }
+
+    for (std::size_t s = row_ptr_[i]; s < diag_[i]; ++s) {
+      const std::size_t k = cols_[s];
+      const double f = work_[k] / vals_[diag_[k]];
+      work_[k] = f;
+      if (f != 0.0) {
+        for (std::size_t t = diag_[k] + 1; t < row_ptr_[k + 1]; ++t) {
+          work_[cols_[t]] -= f * vals_[t];
+        }
+      }
+    }
+
+    double row_max = 0.0;
+    for (std::size_t s = row_ptr_[i]; s < row_ptr_[i + 1]; ++s) {
+      const std::size_t col = cols_[s];
+      vals_[s] = work_[col];
+      work_[col] = 0.0;
+      row_max = std::max(row_max, std::fabs(vals_[s]));
+    }
+    const double pivot_mag = std::fabs(vals_[diag_[i]]);
+    if (!(pivot_mag > kPivotDegradation * row_max) ||
+        !std::isfinite(pivot_mag)) {
+      // The recorded pivot order is no longer numerically safe for these
+      // values (or the matrix went singular) — re-pivot from scratch.
+      return false;
+    }
+    min_pivot = std::min(min_pivot, pivot_mag);
+  }
+
+  min_pivot_ = min_pivot;
+  return true;
 }
 
 std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
-  const std::size_t n = rows_.size();
+  const std::size_t n = n_;
   if (b.size() != n) throw Error("SparseLu::solve: size mismatch");
 
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[perm_[i]];
-    const auto& row = rows_[i];
-    for (auto it = row.begin(); it != row.end() && it->first < i; ++it) {
-      acc -= it->second * y[it->first];
+    for (std::size_t s = row_ptr_[i]; s < diag_[i]; ++s) {
+      acc -= vals_[s] * y[cols_[s]];
     }
     y[i] = acc;
   }
   std::vector<double> x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
-    const auto& row = rows_[ii];
-    for (auto it = row.upper_bound(ii); it != row.end(); ++it) {
-      acc -= it->second * x[it->first];
+    for (std::size_t s = diag_[ii] + 1; s < row_ptr_[ii + 1]; ++s) {
+      acc -= vals_[s] * x[cols_[s]];
     }
-    x[ii] = acc / row.at(ii);
+    x[ii] = acc / vals_[diag_[ii]];
   }
   return x;
-}
-
-std::size_t SparseLu::fill_nonzeros() const noexcept {
-  std::size_t nnz = 0;
-  for (const auto& row : rows_) nnz += row.size();
-  return nnz;
 }
 
 }  // namespace softfet::numeric

@@ -1,12 +1,15 @@
-// Sparse LU with partial (row) pivoting over map-based rows.
+// Sparse LU with a symbolic / numeric split over flat CSR storage.
 //
-// Right-looking elimination; fill-in is accepted as it arises. Intended for
-// MNA matrices up to a few thousand unknowns where a dense factor would
-// waste memory but heroic ordering is unnecessary.
+// MNA matrices keep the same sparsity pattern across Newton iterations and
+// transient steps, so the expensive work — pivot-order selection and fill-in
+// discovery — is done once per pattern (analyze) and every later call takes
+// a numeric-only refactorization over the cached structure. Refactorization
+// reuses the recorded pivot sequence; if a pivot degrades numerically or the
+// input pattern changes, the factorization transparently falls back to a
+// fresh symbolic analysis, so callers can treat factor() as always-correct.
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <vector>
 
 #include "numeric/sparse_matrix.hpp"
@@ -15,21 +18,67 @@ namespace softfet::numeric {
 
 class SparseLu {
  public:
-  /// Factorize (a copy of) `a`. Throws softfet::ConvergenceError when
+  SparseLu() = default;
+
+  /// Analyze + factor `a`. Throws softfet::ConvergenceError when
   /// numerically singular.
-  explicit SparseLu(const SparseMatrix& a);
+  explicit SparseLu(const SparseMatrix& a) { factor(a); }
+
+  /// Factor `a`. The first call (or a call after the pattern changed, or
+  /// after a reused pivot degraded) runs the full symbolic analysis with
+  /// partial pivoting; otherwise the cached structure and pivot order are
+  /// reused and only the numeric elimination runs.
+  void factor(const SparseMatrix& a);
+
+  /// Drop the cached symbolic analysis (call when the pattern is about to
+  /// change wholesale; factor() would also detect this on its own).
+  void invalidate() noexcept { n_ = 0; }
 
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
 
   [[nodiscard]] double min_pivot() const noexcept { return min_pivot_; }
-  [[nodiscard]] std::size_t fill_nonzeros() const noexcept;
+  [[nodiscard]] std::size_t fill_nonzeros() const noexcept {
+    return cols_.size();
+  }
+  /// Number of full symbolic analyses performed over this object's lifetime.
+  [[nodiscard]] std::size_t analyze_count() const noexcept {
+    return analyze_count_;
+  }
+  /// Number of fast numeric-only refactorizations performed.
+  [[nodiscard]] std::size_t refactor_count() const noexcept {
+    return refactor_count_;
+  }
 
  private:
-  // Row i holds L entries (col < i, already divided by pivot) and U entries
-  // (col >= i). perm_[i] is the original index of factored row i.
-  std::vector<std::map<std::size_t, double>> rows_;
-  std::vector<std::size_t> perm_;
+  // A reused pivot below kPivotDegradation * (inf-norm of its factored row)
+  // forces a fresh analysis so the fixed pivot order cannot silently lose
+  // accuracy as the Newton values move.
+  static constexpr double kPivotDegradation = 1e-10;
+
+  void analyze(const SparseMatrix& a);
+  [[nodiscard]] bool try_refactor(const SparseMatrix& a);
+
+  std::size_t n_ = 0;
+
+  // CSR of L+U of P·A. Columns are sorted within each row; slots
+  // [row_ptr_[i], diag_[i]) hold L (already divided by the pivot) and
+  // [diag_[i], row_ptr_[i+1]) hold U including the diagonal.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> vals_;
+  std::vector<std::size_t> diag_;
+  std::vector<std::size_t> perm_;  ///< factored row i came from A row perm_[i]
+
+  // Expected pattern of A in permuted row order (flat, for the cheap
+  // pattern-identity check and value scatter during refactorization).
+  std::vector<std::size_t> a_row_ptr_;
+  std::vector<std::size_t> a_cols_;
+
+  std::vector<double> work_;  ///< dense accumulator, zero between rows
+
   double min_pivot_ = 0.0;
+  std::size_t analyze_count_ = 0;
+  std::size_t refactor_count_ = 0;
 };
 
 }  // namespace softfet::numeric

@@ -17,11 +17,17 @@ std::size_t SparseMatrix::nonzeros() const noexcept {
 }
 
 DenseMatrix SparseMatrix::to_dense() const {
-  DenseMatrix d(size(), size());
-  for (std::size_t r = 0; r < size(); ++r) {
-    for (const auto& [c, v] : rows_[r]) d(r, c) = v;
-  }
+  DenseMatrix d;
+  to_dense_into(d);
   return d;
+}
+
+void SparseMatrix::to_dense_into(DenseMatrix& out) const {
+  out.resize(size(), size());
+  out.set_zero();
+  for (std::size_t r = 0; r < size(); ++r) {
+    for (const auto& [c, v] : rows_[r]) out(r, c) = v;
+  }
 }
 
 std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {

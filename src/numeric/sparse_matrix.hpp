@@ -53,6 +53,9 @@ class SparseMatrix {
 
   [[nodiscard]] DenseMatrix to_dense() const;
 
+  /// Densify into `out`, reusing its storage (resize + zero + scatter).
+  void to_dense_into(DenseMatrix& out) const;
+
   /// y = A * x.
   [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
 

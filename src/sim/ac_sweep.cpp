@@ -75,6 +75,7 @@ AcResult ac_sweep(Circuit& circuit, const std::vector<double>& frequencies,
 
   numeric::ComplexMatrix matrix(n, n);
   std::vector<numeric::Complex> rhs(n);
+  numeric::ComplexLu lu;  // reused: factor() recycles its storage per point
   for (const double f : frequencies) {
     if (!(f >= 0.0)) throw Error("ac_sweep: negative frequency");
     const double omega = 2.0 * std::numbers::pi * f;
@@ -87,7 +88,8 @@ AcResult ac_sweep(Circuit& circuit, const std::vector<double>& frequencies,
     for (std::size_t i = 0; i < voltage_unknowns; ++i) {
       matrix(i, i) += options.gmin;  // same regularization as DC
     }
-    result.append_point(numeric::ComplexLu(matrix).solve(rhs));
+    lu.factor(matrix);
+    result.append_point(lu.solve(rhs));
   }
   return result;
 }

@@ -23,11 +23,14 @@ SweepResult dc_sweep(Circuit& circuit, const std::string& source_name,
   SweepResult result;
   result.table = SignalTable(detail::signal_names(circuit));
   LoadContext ctx;
+  // The sweep re-solves the same circuit at every bias point; one solver
+  // keeps the factorization structure cached across the whole sweep.
+  numeric::LinearSolver solver(options.solver);
   std::vector<double> x(circuit.unknown_count(), 0.0);
 
   for (const double value : values) {
     settable->set_dc(value);
-    detail::solve_dc(circuit, options, ctx, x);
+    detail::solve_dc(circuit, options, ctx, x, &solver);
 
     // Hysteretic devices (PTM) may flip phase at this bias; iterate until
     // the quasistatic state is self-consistent.
@@ -38,7 +41,7 @@ SweepResult dc_sweep(Circuit& circuit, const std::string& source_name,
         changed = dev->update_quasistatic_state(x) || changed;
       }
       if (!changed) break;
-      detail::solve_dc(circuit, options, ctx, x);
+      detail::solve_dc(circuit, options, ctx, x, &solver);
     }
 
     for (const auto& dev : circuit.devices()) dev->init_state(x);

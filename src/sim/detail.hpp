@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "numeric/linear_solver.hpp"
 #include "sim/circuit.hpp"
 #include "sim/device.hpp"
 #include "sim/options.hpp"
@@ -11,9 +12,11 @@ namespace softfet::sim::detail {
 
 /// Robust DC solve (direct Newton -> gmin stepping -> source stepping).
 /// `x` is the warm start in and the solution out; returns Newton iterations.
-/// Throws softfet::ConvergenceError when every strategy fails.
+/// Throws softfet::ConvergenceError when every strategy fails. `solver`, if
+/// given, carries the cached factorization across calls (one per circuit).
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
-             std::vector<double>& x);
+             std::vector<double>& x,
+             numeric::LinearSolver* solver = nullptr);
 
 /// Collect the full signal-name list: unknown labels then device probes.
 [[nodiscard]] std::vector<std::string> signal_names(const Circuit& circuit);

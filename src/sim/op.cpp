@@ -26,9 +26,11 @@ namespace detail {
 /// Shared by dc_operating_point / dc_sweep / run_transient. `x` carries the
 /// warm start in and the solution out. Returns Newton iterations used.
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
-             std::vector<double>& x) {
+             std::vector<double>& x, numeric::LinearSolver* solver) {
   MnaSystem system(circuit, options, ctx);
-  const numeric::NewtonOptions nopt = newton_options(options);
+  numeric::NewtonOptions nopt = newton_options(options);
+  numeric::LinearSolver local_solver(options.solver);
+  nopt.solver_instance = solver != nullptr ? solver : &local_solver;
   int total_iterations = 0;
 
   ctx.mode = AnalysisMode::kDcOp;
@@ -117,8 +119,9 @@ std::vector<double> sample_row(const Circuit& circuit,
 OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   circuit.prepare();
   LoadContext ctx;
+  numeric::LinearSolver solver(options.solver);
   std::vector<double> x(circuit.unknown_count(), 0.0);
-  const int iterations = detail::solve_dc(circuit, options, ctx, x);
+  const int iterations = detail::solve_dc(circuit, options, ctx, x, &solver);
   // Let hysteretic devices settle their quasistatic state, re-solving until
   // the (state, solution) pair is self-consistent.
   constexpr int kMaxStateIterations = 20;
@@ -128,7 +131,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
       changed = device->update_quasistatic_state(x) || changed;
     }
     if (!changed) break;
-    detail::solve_dc(circuit, options, ctx, x);
+    detail::solve_dc(circuit, options, ctx, x, &solver);
   }
   for (const auto& device : circuit.devices()) device->init_state(x);
 

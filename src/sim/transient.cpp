@@ -93,10 +93,14 @@ TranResult run_transient(Circuit& circuit, double tstop,
 
   LoadContext ctx;
   MnaSystem system(circuit, options, ctx);
+  // One solver for the whole transient: the MNA pattern is fixed, so every
+  // step after the first reuses the symbolic analysis and pivot order.
+  numeric::LinearSolver solver(options.solver);
   numeric::NewtonOptions nopt;
   nopt.max_iterations = options.newton_max_iter;
   nopt.reltol = options.reltol;
   nopt.solver = options.solver;
+  nopt.solver_instance = &solver;
 
   const double dtmax = options.dtmax > 0.0 ? options.dtmax : tstop / 200.0;
   double dt = options.dt_initial > 0.0 ? options.dt_initial

@@ -1,0 +1,76 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace softfet::util {
+
+namespace {
+
+// True while the current thread is inside a parallel_for body; nested
+// parallel_for calls then degrade to plain serial loops instead of
+// oversubscribing (or deadlocking on) the workers.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  if (const char* env = std::getenv("SOFTFET_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (count == 0) return;
+  if (threads == 0) threads = hardware_threads();
+  threads = std::min(threads, count);
+
+  if (threads <= 1 || t_in_parallel_region) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Dynamic (work-stealing style) scheduling: each worker claims the next
+  // unclaimed index, so uneven task costs — common when some samples need
+  // more Newton iterations — balance themselves.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    t_in_parallel_region = true;
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    t_in_parallel_region = false;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace softfet::util

@@ -1,0 +1,31 @@
+// Small fixed-size thread pool and a parallel_for built on it.
+//
+// Built for the embarrassingly parallel outer loops of the studies (Monte
+// Carlo samples, design-space sweep points, iso-I_MAX curves): tasks are
+// coarse (each is a full circuit characterization), so a shared pool with an
+// atomic work index — workers "steal" the next index when they finish — is
+// all the scheduling these loops need. Determinism is the caller's job: give
+// every index an independent RNG stream / output slot and the result is
+// identical for any worker count, including the serial fallback.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace softfet::util {
+
+/// Worker count used by default: SOFTFET_THREADS when set (>= 1), otherwise
+/// std::thread::hardware_concurrency (min 1).
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Run body(0..count-1), distributing indices over `threads` workers
+/// (0 = hardware_threads()). Blocks until all indices completed. The calling
+/// thread participates, so threads = 1 is exactly a serial loop. Nested
+/// calls from inside a body run serially (no deadlock, same results). The
+/// first exception thrown by any body is rethrown here after the loop
+/// drains.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace softfet::util

@@ -76,6 +76,47 @@ TEST(MonteCarlo, Reproducible) {
   EXPECT_DOUBLE_EQ(a.delay_std, b.delay_std);
 }
 
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  // Per-sample RNG streams + serial index-ordered reductions: the parallel
+  // run must reproduce the serial run bit for bit, whatever the pool size.
+  sc::MonteCarloSpec mc;
+  mc.samples = 10;
+  mc.seed = 7;
+  mc.threads = 1;
+  const auto serial = sc::ptm_monte_carlo(soft_base(), mc);
+  for (const int threads : {2, 3, 5}) {
+    mc.threads = threads;
+    const auto parallel = sc::ptm_monte_carlo(soft_base(), mc);
+    EXPECT_DOUBLE_EQ(parallel.imax_mean, serial.imax_mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.imax_std, serial.imax_std) << threads;
+    EXPECT_DOUBLE_EQ(parallel.imax_worst, serial.imax_worst) << threads;
+    EXPECT_DOUBLE_EQ(parallel.delay_mean, serial.delay_mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.delay_std, serial.delay_std) << threads;
+    EXPECT_DOUBLE_EQ(parallel.fraction_below_baseline,
+                     serial.fraction_below_baseline)
+        << threads;
+  }
+}
+
+TEST(MonteCarlo, SurfacesImpossibleDrawSpreads) {
+  // A card whose V_MIT is negative can never produce a valid draw: every
+  // retry fails. The loop used to silently proceed with the last (invalid)
+  // draw; it must now raise a descriptive error instead.
+  auto spec = soft_base();
+  spec.dut.ptm->v_mit = -0.1;
+  sc::MonteCarloSpec mc;
+  mc.samples = 4;
+  mc.threads = 1;
+  try {
+    (void)sc::ptm_monte_carlo(spec, mc);
+    FAIL() << "expected ptm_monte_carlo to reject the impossible card";
+  } catch (const softfet::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no valid PTM parameter draw"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(MonteCarlo, MostSamplesKeepTheBenefit) {
   sc::MonteCarloSpec mc;
   mc.samples = 32;

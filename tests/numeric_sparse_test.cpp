@@ -81,12 +81,118 @@ TEST(SparseLu, SingularThrows) {
   EXPECT_THROW(sn::SparseLu{a}, softfet::ConvergenceError);
 }
 
+namespace {
+
+sn::SparseMatrix random_pattern_system(std::size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  sn::SparseMatrix a(n);
+  for (std::size_t k = 0; k < 4 * n; ++k) a.add(pick(rng), pick(rng), dist(rng));
+  for (std::size_t i = 0; i < n; ++i) a.add(i, i, 5.0);
+  return a;
+}
+
+/// Overwrite every stored entry with fresh random values, keeping the
+/// pattern (mimics a Newton reload via set_zero_keep_structure + stamping).
+void refresh_values(sn::SparseMatrix& a, std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  a.set_zero_keep_structure();
+  const std::size_t n = a.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const auto& [c, v] : a.row(r)) {
+      (void)v;
+      a.set(r, c, dist(rng) + (r == c ? 5.0 : 0.0));
+    }
+  }
+}
+
+}  // namespace
+
+TEST(SparseLu, RefactorMatchesFreshFactorization) {
+  std::mt19937 rng(11);
+  const std::size_t n = 40;
+  auto a = random_pattern_system(n, rng);
+  std::vector<double> b(n);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : b) v = dist(rng);
+
+  sn::SparseLu cached(a);
+  EXPECT_EQ(cached.analyze_count(), 1u);
+  for (int round = 0; round < 8; ++round) {
+    refresh_values(a, rng);
+    cached.factor(a);
+    const auto x_cached = cached.solve(b);
+    const auto x_fresh = sn::SparseLu(a).solve(b);
+    const auto x_dense = sn::DenseLu(a.to_dense()).solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_cached[i], x_dense[i], 1e-9);
+      EXPECT_NEAR(x_cached[i], x_fresh[i], 1e-9);
+    }
+  }
+  // All eight rounds must have taken the numeric-only path.
+  EXPECT_EQ(cached.analyze_count(), 1u);
+  EXPECT_EQ(cached.refactor_count(), 8u);
+}
+
+TEST(SparseLu, RefactorDetectsPatternChange) {
+  sn::SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 2, 4.0);
+  sn::SparseLu lu(a);
+  EXPECT_EQ(lu.analyze_count(), 1u);
+
+  a.add(0, 2, 1.0);  // new structural entry
+  lu.factor(a);
+  EXPECT_EQ(lu.analyze_count(), 2u);
+  const auto x = lu.solve({2.0, 3.0, 4.0});
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);  // 2*x0 + 1*x2 = 2 -> x0 = 0.5
+}
+
+TEST(SparseLu, RefactorRepivotsWhenPivotDegrades) {
+  // First factorization pivots on a large diagonal; the refreshed values
+  // zero that pivot out, which must trigger a fresh analysis (new pivot
+  // order) instead of dividing by ~0.
+  sn::SparseMatrix a(2);
+  a.add(0, 0, 4.0);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);
+  a.add(1, 1, 1.0);
+  sn::SparseLu lu(a);
+
+  a.set(0, 0, 0.0);  // degenerate leading pivot, matrix still nonsingular
+  lu.factor(a);
+  EXPECT_EQ(lu.analyze_count(), 2u);
+  const auto x = lu.solve({1.0, 1.0});
+  // [0 1; 1 1] x = [1, 1] -> x = [0, 1].
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SparseLu, RefactorToSingularThrows) {
+  sn::SparseMatrix a(2);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 3.0);
+  a.add(1, 1, 4.0);
+  sn::SparseLu lu(a);
+
+  a.set_zero_keep_structure();
+  a.set(0, 0, 1.0);
+  a.set(0, 1, 2.0);
+  a.set(1, 0, 2.0);
+  a.set(1, 1, 4.0);  // rank 1
+  EXPECT_THROW(lu.factor(a), softfet::ConvergenceError);
+}
+
 TEST(LinearSolver, AutoSelectsAndSolves) {
   sn::SparseMatrix a(3);
   a.add(0, 0, 1.0);
   a.add(1, 1, 2.0);
   a.add(2, 2, 4.0);
-  const sn::LinearSolver solver(sn::SolverKind::kAuto);
+  sn::LinearSolver solver(sn::SolverKind::kAuto);
   const auto x = solver.solve(a, {1.0, 2.0, 4.0});
   EXPECT_NEAR(x[0], 1.0, 1e-12);
   EXPECT_NEAR(x[1], 1.0, 1e-12);

@@ -1,0 +1,69 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace su = softfet::util;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  su::parallel_for(kCount, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  su::parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialAndParallelProduceSameResults) {
+  constexpr std::size_t kCount = 257;
+  const auto fill = [&](std::size_t threads) {
+    std::vector<double> out(kCount);
+    su::parallel_for(
+        kCount, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+        threads);
+    return out;
+  };
+  const auto serial = fill(1);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(fill(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      su::parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  std::vector<std::atomic<int>> hits(64);
+  su::parallel_for(
+      8,
+      [&](std::size_t outer) {
+        su::parallel_for(
+            8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; }, 4);
+      },
+      4);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(HardwareThreads, IsAtLeastOne) {
+  EXPECT_GE(su::hardware_threads(), 1u);
+}
