@@ -162,10 +162,25 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // One clean diagnostic line per failure class, nonzero exit. ParseError
+  // carries the netlist line; ConvergenceError carries the structured
+  // solver diagnostics (worst node, offending device, time, attempts)
+  // already rendered into its what().
   try {
     return run(argc, argv);
+  } catch (const softfet::ParseError& e) {
+    // what() already carries the "line N:" prefix; line() stays available
+    // for callers that want the number on its own.
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  } catch (const softfet::ConvergenceError& e) {
+    std::fprintf(stderr, "convergence error: %s\n", e.what());
+    return 1;
   } catch (const softfet::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
   }
 }

@@ -124,6 +124,7 @@ InverterTestbench make_inverter_testbench(const InverterTestbenchSpec& spec) {
     settle += 8.0 * spec.dut.gate_series_r * c_gate;
   }
   tb.suggested_tstop = spec.input_delay + spec.input_transition + settle;
+  if (spec.instrument) spec.instrument(tb.circuit);
   return tb;
 }
 

@@ -4,6 +4,7 @@
 // series with the common gate).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -61,6 +62,10 @@ struct InverterTestbenchSpec {
   double input_delay = 100e-12;      ///< time before the ramp starts
   bool input_rising = false;  ///< paper's Fig. 4 studies the falling input
   double fanout = 4.0;        ///< load inverter size multiple
+  /// Instrumentation hook: called with the fully built circuit just before
+  /// the testbench is returned. Tests use it to add probes or fault
+  /// devices without re-deriving the bench topology.
+  std::function<void(sim::Circuit&)> instrument;
 };
 
 struct InverterTestbench {

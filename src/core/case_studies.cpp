@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "core/failure.hpp"
 #include "measure/metrics.hpp"
 #include "measure/waveform.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace softfet::core {
 
@@ -11,6 +14,25 @@ using measure::CrossDirection;
 using measure::Waveform;
 
 namespace {
+
+/// Run a case-study leg; on a ConvergenceError retry once under tightened
+/// options and flag the outcome. A second failure propagates — unlike the
+/// batch sweeps, a case study has nothing meaningful to report without
+/// both legs.
+template <typename Runner>
+[[nodiscard]] auto with_retry(const Runner& runner,
+                              const sim::SimOptions& options) {
+  try {
+    return runner(options);
+  } catch (const ConvergenceError& e) {
+    util::log_warn(std::string("case study: retrying with tightened "
+                               "options after: ") +
+                   e.what());
+    auto outcome = runner(tightened_options(options));
+    outcome.retried = true;
+    return outcome;
+  }
+}
 
 [[nodiscard]] PowerGateOutcome run_power_gate_once(
     const cells::PowerGateSpec& spec, const sim::SimOptions& options) {
@@ -78,9 +100,13 @@ PowerGateStudy run_power_gate_study(cells::PowerGateSpec spec,
   const auto ptm = spec.ptm ? *spec.ptm
                             : cells::PowerGateSpec::default_header_ptm();
   spec.ptm.reset();
-  study.baseline = run_power_gate_once(spec, options);
+  study.baseline = with_retry(
+      [&](const sim::SimOptions& o) { return run_power_gate_once(spec, o); },
+      options);
   spec.ptm = ptm;
-  study.soft = run_power_gate_once(spec, options);
+  study.soft = with_retry(
+      [&](const sim::SimOptions& o) { return run_power_gate_once(spec, o); },
+      options);
   return study;
 }
 
@@ -90,9 +116,13 @@ IoBufferStudy run_io_buffer_study(cells::IoBufferSpec spec,
   const auto ptm =
       spec.ptm ? *spec.ptm : cells::IoBufferSpec::default_driver_ptm();
   spec.ptm.reset();
-  study.baseline = run_io_buffer_once(spec, options);
+  study.baseline = with_retry(
+      [&](const sim::SimOptions& o) { return run_io_buffer_once(spec, o); },
+      options);
   spec.ptm = ptm;
-  study.soft = run_io_buffer_once(spec, options);
+  study.soft = with_retry(
+      [&](const sim::SimOptions& o) { return run_io_buffer_once(spec, o); },
+      options);
   return study;
 }
 

@@ -14,6 +14,9 @@ struct PowerGateOutcome {
   double peak_current = 0.0;  ///< peak header inrush current [A]
   double max_didt = 0.0;      ///< max |di/dt| of the header current [A/s]
   double wake_time = 0.0;     ///< enable 50% -> virtual rail at 95% VCC [s]
+  /// True when the first attempt hit a ConvergenceError and the run only
+  /// succeeded under tightened (backward-Euler, slow-step) options.
+  bool retried = false;
   sim::TranResult tran;
 };
 
@@ -40,6 +43,7 @@ struct IoBufferOutcome {
   double gnd_bounce = 0.0;    ///< worst |v(vssi)| [V]
   double peak_current = 0.0;  ///< peak external supply current [A]
   double pad_delay = 0.0;     ///< input 50% -> pad 50% [s]
+  bool retried = false;       ///< see PowerGateOutcome::retried
   sim::TranResult tran;
 };
 

@@ -1,0 +1,67 @@
+// Failure isolation for batch drivers: a failed sample or grid point is
+// recorded as a structured FailureRecord (optionally after one retry under
+// tightened solver options) instead of poisoning the whole parallel run.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/options.hpp"
+#include "util/error.hpp"
+
+namespace softfet::core {
+
+/// One isolated batch-point failure: which point, why, and — when the
+/// error was a ConvergenceError — the full solver diagnostics (worst node,
+/// offending device, time, recovery-attempt log).
+struct FailureRecord {
+  std::size_t index = 0;  ///< sample / grid-point index within the batch
+  std::string context;    ///< point description, e.g. "sample 17" or "vcc=0.5"
+  std::string message;    ///< what() of the final error
+  SolverDiagnostics diagnostics;  ///< populated when the error carried one
+  bool retried = false;   ///< a tightened-options retry was attempted first
+};
+
+/// Conservative option set for retrying a failed batch point: backward
+/// Euler everywhere, a larger Newton budget, and an earlier, stronger
+/// recovery ladder. Slower but markedly more robust.
+[[nodiscard]] sim::SimOptions tightened_options(const sim::SimOptions& options);
+
+/// Run `body(options)`; on a ConvergenceError retry once with
+/// tightened_options(). Returns nullopt on success, otherwise a
+/// FailureRecord describing the final error. Non-softfet exceptions
+/// propagate: they indicate bugs, not convergence trouble.
+template <typename Body>
+[[nodiscard]] std::optional<FailureRecord> run_isolated(
+    std::size_t index, std::string context, const sim::SimOptions& options,
+    Body&& body) {
+  const auto record = [&](const Error& e, bool retried) {
+    FailureRecord rec;
+    rec.index = index;
+    rec.context = std::move(context);
+    rec.message = e.what();
+    if (const auto* conv = dynamic_cast<const ConvergenceError*>(&e);
+        conv != nullptr && conv->has_diagnostics()) {
+      rec.diagnostics = conv->diagnostics();
+    }
+    rec.retried = retried;
+    return rec;
+  };
+  try {
+    body(options);
+    return std::nullopt;
+  } catch (const ConvergenceError&) {
+    try {
+      body(tightened_options(options));
+      return std::nullopt;
+    } catch (const Error& e) {
+      return record(e, /*retried=*/true);
+    }
+  } catch (const Error& e) {
+    return record(e, /*retried=*/false);
+  }
+}
+
+}  // namespace softfet::core

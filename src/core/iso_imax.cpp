@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <functional>
+#include <optional>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/units.hpp"
 
 namespace softfet::core {
 
@@ -21,9 +23,10 @@ double bisect_to_target(const std::function<double(double)>& f, double lo,
     // Accept an endpoint that already matches within tolerance.
     if (std::fabs(f_lo - target) <= rel_tol * std::fabs(target)) return lo;
     if (std::fabs(f_hi - target) <= rel_tol * std::fabs(target)) return hi;
-    throw ConvergenceError("bisect_to_target: target " + std::to_string(target) +
-                           " not bracketed by [" + std::to_string(f_lo) + ", " +
-                           std::to_string(f_hi) + "]");
+    throw ConvergenceError("bisect_to_target: target " +
+                           util::format_si(target, 4) + " not bracketed by [" +
+                           util::format_si(f_lo, 4) + ", " +
+                           util::format_si(f_hi, 4) + "]");
   }
   double knob = 0.5 * (lo + hi);
   for (int i = 0; i < max_iterations; ++i) {
@@ -81,45 +84,53 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
   const auto base = baseline_of(spec.base);
 
   // --- calibrate the three iso-I_MAX knobs (independent bisections) -----
-  const auto calibrate_hvt = [&] {
+  const auto calibrate_hvt = [&](const sim::SimOptions& opts) {
     result.hvt_delta_vt = bisect_to_target(
         [&](double dvt) {
           auto s = with_vcc(base, spec.calibration_vcc);
           s.dut.nmos_model.vt0 += dvt;
           s.dut.pmos_model.vt0 += dvt;
-          return imax_of(s, options);
+          return imax_of(s, opts);
         },
         0.0, 0.45, result.target_imax, /*increasing=*/false, spec.tolerance);
   };
-  const auto calibrate_series_r = [&] {
+  const auto calibrate_series_r = [&](const sim::SimOptions& opts) {
     result.series_r = bisect_to_target(
         [&](double log_r) {
           auto s = with_vcc(base, spec.calibration_vcc);
           s.dut.gate_series_r = std::exp(log_r);
-          return imax_of(s, options);
+          return imax_of(s, opts);
         },
         std::log(10.0), std::log(1e8), result.target_imax,
         /*increasing=*/false, spec.tolerance);
     result.series_r = std::exp(result.series_r);
   };
-  const auto calibrate_stack = [&] {
+  const auto calibrate_stack = [&](const sim::SimOptions& opts) {
     result.stack_width_mult = bisect_to_target(
         [&](double mult) {
           auto s = with_vcc(base, spec.calibration_vcc);
           s.dut.stack = 2;
           s.dut.m = spec.base.dut.m * mult;
-          return imax_of(s, options);
+          return imax_of(s, opts);
         },
         0.1, 6.0, result.target_imax, /*increasing=*/true, spec.tolerance);
   };
   // Each bisection is sequential internally but they don't depend on each
-  // other; run them side by side.
+  // other; run them side by side. A calibration that cannot converge is
+  // isolated: it leaves its knob at zero and marks the variant instead of
+  // aborting the other four curves.
+  std::vector<std::optional<FailureRecord>> calibration_failures(3);
+  const char* const calibration_names[] = {"hvt", "series-r", "stacked"};
   util::parallel_for(3, [&](std::size_t task) {
-    switch (task) {
-      case 0: calibrate_hvt(); break;
-      case 1: calibrate_series_r(); break;
-      default: calibrate_stack(); break;
-    }
+    calibration_failures[task] = run_isolated(
+        task, std::string("calibrate ") + calibration_names[task], options,
+        [&](const sim::SimOptions& opts) {
+          switch (task) {
+            case 0: calibrate_hvt(opts); break;
+            case 1: calibrate_series_r(opts); break;
+            default: calibrate_stack(opts); break;
+          }
+        });
   });
 
   // --- sweep VCC for every variant --------------------------------------
@@ -149,6 +160,15 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
        }},
   };
 
+  // Variants whose calibration failed skip their sweep entirely.
+  const auto calibration_failure_of =
+      [&](const std::string& variant) -> const std::optional<FailureRecord>* {
+    if (variant == "hvt") return &calibration_failures[0];
+    if (variant == "series-r") return &calibration_failures[1];
+    if (variant == "stacked") return &calibration_failures[2];
+    return nullptr;
+  };
+
   // Pre-size every curve, then characterize the whole (variant, vcc) grid
   // as one flat parallel batch writing into disjoint slots.
   const std::size_t sweep_size = spec.vcc_sweep.size();
@@ -156,15 +176,38 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
     (void)make_spec;
     result.curves[name].resize(sweep_size);
   }
+  std::vector<std::optional<FailureRecord>> grid_failures(variants.size() *
+                                                          sweep_size);
   util::parallel_for(variants.size() * sweep_size, [&](std::size_t task) {
     const std::size_t v = task / sweep_size;
     const std::size_t i = task % sweep_size;
     const double vcc = spec.vcc_sweep[i];
-    const TransitionMetrics m =
-        characterize_inverter(variants[v].second(vcc), options);
-    result.curves[variants[v].first][i] = {vcc, m.i_max, m.max_didt, m.delay};
+    VariantPoint& point = result.curves[variants[v].first][i];
+    const auto* calibration = calibration_failure_of(variants[v].first);
+    if (calibration != nullptr && calibration->has_value()) {
+      point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
+      return;
+    }
+    grid_failures[task] = run_isolated(
+        task,
+        variants[v].first + " vcc=" + util::format_si(vcc, 3, "V"), options,
+        [&](const sim::SimOptions& opts) {
+          const TransitionMetrics m =
+              characterize_inverter(variants[v].second(vcc), opts);
+          point = {vcc, m.i_max, m.max_didt, m.delay, /*ok=*/true};
+        });
+    if (grid_failures[task].has_value()) {
+      point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
+    }
   });
 
+  // Serial, index-ordered failure report (calibrations first, then grid).
+  for (auto& failure : calibration_failures) {
+    if (failure.has_value()) result.failures.push_back(std::move(*failure));
+  }
+  for (auto& failure : grid_failures) {
+    if (failure.has_value()) result.failures.push_back(std::move(*failure));
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/failure.hpp"
 
 namespace softfet::core {
 
@@ -24,6 +25,7 @@ struct VariantPoint {
   double i_max = 0.0;
   double max_didt = 0.0;
   double delay = 0.0;
+  bool ok = true;  ///< false when this grid point failed (values are zero)
 };
 
 struct IsoImaxResult {
@@ -34,6 +36,10 @@ struct IsoImaxResult {
   /// Curves keyed by variant name: "softfet", "baseline", "hvt",
   /// "series-r", "stacked".
   std::map<std::string, std::vector<VariantPoint>> curves;
+  /// Isolated failures: calibration bisections that did not converge and
+  /// (variant, VCC) grid points whose characterization failed. A variant
+  /// whose calibration failed has every curve point marked !ok.
+  std::vector<FailureRecord> failures;
 };
 
 [[nodiscard]] IsoImaxResult run_iso_imax_study(

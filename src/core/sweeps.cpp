@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/units.hpp"
 
 namespace softfet::core {
 
@@ -35,7 +36,13 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
     auto spec = base;
     spec.dut.ptm->v_imt = points[i].v_imt;
     spec.dut.ptm->v_mit = points[i].v_mit;
-    points[i].metrics = characterize_inverter(spec, options);
+    points[i].failure = run_isolated(
+        i,
+        "v_imt=" + util::format_si(points[i].v_imt, 3, "V") +
+            " v_mit=" + util::format_si(points[i].v_mit, 3, "V"),
+        options, [&](const sim::SimOptions& opts) {
+          points[i].metrics = characterize_inverter(spec, opts);
+        });
   });
   return points;
 }
@@ -49,7 +56,11 @@ std::vector<TptmPoint> sweep_tptm(const cells::InverterTestbenchSpec& base,
     auto spec = base;
     spec.dut.ptm->t_ptm = t_ptm_values[i];
     points[i].t_ptm = t_ptm_values[i];
-    points[i].metrics = characterize_inverter(spec, options);
+    points[i].failure = run_isolated(
+        i, "t_ptm=" + util::format_si(t_ptm_values[i], 3, "s"), options,
+        [&](const sim::SimOptions& opts) {
+          points[i].metrics = characterize_inverter(spec, opts);
+        });
   });
   return points;
 }
@@ -65,18 +76,30 @@ std::vector<SlewPoint> sweep_slew(const cells::InverterTestbenchSpec& base,
     points[i].input_transition = transitions[i];
   }
   // Two independent characterizations per slew point; flatten to 2N tasks.
+  // Failures land in per-task slots (two tasks share one point, so writing
+  // points[i].failure directly from both would race) and merge serially.
+  std::vector<std::optional<FailureRecord>> slots(2 * points.size());
   util::parallel_for(2 * points.size(), [&](std::size_t task) {
     const std::size_t i = task / 2;
-    if (task % 2 == 0) {
-      auto soft = base;
-      soft.input_transition = transitions[i];
-      points[i].soft = characterize_inverter(soft, options);
-    } else {
-      auto plain = baseline_spec;
-      plain.input_transition = transitions[i];
-      points[i].baseline = characterize_inverter(plain, options);
-    }
+    const std::string context =
+        "slew=" + util::format_si(transitions[i], 3, "s") +
+        (task % 2 == 0 ? " (soft)" : " (baseline)");
+    slots[task] =
+        run_isolated(i, context, options, [&](const sim::SimOptions& opts) {
+          if (task % 2 == 0) {
+            auto soft = base;
+            soft.input_transition = transitions[i];
+            points[i].soft = characterize_inverter(soft, opts);
+          } else {
+            auto plain = baseline_spec;
+            plain.input_transition = transitions[i];
+            points[i].baseline = characterize_inverter(plain, opts);
+          }
+        });
   });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].failure = slots[2 * i] ? slots[2 * i] : slots[2 * i + 1];
+  }
   return points;
 }
 
@@ -89,27 +112,44 @@ std::vector<RatioPoint> sweep_slew_tptm_ratio(
 
   // Per-slew baseline references, computed in parallel.
   std::vector<TransitionMetrics> refs(slews.size());
+  std::vector<std::optional<FailureRecord>> ref_failures(slews.size());
   util::parallel_for(slews.size(), [&](std::size_t s) {
-    auto plain = baseline_spec;
-    plain.input_transition = slews[s];
-    refs[s] = characterize_inverter(plain, options);
+    ref_failures[s] = run_isolated(
+        s, "baseline slew=" + util::format_si(slews[s], 3, "s"), options,
+        [&](const sim::SimOptions& opts) {
+          auto plain = baseline_spec;
+          plain.input_transition = slews[s];
+          refs[s] = characterize_inverter(plain, opts);
+        });
   });
 
-  // The full (slew, t_ptm) grid as one flat batch.
+  // The full (slew, t_ptm) grid as one flat batch. Points whose per-slew
+  // baseline reference failed inherit that failure without re-simulating.
   std::vector<RatioPoint> points(slews.size() * t_ptms.size());
   util::parallel_for(points.size(), [&](std::size_t task) {
     const std::size_t s = task / t_ptms.size();
     const std::size_t t = task % t_ptms.size();
-    auto spec = base;
-    spec.input_transition = slews[s];
-    spec.dut.ptm->t_ptm = t_ptms[t];
-    const TransitionMetrics m = characterize_inverter(spec, options);
     RatioPoint& point = points[task];
     point.slew = slews[s];
     point.t_ptm = t_ptms[t];
     point.ratio = slews[s] / t_ptms[t];
-    point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / refs[s].i_max);
-    point.delay_penalty = m.delay / refs[s].delay;
+    if (ref_failures[s].has_value()) {
+      point.failure = ref_failures[s];
+      point.failure->index = task;
+      return;
+    }
+    point.failure = run_isolated(
+        task,
+        "slew=" + util::format_si(slews[s], 3, "s") +
+            " t_ptm=" + util::format_si(t_ptms[t], 3, "s"),
+        options, [&](const sim::SimOptions& opts) {
+          auto spec = base;
+          spec.input_transition = slews[s];
+          spec.dut.ptm->t_ptm = t_ptms[t];
+          const TransitionMetrics m = characterize_inverter(spec, opts);
+          point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / refs[s].i_max);
+          point.delay_penalty = m.delay / refs[s].delay;
+        });
   });
   return points;
 }

@@ -5,9 +5,11 @@
 //  - slew/T_PTM ratio ablation (paper Section IV.E recommendation).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/failure.hpp"
 
 namespace softfet::core {
 
@@ -15,6 +17,9 @@ struct DesignSpacePoint {
   double v_imt = 0.0;
   double v_mit = 0.0;
   TransitionMetrics metrics;
+  /// Set when this point's characterization failed (after a tightened
+  /// retry); `metrics` is then default-initialized and must be ignored.
+  std::optional<FailureRecord> failure;
 };
 
 /// Grid sweep of (V_IMT, V_MIT); infeasible combinations (v_mit >= v_imt)
@@ -26,6 +31,7 @@ struct DesignSpacePoint {
 struct TptmPoint {
   double t_ptm = 0.0;
   TransitionMetrics metrics;
+  std::optional<FailureRecord> failure;  ///< see DesignSpacePoint::failure
 };
 
 [[nodiscard]] std::vector<TptmPoint> sweep_tptm(
@@ -36,6 +42,9 @@ struct SlewPoint {
   double input_transition = 0.0;
   TransitionMetrics soft;      ///< Soft-FET inverter
   TransitionMetrics baseline;  ///< plain CMOS at the same slew
+  /// First failure of either the soft or baseline run at this slew; the
+  /// reduction accessors are meaningless when set.
+  std::optional<FailureRecord> failure;
   /// Percent I_MAX reduction of the Soft-FET versus baseline.
   [[nodiscard]] double imax_reduction_pct() const {
     return 100.0 * (1.0 - soft.i_max / baseline.i_max);
@@ -55,6 +64,8 @@ struct RatioPoint {
   double ratio = 0.0;  ///< slew / t_ptm
   double imax_reduction_pct = 0.0;
   double delay_penalty = 0.0;  ///< delay / baseline delay
+  /// Failure of this grid point or of its per-slew baseline reference.
+  std::optional<FailureRecord> failure;
 };
 
 /// 2-D (slew, T_PTM) ablation supporting the paper's "ratio 1.5-3" guidance.

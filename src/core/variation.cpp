@@ -105,6 +105,10 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
   double baseline_imax = 0.0;
   std::vector<double> imaxes(sample_count, 0.0);
   std::vector<double> delays(sample_count, 0.0);
+  // Per-sample failure slots: a set slot marks the sample as isolated, and
+  // keeping them indexed (rather than pushing to a shared list) makes the
+  // failure report thread-count independent too.
+  std::vector<std::optional<FailureRecord>> failure_slots(sample_count);
 
   // Every sample owns an independent RNG stream seeded from mc.seed + k, so
   // the draws — and therefore the statistics — are identical for any worker
@@ -121,7 +125,8 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
 
     auto spec = base;
     auto& p = *spec.dut.ptm;
-    for (int attempt = 0; attempt < 100; ++attempt) {
+    const int draw_budget = std::max(mc.max_draw_attempts, 1);
+    for (int attempt = 0; attempt < draw_budget; ++attempt) {
       p.r_ins = draw(base.dut.ptm->r_ins, mc.sigma_resistance);
       p.r_met = draw(base.dut.ptm->r_met, mc.sigma_resistance);
       p.v_imt = draw(base.dut.ptm->v_imt, mc.sigma_threshold);
@@ -132,16 +137,24 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
         break;
       }
     }
-    try {
-      p.validate();
-    } catch (const Error& e) {
-      throw Error("ptm_monte_carlo: sample " + std::to_string(k) +
-                  " found no valid PTM parameter draw in 100 attempts (" +
-                  e.what() + "); check the sigma_* spreads against the card");
-    }
-    const TransitionMetrics m = characterize_inverter(spec, options);
-    imaxes[k] = m.i_max;
-    delays[k] = m.delay;
+    failure_slots[k] = run_isolated(
+        k, "sample " + std::to_string(k), options,
+        [&](const sim::SimOptions& opts) {
+          try {
+            p.validate();
+          } catch (const Error& e) {
+            throw Error("ptm_monte_carlo: sample " + std::to_string(k) +
+                        " found no valid PTM parameter draw in " +
+                        std::to_string(draw_budget) + " attempts (" +
+                        e.what() +
+                        "); check the sigma_* spreads against the card");
+          }
+          auto sample_spec = spec;
+          if (mc.per_sample_hook) mc.per_sample_hook(k, sample_spec);
+          const TransitionMetrics m = characterize_inverter(sample_spec, opts);
+          imaxes[k] = m.i_max;
+          delays[k] = m.delay;
+        });
   };
 
   // Task 0 is the PTM-less baseline; tasks 1..N are the samples.
@@ -158,11 +171,32 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
       },
       static_cast<std::size_t>(std::max(mc.threads, 0)));
 
-  // Reductions stay serial and index-ordered so the floating-point
+  // Compact survivors serially in index order so the floating-point
   // accumulation order — hence the result — is thread-count independent.
   MonteCarloStats stats;
+  stats.samples = mc.samples;
+  std::vector<double> ok_imaxes;
+  std::vector<double> ok_delays;
+  ok_imaxes.reserve(sample_count);
+  ok_delays.reserve(sample_count);
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    if (failure_slots[k].has_value()) {
+      stats.failures.push_back(std::move(*failure_slots[k]));
+    } else {
+      ok_imaxes.push_back(imaxes[k]);
+      ok_delays.push_back(delays[k]);
+    }
+  }
+  stats.failed_samples = static_cast<int>(stats.failures.size());
+  if (ok_imaxes.size() < 2) {
+    throw Error("ptm_monte_carlo: only " + std::to_string(ok_imaxes.size()) +
+                " of " + std::to_string(mc.samples) +
+                " samples survived; first failure: " +
+                stats.failures.front().message);
+  }
+
   int beat_baseline = 0;
-  for (const double imax : imaxes) {
+  for (const double imax : ok_imaxes) {
     if (imax < baseline_imax) ++beat_baseline;
   }
   const auto mean_std = [](const std::vector<double>& v, double& mean,
@@ -178,11 +212,10 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
     for (const double x : v) var += (x - mean) * (x - mean);
     stddev = std::sqrt(var / static_cast<double>(v.size() - 1));
   };
-  stats.samples = mc.samples;
-  mean_std(imaxes, stats.imax_mean, stats.imax_std, stats.imax_worst);
-  mean_std(delays, stats.delay_mean, stats.delay_std, stats.delay_worst);
+  mean_std(ok_imaxes, stats.imax_mean, stats.imax_std, stats.imax_worst);
+  mean_std(ok_delays, stats.delay_mean, stats.delay_std, stats.delay_worst);
   stats.fraction_below_baseline =
-      static_cast<double>(beat_baseline) / mc.samples;
+      static_cast<double>(beat_baseline) / static_cast<double>(ok_imaxes.size());
   return stats;
 }
 

@@ -3,10 +3,13 @@
 // Soft-FET peak current and/or di/dt reduction").
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/failure.hpp"
 
 namespace softfet::core {
 
@@ -40,9 +43,19 @@ struct MonteCarloSpec {
   /// 1 = serial. Results are identical for every setting (each sample has
   /// its own RNG stream seeded from `seed` + sample index).
   int threads = 0;
+  /// Rejection-sampling budget per sample before the draw is declared
+  /// impossible for the given sigma_* spreads.
+  int max_draw_attempts = 100;
+  /// Test / instrumentation hook: called with the sample index and the
+  /// fully drawn spec just before characterization (fault injection,
+  /// logging). Must be thread-safe; it runs from the worker pool.
+  std::function<void(std::size_t, cells::InverterTestbenchSpec&)>
+      per_sample_hook;
 };
 
 struct MonteCarloStats {
+  /// Requested sample count; statistics cover the samples - failed_samples
+  /// survivors (in index order, so results are thread-count independent).
   int samples = 0;
   double imax_mean = 0.0;
   double imax_std = 0.0;
@@ -50,8 +63,13 @@ struct MonteCarloStats {
   double delay_mean = 0.0;
   double delay_std = 0.0;
   double delay_worst = 0.0;
-  /// Fraction of samples that still beat the given baseline I_MAX.
+  /// Fraction of surviving samples that still beat the baseline I_MAX.
   double fraction_below_baseline = 0.0;
+  /// Samples whose characterization failed even after a tightened-options
+  /// retry; each carries the solver diagnostics of the final error. The
+  /// run only throws when fewer than 2 samples survive.
+  int failed_samples = 0;
+  std::vector<FailureRecord> failures;
 };
 
 [[nodiscard]] MonteCarloStats ptm_monte_carlo(

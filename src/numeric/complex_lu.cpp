@@ -37,8 +37,8 @@ void ComplexLu::factor(const ComplexMatrix& a) {
       }
     }
     if (!(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
-      throw ConvergenceError("ComplexLu: singular matrix at column " +
-                             std::to_string(k));
+      throw SingularMatrixError("ComplexLu: singular matrix at column " +
+                                std::to_string(k), k);
     }
     if (pivot_row != k) {
       std::swap(perm_[k], perm_[pivot_row]);

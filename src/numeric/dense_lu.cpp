@@ -27,8 +27,8 @@ void DenseLu::factor(const DenseMatrix& a) {
       }
     }
     if (!(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
-      throw ConvergenceError("DenseLu: singular matrix at column " +
-                             std::to_string(k));
+      throw SingularMatrixError("DenseLu: singular matrix at column " +
+                                std::to_string(k), k);
     }
     min_pivot_ = std::min(min_pivot_, pivot_mag);
     if (pivot_row != k) {

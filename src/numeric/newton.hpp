@@ -4,14 +4,22 @@
 // at a given point; convergence is judged SPICE-style with per-unknown
 // absolute tolerances (voltages vs branch currents differ by orders of
 // magnitude) plus a relative term.
+//
+// Failures are reported structurally, not by throwing: a non-finite residual
+// or update, a singular Jacobian, or iteration exhaustion all return a
+// NewtonResult with `converged == false` and a NewtonFailure reason plus the
+// offending unknown, so analysis drivers can feed a recovery ladder instead
+// of unwinding the whole run.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "numeric/linear_solver.hpp"
 #include "numeric/sparse_matrix.hpp"
+#include "util/error.hpp"
 
 namespace softfet::numeric {
 
@@ -36,6 +44,11 @@ class NonlinearSystem {
   [[nodiscard]] virtual double max_step(std::size_t /*unknown*/) const {
     return 0.0;
   }
+
+  /// Human-readable label of an unknown for diagnostics ("v(out)", "i(l1)").
+  [[nodiscard]] virtual std::string unknown_label(std::size_t unknown) const {
+    return "x[" + std::to_string(unknown) + "]";
+  }
 };
 
 struct NewtonOptions {
@@ -53,11 +66,33 @@ struct NewtonOptions {
   LinearSolver* solver_instance = nullptr;
 };
 
+/// Why a solve stopped without converging.
+enum class NewtonFailure {
+  kNone,              ///< converged
+  kMaxIterations,     ///< iteration budget exhausted
+  kNonFiniteResidual, ///< NaN/Inf in F(x) from a device evaluation
+  kNonFiniteUpdate,   ///< NaN/Inf in the Newton update dx
+  kSingularMatrix,    ///< Jacobian factorization hit a vanishing pivot
+};
+
+[[nodiscard]] const char* to_string(NewtonFailure failure);
+
+/// Sentinel for "no unknown identified".
+inline constexpr std::size_t kNoUnknown = static_cast<std::size_t>(-1);
+
 struct NewtonResult {
   bool converged = false;
   int iterations = 0;
   double max_dx = 0.0;        ///< largest update in the final iteration
   double max_residual = 0.0;  ///< largest |F| entry at the solution
+  NewtonFailure failure = NewtonFailure::kNone;
+  /// Unknown blamed for the failure: the first non-finite entry, the
+  /// singular pivot column, or the worst abstol-scaled residual.
+  std::size_t worst_unknown = kNoUnknown;
+  double worst_residual = 0.0;  ///< |F| at worst_unknown (last evaluation)
+  std::string failure_detail;   ///< e.g. the linear solver's message
+  /// Per-iteration (max_dx, max_residual) history of this solve.
+  std::vector<IterationRecord> trace;
 };
 
 /// Run damped Newton from `x` (updated in place).

@@ -47,8 +47,8 @@ void SparseLu::analyze(const SparseMatrix& a) {
       }
     }
     if (pivot_row == n || !(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
-      throw ConvergenceError("SparseLu: singular matrix at column " +
-                             std::to_string(k));
+      throw SingularMatrixError("SparseLu: singular matrix at column " +
+                                std::to_string(k), k);
     }
     min_pivot = std::min(min_pivot, pivot_mag);
     if (pivot_row != k) {

@@ -7,6 +7,7 @@
 #include "sim/circuit.hpp"
 #include "sim/device.hpp"
 #include "sim/options.hpp"
+#include "util/error.hpp"
 
 namespace softfet::sim::detail {
 
@@ -14,9 +15,11 @@ namespace softfet::sim::detail {
 /// `x` is the warm start in and the solution out; returns Newton iterations.
 /// Throws softfet::ConvergenceError when every strategy fails. `solver`, if
 /// given, carries the cached factorization across calls (one per circuit).
+/// `diag`, if given, accumulates the homotopy attempt log; on total failure
+/// the thrown error carries a copy with the failing node/device filled in.
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
-             std::vector<double>& x,
-             numeric::LinearSolver* solver = nullptr);
+             std::vector<double>& x, numeric::LinearSolver* solver = nullptr,
+             SolverDiagnostics* diag = nullptr);
 
 /// Collect the full signal-name list: unknown labels then device probes.
 [[nodiscard]] std::vector<std::string> signal_names(const Circuit& circuit);

@@ -1,5 +1,7 @@
 #include "sim/mna_system.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace softfet::sim {
@@ -40,6 +42,43 @@ double MnaSystem::abstol(std::size_t unknown) const {
 
 double MnaSystem::max_step(std::size_t unknown) const {
   return unknown < voltage_unknowns_ ? options_.v_max_step : 0.0;
+}
+
+std::string MnaSystem::unknown_label(std::size_t unknown) const {
+  const auto& labels = circuit_.unknown_labels();
+  if (unknown < labels.size()) return labels[unknown];
+  return NonlinearSystem::unknown_label(unknown);
+}
+
+std::string MnaSystem::blame_device(const std::vector<double>& x,
+                                    std::size_t unknown) const {
+  const std::size_t n = circuit_.unknown_count();
+  if (x.size() != n) return "";
+  numeric::SparseMatrix jacobian(n);
+  std::vector<double> residual(n, 0.0);
+  std::string best;
+  double best_magnitude = 0.0;
+  for (const auto& device : circuit_.devices()) {
+    jacobian.resize(n);
+    std::fill(residual.begin(), residual.end(), 0.0);
+    Stamper stamper(jacobian, residual);
+    device->load(x, stamper, context_);
+    // A device emitting NaN/Inf anywhere is the offender regardless of row.
+    for (const double r : residual) {
+      if (!std::isfinite(r)) return device->name();
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      for (const auto& [col, value] : jacobian.row(row)) {
+        (void)col;
+        if (!std::isfinite(value)) return device->name();
+      }
+    }
+    if (unknown < n && std::fabs(residual[unknown]) > best_magnitude) {
+      best_magnitude = std::fabs(residual[unknown]);
+      best = device->name();
+    }
+  }
+  return best;
 }
 
 }  // namespace softfet::sim

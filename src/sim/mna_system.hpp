@@ -21,6 +21,14 @@ class MnaSystem final : public numeric::NonlinearSystem {
             std::vector<double>& residual) override;
   [[nodiscard]] double abstol(std::size_t unknown) const override;
   [[nodiscard]] double max_step(std::size_t unknown) const override;
+  [[nodiscard]] std::string unknown_label(std::size_t unknown) const override;
+
+  /// Failure-path attribution: re-stamp each device in isolation at `x` and
+  /// name the one contributing a non-finite entry anywhere, or failing that
+  /// the largest-magnitude residual contribution to row `unknown`. Returns
+  /// "" when nothing stamps that row (e.g. a structurally empty equation).
+  [[nodiscard]] std::string blame_device(const std::vector<double>& x,
+                                         std::size_t unknown) const;
 
   /// Shunt conductance to ground on every node (homotopy knob).
   void set_gmin(double gmin) noexcept { gmin_ = gmin; }

@@ -26,7 +26,8 @@ namespace detail {
 /// Shared by dc_operating_point / dc_sweep / run_transient. `x` carries the
 /// warm start in and the solution out. Returns Newton iterations used.
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
-             std::vector<double>& x, numeric::LinearSolver* solver) {
+             std::vector<double>& x, numeric::LinearSolver* solver,
+             SolverDiagnostics* diag) {
   MnaSystem system(circuit, options, ctx);
   numeric::NewtonOptions nopt = newton_options(options);
   numeric::LinearSolver local_solver(options.solver);
@@ -37,18 +38,31 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
   ctx.dt = 0.0;
   ctx.source_scale = 1.0;
 
+  numeric::NewtonResult last;
+  std::vector<double> last_x;
   const auto attempt = [&](std::vector<double>& guess) {
-    const auto result = numeric::solve_newton(system, guess, nopt);
-    total_iterations += result.iterations;
-    return result.converged;
+    last = numeric::solve_newton(system, guess, nopt);
+    total_iterations += last.iterations;
+    if (!last.converged) last_x = guess;
+    return last.converged;
+  };
+  // Record a homotopy rung in the caller's diagnostics (when given).
+  const auto note = [&](const char* strategy, bool succeeded) {
+    if (diag != nullptr) {
+      diag->record_attempt({strategy, succeeded,
+                            succeeded ? ""
+                                      : numeric::to_string(last.failure)});
+    }
   };
 
-  // 1. Direct Newton from the warm start.
+  // 1. Direct Newton from the warm start. A clean solve records nothing:
+  // the attempt log is the history of escalations, not of routine work.
   std::vector<double> trial = x;
   if (attempt(trial)) {
     x = trial;
     return total_iterations;
   }
+  note("direct_newton", false);
 
   // 2. gmin stepping: start heavily regularized, relax decade by decade.
   trial = x;
@@ -64,6 +78,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
     g = std::max(g / 10.0, options.gmin);
   }
   system.set_gmin(options.gmin);
+  note("gmin_stepping", ok);
   if (ok) {
     x = trial;
     return total_iterations;
@@ -82,10 +97,23 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
     }
   }
   ctx.source_scale = 1.0;
+  note("source_stepping", ok);
   if (!ok) {
-    throw ConvergenceError(
-        "dc operating point: direct Newton, gmin stepping and source "
-        "stepping all failed");
+    SolverDiagnostics d;
+    if (diag != nullptr) d = *diag;
+    d.analysis = "dc operating point";
+    d.failure = std::string("all homotopies failed (last: ") +
+                numeric::to_string(last.failure) + ")";
+    d.iterations = last.iterations;
+    d.total_iterations = total_iterations;
+    d.worst_residual = last.worst_residual;
+    d.iteration_trace = last.trace;
+    if (last.worst_unknown != numeric::kNoUnknown) {
+      d.worst_node = system.unknown_label(last.worst_unknown);
+      d.worst_device = system.blame_device(last_x, last.worst_unknown);
+    }
+    if (diag != nullptr) *diag = d;
+    throw ConvergenceError("dc operating point", std::move(d));
   }
   x = trial;
   return total_iterations;
@@ -121,7 +149,10 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   LoadContext ctx;
   numeric::LinearSolver solver(options.solver);
   std::vector<double> x(circuit.unknown_count(), 0.0);
-  const int iterations = detail::solve_dc(circuit, options, ctx, x, &solver);
+  SolverDiagnostics diag;
+  diag.analysis = "dc operating point";
+  const int iterations =
+      detail::solve_dc(circuit, options, ctx, x, &solver, &diag);
   // Let hysteretic devices settle their quasistatic state, re-solving until
   // the (state, solution) pair is self-consistent.
   constexpr int kMaxStateIterations = 20;
@@ -131,7 +162,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
       changed = device->update_quasistatic_state(x) || changed;
     }
     if (!changed) break;
-    detail::solve_dc(circuit, options, ctx, x, &solver);
+    detail::solve_dc(circuit, options, ctx, x, &solver, &diag);
   }
   for (const auto& device : circuit.devices()) device->init_state(x);
 
@@ -139,6 +170,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   result.x = std::move(x);
   result.labels = circuit.unknown_labels();
   result.iterations = iterations;
+  result.diagnostics = std::move(diag);
   return result;
 }
 

@@ -32,6 +32,18 @@ struct SimOptions {
   std::size_t max_steps = 20'000'000;
   bool use_trapezoidal = true;  ///< false = backward Euler everywhere
 
+  // --- Transient recovery ladder ----------------------------------------
+  /// After this many consecutive Newton failures at one step the engine
+  /// escalates beyond dt shrinking: predictor reset, transient gmin ramp,
+  /// then per-step source ramping (each attempt recorded in the result's
+  /// diagnostics). The ladder also runs once more at the minimum timestep
+  /// before the run gives up. <= 0 disables escalation (shrink-only).
+  int recovery_escalate_after = 6;
+  /// Starting shunt conductance of the transient gmin-ramp rung [S].
+  double recovery_gmin_start = 1e-3;
+  /// Continuation points of the per-step source-ramp rung.
+  int recovery_source_steps = 4;
+
   // --- Linear solver ----------------------------------------------------
   numeric::SolverKind solver = numeric::SolverKind::kAuto;
 };

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace softfet::sim {
 
 /// Column-oriented table of named signals sampled over a common axis
@@ -41,6 +43,9 @@ struct OpResult {
   std::vector<double> x;                 ///< raw unknown vector
   std::vector<std::string> labels;       ///< unknown labels ("v(out)", ...)
   int iterations = 0;
+  /// Homotopy strategies the solve had to escalate through (direct Newton,
+  /// gmin stepping, source stepping); empty attempts = clean direct solve.
+  SolverDiagnostics diagnostics;
   /// Convenience: value of a labelled unknown, e.g. voltage("out").
   [[nodiscard]] double voltage(const std::string& node) const;
   [[nodiscard]] double unknown(const std::string& label) const;
@@ -60,6 +65,12 @@ struct TranResult {
   std::size_t rejected_steps = 0;
   std::size_t newton_iterations = 0;
   std::size_t event_count = 0;  ///< discrete device events (PTM transitions)
+  /// Steps accepted only thanks to an escalated recovery rung (predictor
+  /// reset, gmin ramp, source ramp) — dt shrinks alone don't count.
+  std::size_t recovered_steps = 0;
+  /// Recovery-attempt log and last-failure context (populated even when the
+  /// run ultimately succeeds; attempts empty = no Newton trouble at all).
+  SolverDiagnostics diagnostics;
 };
 
 }  // namespace softfet::sim

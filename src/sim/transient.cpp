@@ -10,6 +10,11 @@
 //    breakpoints;
 //  - devices may cut a candidate step at an internal event time (PTM
 //    threshold crossings) so state flips land on step boundaries.
+//  - on Newton failure a recovery ladder escalates instead of aborting:
+//    dt shrink with forced backward Euler (the cheap, common rung), then —
+//    after repeated failures or at the minimum timestep — predictor reset
+//    to the last accepted state, transient gmin ramping, and per-step
+//    source ramping; every attempt is recorded in the result diagnostics.
 #include <algorithm>
 #include <cmath>
 
@@ -18,6 +23,7 @@
 #include "sim/mna_system.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/units.hpp"
 
 namespace softfet::sim {
 
@@ -113,11 +119,131 @@ TranResult run_transient(Circuit& circuit, double tstop,
   double t = 0.0;
   bool force_backward_euler = true;  // first step
   int consecutive_rejects = 0;
+  int newton_failures = 0;        // consecutive, reset on acceptance
+  bool escalated_at_min = false;  // ladder runs at most twice per step
+
+  out.diagnostics.analysis = "transient";
+
+  // Record a recovery attempt; returns its index for later success marking
+  // (-1 when the bounded log is full).
+  const auto note_attempt = [&](const char* strategy) {
+    const std::size_t before = out.diagnostics.attempts.size();
+    out.diagnostics.record_attempt(
+        {strategy, false,
+         "t=" + util::format_si(t, 4, "s") +
+             " dt=" + util::format_si(dt, 3, "s")});
+    return out.diagnostics.attempts.size() > before
+               ? static_cast<int>(before)
+               : -1;
+  };
+  const auto mark_succeeded = [&](int attempt) {
+    if (attempt >= 0) {
+      out.diagnostics.attempts[static_cast<std::size_t>(attempt)].succeeded =
+          true;
+    }
+  };
+
+  // Failure context for a thrown ConvergenceError: the accumulated attempt
+  // log plus the last failed solve's worst node/device and iteration trace.
+  const auto failure_diagnostics = [&](const numeric::NewtonResult& last,
+                                       const std::vector<double>& x_at_failure,
+                                       MnaSystem& sys, std::string why) {
+    SolverDiagnostics d = out.diagnostics;
+    d.failure = std::move(why);
+    d.time = t;
+    d.last_dt = dt;
+    d.iterations = last.iterations;
+    d.total_iterations = static_cast<int>(out.newton_iterations);
+    d.worst_residual = last.worst_residual;
+    d.iteration_trace = last.trace;
+    if (last.worst_unknown != numeric::kNoUnknown) {
+      d.worst_node = sys.unknown_label(last.worst_unknown);
+      d.worst_device = sys.blame_device(x_at_failure, last.worst_unknown);
+    }
+    return d;
+  };
+
+  // One backward-Euler corrector solve for the current (t, dt) window.
+  const auto solve_once = [&](std::vector<double>& trial) {
+    ctx.mode = AnalysisMode::kTransient;
+    ctx.method = IntegrationMethod::kBackwardEuler;
+    ctx.time = t + dt;
+    ctx.dt = dt;
+    const auto r = numeric::solve_newton(system, trial, nopt);
+    out.newton_iterations += static_cast<std::size_t>(r.iterations);
+    return r;
+  };
+
+  // Escalated recovery: backward-Euler solves at the current dt starting
+  // from the last accepted state. On success `x_rec` holds the solution.
+  const auto try_ladder = [&](std::vector<double>& x_rec) -> bool {
+    // Rung 1: predictor reset — retry from the last accepted state instead
+    // of the (possibly wild) extrapolated predictor.
+    {
+      const int attempt = note_attempt("predictor_reset");
+      x_rec = x;
+      ctx.source_scale = 1.0;
+      if (solve_once(x_rec).converged) {
+        mark_succeeded(attempt);
+        return true;
+      }
+    }
+    // Rung 2: transient gmin ramp — solve under a strong node-to-ground
+    // shunt, then walk it back down in decades to the configured floor.
+    {
+      const int attempt = note_attempt("gmin_ramp");
+      x_rec = x;
+      ctx.source_scale = 1.0;
+      bool ok = true;
+      for (double g = std::max(options.recovery_gmin_start, options.gmin);;
+           g = std::max(g * 0.1, options.gmin)) {
+        system.set_gmin(g);
+        if (!solve_once(x_rec).converged) {
+          ok = false;
+          break;
+        }
+        if (g <= options.gmin) break;
+      }
+      system.set_gmin(options.gmin);
+      if (ok) {
+        mark_succeeded(attempt);
+        return true;
+      }
+    }
+    // Rung 3: per-step source ramp — continuation from weak drive back up
+    // to the full sources at this timepoint.
+    {
+      const int attempt = note_attempt("source_ramp");
+      x_rec = x;
+      bool ok = true;
+      const int steps = std::max(options.recovery_source_steps, 1);
+      for (int k = 1; k <= steps; ++k) {
+        ctx.source_scale = static_cast<double>(k) / steps;
+        if (!solve_once(x_rec).converged) {
+          ok = false;
+          break;
+        }
+      }
+      ctx.source_scale = 1.0;
+      if (ok) {
+        mark_succeeded(attempt);
+        return true;
+      }
+    }
+    ctx.source_scale = 1.0;
+    return false;
+  };
+
+  // dt_shrink attempts whose outcome is not yet known; marked succeeded
+  // when a subsequent plain solve converges.
+  std::vector<int> pending_shrinks;
 
   while (t < tstop * (1.0 - 1e-12)) {
     if (out.accepted_steps + out.rejected_steps >= options.max_steps) {
-      throw ConvergenceError("run_transient: step budget exhausted at t=" +
-                             std::to_string(t));
+      numeric::NewtonResult none;
+      throw ConvergenceError(
+          "transient",
+          failure_diagnostics(none, x, system, "step budget exhausted"));
     }
 
     // Clamp dt: device caps, global max, remaining span.
@@ -150,17 +276,41 @@ TranResult run_transient(Circuit& circuit, double tstop,
     const auto newton = numeric::solve_newton(system, x_new, nopt);
     out.newton_iterations += static_cast<std::size_t>(newton.iterations);
 
+    bool recovered = false;
     if (!newton.converged) {
       ++out.rejected_steps;
       ++consecutive_rejects;
-      if (dt <= options.dtmin * 1.0001) {
-        throw ConvergenceError("run_transient: Newton failed at minimum "
-                               "timestep, t=" + std::to_string(t));
+      ++newton_failures;
+      const bool at_min = dt <= options.dtmin * 1.0001;
+      const bool ladder_enabled = options.recovery_escalate_after > 0;
+      if (ladder_enabled &&
+          (newton_failures == options.recovery_escalate_after ||
+           (at_min && !escalated_at_min))) {
+        if (at_min) escalated_at_min = true;
+        recovered = try_ladder(x_new);
       }
-      dt *= options.dt_shrink;
-      force_backward_euler = true;  // robustness after trouble
-      continue;
+      if (!recovered) {
+        if (at_min) {
+          throw ConvergenceError(
+              "transient",
+              failure_diagnostics(
+                  newton, x_new, system,
+                  std::string("Newton failed at minimum timestep (") +
+                      numeric::to_string(newton.failure) + ")"));
+        }
+        pending_shrinks.push_back(note_attempt("dt_shrink"));
+        dt *= options.dt_shrink;
+        force_backward_euler = true;  // robustness after trouble
+        continue;
+      }
     }
+
+    // A converged plain solve vindicates any outstanding dt shrinks; a
+    // ladder recovery means they were not what fixed the step.
+    if (newton.converged) {
+      for (const int attempt : pending_shrinks) mark_succeeded(attempt);
+    }
+    pending_shrinks.clear();
 
     // Discrete device events strictly inside the step: cut the step there.
     double event_at = kNeverTime;
@@ -183,7 +333,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
 
     // Local-error control (not after discontinuities, where the predictor
     // is meaningless, and not when we are already struggling).
-    if (!force_backward_euler && consecutive_rejects < 15) {
+    if (!recovered && !force_backward_euler && consecutive_rejects < 15) {
       const double ratio = lte_ratio(x_new, x_pred, voltage_unknowns, options);
       if (ratio > 4.0 && dt > options.dtmin * 4.0) {
         ++out.rejected_steps;
@@ -197,7 +347,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
       } else if (ratio < 1.0) {
         dt *= 1.15;
       }
-    } else {
+    } else if (!recovered) {
       dt *= 1.5;  // recover step size after BE / trouble
     }
 
@@ -211,14 +361,19 @@ TranResult run_transient(Circuit& circuit, double tstop,
     out.time.push_back(t);
     out.table.append_row(detail::sample_row(circuit, x));
     ++out.accepted_steps;
+    if (recovered) ++out.recovered_steps;
     consecutive_rejects = 0;
+    newton_failures = 0;
+    escalated_at_min = false;
 
     if (event_on_boundary) {
       ++out.event_count;
       history.reset(t, x);          // old slope is meaningless now
       force_backward_euler = true;  // BE across the discontinuity
     } else {
-      force_backward_euler = false;
+      // A recovered step converged under backward Euler from a troubled
+      // spot: stay on BE for one more step before trusting trapezoidal.
+      force_backward_euler = recovered;
     }
     if (newton.iterations > 25) dt *= 0.7;
   }

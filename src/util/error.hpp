@@ -2,10 +2,16 @@
 //
 // All library failures are reported through exceptions derived from
 // softfet::Error so callers can distinguish library faults from std:: ones.
+// Solver failures additionally carry a SolverDiagnostics payload describing
+// *where* and *why* the numerics gave up (worst node, blamed device, last
+// timestep, recovery attempts) so batch drivers can record structured
+// failure entries instead of opaque strings.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace softfet {
 
@@ -21,10 +27,83 @@ class InvalidCircuitError : public Error {
   explicit InvalidCircuitError(const std::string& what) : Error(what) {}
 };
 
+/// One recovery-ladder rung tried after a solver failure.
+struct RecoveryAttempt {
+  std::string strategy;  ///< "dt_shrink", "predictor_reset", "gmin_ramp", ...
+  bool succeeded = false;
+  std::string detail;  ///< human-readable context ("t=120ps dt=4ps -> 1ps")
+};
+
+/// One Newton iteration of the last failed solve (for the iteration trace).
+struct IterationRecord {
+  double max_dx = 0.0;        ///< largest |dx| of the iteration
+  double max_residual = 0.0;  ///< largest scaled |F| entry of the iteration
+};
+
+/// Structured description of a solver failure (or of the recovery work a
+/// successful analysis had to do). Threaded through the Newton loop and the
+/// analysis drivers; embedded in ConvergenceError and exposed on results.
+struct SolverDiagnostics {
+  std::string analysis;  ///< "transient", "dc operating point", ...
+  std::string failure;   ///< short reason ("newton max iterations", ...)
+  double time = 0.0;     ///< simulation time of the failure [s]
+  double last_dt = 0.0;  ///< last attempted timestep [s] (0 for DC)
+  int iterations = 0;    ///< Newton iterations of the last failed solve
+  int total_iterations = 0;  ///< cumulative iterations incl. recovery work
+  double worst_residual = 0.0;   ///< largest |F| entry at the failure
+  std::string worst_node;        ///< unknown label with the worst residual
+  std::string worst_device;      ///< device blamed for that residual row
+  std::vector<IterationRecord> iteration_trace;  ///< last failed solve
+  std::vector<RecoveryAttempt> attempts;         ///< ladder rungs tried
+  std::size_t attempts_dropped = 0;  ///< attempts beyond the recording cap
+
+  /// Record an attempt, bounded so pathological runs cannot grow unbounded.
+  void record_attempt(RecoveryAttempt attempt);
+
+  /// Mark the most recently recorded attempt as having succeeded.
+  void mark_last_attempt_succeeded();
+
+  /// One-line human-readable report with engineering-notation time/units,
+  /// e.g. "transient: newton max iterations at t=1.2ns (dt=40fs, 150
+  /// iterations), worst residual 3.2mA at v(out) (device MN1), 4 recovery
+  /// attempts".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Bound on recorded recovery attempts (excess is counted, not stored).
+inline constexpr std::size_t kMaxRecordedAttempts = 256;
+
 /// Numerical failure: singular matrix, Newton divergence, step underflow.
 class ConvergenceError : public Error {
  public:
   explicit ConvergenceError(const std::string& what) : Error(what) {}
+
+  /// `what` is prefixed to the diagnostics' one-line summary.
+  ConvergenceError(const std::string& what, SolverDiagnostics diagnostics);
+
+  [[nodiscard]] bool has_diagnostics() const noexcept {
+    return has_diagnostics_;
+  }
+  [[nodiscard]] const SolverDiagnostics& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  SolverDiagnostics diagnostics_;
+  bool has_diagnostics_ = false;
+};
+
+/// A numerically singular linear system; `column` is the unknown whose pivot
+/// vanished (maps back to a node/branch label in MNA systems).
+class SingularMatrixError : public ConvergenceError {
+ public:
+  SingularMatrixError(const std::string& what, std::size_t column)
+      : ConvergenceError(what), column_(column) {}
+
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t column_;
 };
 
 /// Netlist text could not be parsed.

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <string>
 
 #include "core/variation.hpp"
 #include "devices/ptm.hpp"
+#include "fault_injection.hpp"
 #include "util/error.hpp"
 
 namespace sc = softfet::core;
@@ -17,6 +20,18 @@ softfet::cells::InverterTestbenchSpec soft_base() {
   spec.input_rising = false;
   spec.dut.ptm = sd::PtmParams{};
   return spec;
+}
+
+/// Sabotages samples 2 and 5 with an unrecoverable NaN source on the
+/// inverter output, armed from 150 ps onward.
+void poison_samples_2_and_5(std::size_t k,
+                            softfet::cells::InverterTestbenchSpec& spec) {
+  if (k != 2 && k != 5) return;
+  spec.instrument = [](softfet::sim::Circuit& c) {
+    c.add<softfet::testing::FaultDevice>(
+        "FLT1", c.node("out"), softfet::testing::FaultMode::kNanResidual,
+        150e-12, 1.0, /*fault_budget=*/-1);
+  };
 }
 }  // namespace
 
@@ -114,6 +129,62 @@ TEST(MonteCarlo, SurfacesImpossibleDrawSpreads) {
     EXPECT_NE(std::string(e.what()).find("no valid PTM parameter draw"),
               std::string::npos)
         << e.what();
+  }
+}
+
+TEST(MonteCarlo, InjectedFaultsAreIsolatedWithDiagnostics) {
+  // Two of eight samples carry an unrecoverable fault: the run must still
+  // complete, report both failures with full solver diagnostics (after a
+  // tightened-options retry), and compute statistics over the survivors.
+  sc::MonteCarloSpec mc;
+  mc.samples = 8;
+  mc.seed = 11;
+  mc.threads = 2;
+  mc.per_sample_hook = poison_samples_2_and_5;
+  const auto stats = sc::ptm_monte_carlo(soft_base(), mc);
+  EXPECT_EQ(stats.samples, 8);
+  EXPECT_EQ(stats.failed_samples, 2);
+  ASSERT_EQ(stats.failures.size(), 2u);
+  EXPECT_EQ(stats.failures[0].index, 2u);
+  EXPECT_EQ(stats.failures[1].index, 5u);
+  for (const auto& f : stats.failures) {
+    EXPECT_TRUE(f.retried);  // tightened options were given their chance
+    EXPECT_NE(f.context.find("sample"), std::string::npos);
+    const auto& d = f.diagnostics;
+    EXPECT_EQ(d.analysis, "transient");
+    EXPECT_EQ(d.worst_device, "FLT1");
+    EXPECT_GT(d.time, 0.0);
+    EXPECT_FALSE(d.attempts.empty());
+  }
+  // Survivor statistics stay sane.
+  EXPECT_GT(stats.imax_mean, 20e-6);
+  EXPECT_GT(stats.imax_std, 0.0);
+}
+
+TEST(MonteCarlo, FaultyRunIsDeterministicAcrossThreadCounts) {
+  // Failure isolation must not break bitwise reproducibility: survivors'
+  // statistics AND the failure reports must match for any pool size.
+  sc::MonteCarloSpec mc;
+  mc.samples = 8;
+  mc.seed = 11;
+  mc.threads = 1;
+  mc.per_sample_hook = poison_samples_2_and_5;
+  const auto serial = sc::ptm_monte_carlo(soft_base(), mc);
+  ASSERT_EQ(serial.failures.size(), 2u);
+  for (const int threads : {2, 3}) {
+    mc.threads = threads;
+    const auto parallel = sc::ptm_monte_carlo(soft_base(), mc);
+    EXPECT_DOUBLE_EQ(parallel.imax_mean, serial.imax_mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.imax_std, serial.imax_std) << threads;
+    EXPECT_DOUBLE_EQ(parallel.delay_mean, serial.delay_mean) << threads;
+    EXPECT_DOUBLE_EQ(parallel.fraction_below_baseline,
+                     serial.fraction_below_baseline)
+        << threads;
+    ASSERT_EQ(parallel.failures.size(), serial.failures.size()) << threads;
+    for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+      EXPECT_EQ(parallel.failures[i].index, serial.failures[i].index);
+      EXPECT_EQ(parallel.failures[i].message, serial.failures[i].message);
+    }
   }
 }
 

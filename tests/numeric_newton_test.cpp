@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "numeric/newton.hpp"
 #include "util/error.hpp"
@@ -55,7 +57,71 @@ class StiffExponential final : public sn::NonlinearSystem {
   double limit_;
 };
 
+// Residual that is NaN in row 1 from the very first evaluation.
+class NanResidual final : public sn::NonlinearSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 2; }
+  void load(const std::vector<double>& x, sn::SparseMatrix& jacobian,
+            std::vector<double>& residual) override {
+    residual[0] = x[0] - 1.0;
+    residual[1] = std::numeric_limits<double>::quiet_NaN();
+    jacobian.add(0, 0, 1.0);
+    jacobian.add(1, 1, 1.0);
+  }
+  [[nodiscard]] double abstol(std::size_t) const override { return 1e-12; }
+  [[nodiscard]] std::string unknown_label(std::size_t i) const override {
+    return i == 1 ? "v(bad)" : "v(ok)";
+  }
+};
+
+// Row 1 never receives a Jacobian entry: structurally singular.
+class SingularRow final : public sn::NonlinearSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 2; }
+  void load(const std::vector<double>& x, sn::SparseMatrix& jacobian,
+            std::vector<double>& residual) override {
+    residual[0] = x[0] - 1.0;
+    residual[1] = 0.0;
+    jacobian.add(0, 0, 1.0);
+  }
+  [[nodiscard]] double abstol(std::size_t) const override { return 1e-12; }
+};
+
 }  // namespace
+
+TEST(Newton, NonFiniteResidualFailsFastWithStructuredResult) {
+  // The guard must abort on the first poisoned evaluation instead of
+  // iterating to the budget, and must name the offending unknown.
+  NanResidual system;
+  std::vector<double> x{0.0, 0.0};
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.failure, sn::NewtonFailure::kNonFiniteResidual);
+  EXPECT_LE(result.iterations, 1);
+  EXPECT_EQ(result.worst_unknown, 1u);
+  EXPECT_EQ(system.unknown_label(result.worst_unknown), "v(bad)");
+}
+
+TEST(Newton, SingularMatrixIsASoftFailureNotAThrow) {
+  // A vanishing pivot must come back as a structured result so homotopy
+  // ladders (gmin/source stepping) get their chance to run.
+  SingularRow system;
+  std::vector<double> x{0.0, 0.0};
+  const auto result = sn::solve_newton(system, x);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.failure, sn::NewtonFailure::kSingularMatrix);
+  EXPECT_EQ(result.worst_unknown, 1u);
+}
+
+TEST(Newton, FailureKindsHaveReadableNames) {
+  EXPECT_STREQ(sn::to_string(sn::NewtonFailure::kNone), "converged");
+  EXPECT_NE(std::string(sn::to_string(sn::NewtonFailure::kNonFiniteResidual))
+                .find("residual"),
+            std::string::npos);
+  EXPECT_NE(std::string(sn::to_string(sn::NewtonFailure::kSingularMatrix))
+                .find("singular"),
+            std::string::npos);
+}
 
 TEST(Newton, SolvesQuadratic) {
   Quadratic system;

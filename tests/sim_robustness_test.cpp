@@ -1,8 +1,11 @@
 // Engine robustness: homotopy fallbacks, stiff circuits, degenerate
-// inputs, logging plumbing.
+// inputs, logging plumbing, and the fault-injection proofs that every
+// recovery-ladder rung fires and every diagnostics field is populated.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "devices/capacitor.hpp"
 #include "devices/diode.hpp"
@@ -10,6 +13,7 @@
 #include "devices/resistor.hpp"
 #include "devices/sources.hpp"
 #include "devices/tech40.hpp"
+#include "fault_injection.hpp"
 #include "measure/waveform.hpp"
 #include "sim/analyses.hpp"
 #include "util/error.hpp"
@@ -19,6 +23,49 @@ namespace sd = softfet::devices;
 namespace ss = softfet::sim;
 namespace t40 = softfet::devices::tech40;
 using softfet::measure::Waveform;
+using softfet::testing::FaultDevice;
+using softfet::testing::FaultMode;
+
+namespace {
+
+/// Ramp-driven RC bench with a FaultDevice attached to the output node.
+/// The input ramps 0 -> 1 V between 100 ps and 130 ps; faults are armed in
+/// [200 ps, 1 ns] unless the caller overrides the window.
+struct FaultBench {
+  ss::Circuit circuit;
+  FaultDevice* fault = nullptr;
+};
+
+FaultBench make_fault_bench(FaultMode mode, int budget,
+                            double t_start = 200e-12, double t_end = 1e-9,
+                            double storm_dt = 10e-12) {
+  FaultBench bench;
+  auto& c = bench.circuit;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add<sd::VSource>("Vin", in, ss::kGroundNode,
+                     sd::SourceSpec::ramp(0.0, 1.0, 100e-12, 30e-12));
+  c.add<sd::Resistor>("R1", in, out, 1e3);
+  c.add<sd::Capacitor>("C1", out, ss::kGroundNode, 1e-15);
+  bench.fault =
+      c.add<FaultDevice>("FLT1", out, mode, t_start, t_end, budget, storm_dt);
+  return bench;
+}
+
+/// Attempts whose strategy matches `strategy`, optionally only successes.
+int count_attempts(const softfet::SolverDiagnostics& diag,
+                   const std::string& strategy, bool successes_only = false) {
+  int count = 0;
+  for (const auto& attempt : diag.attempts) {
+    if (attempt.strategy == strategy &&
+        (!successes_only || attempt.succeeded)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
 
 TEST(Robustness, DiodeChainNeedsHomotopy) {
   // A long diode chain from a high supply is a classic direct-Newton
@@ -127,4 +174,154 @@ TEST(Robustness, ParallelVoltageSourcesConflictIsSingular) {
   c.add<sd::VSource>("V1", a, ss::kGroundNode, sd::SourceSpec::dc(1.0));
   c.add<sd::VSource>("V2", a, ss::kGroundNode, sd::SourceSpec::dc(2.0));
   EXPECT_THROW((void)ss::dc_operating_point(c), softfet::ConvergenceError);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery-ladder fault injection: each test arms a FaultDevice with the
+// exact sabotage budget that forces one specific rung to be the cure (see
+// fault_injection.hpp for the budget arithmetic).
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryLadder, DtShrinkRungHandlesATransientGlitch) {
+  // Default escalation threshold: a single poisoned solve is cured by the
+  // cheap dt-shrink rung before any escalated rung runs.
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/1);
+  const auto result = ss::run_transient(bench.circuit, 1e-9, {});
+  EXPECT_EQ(bench.fault->injections(), 1);
+  EXPECT_EQ(result.recovered_steps, 0u);  // no escalated rung needed
+  EXPECT_GE(count_attempts(result.diagnostics, "dt_shrink"), 1);
+  EXPECT_GE(count_attempts(result.diagnostics, "dt_shrink", true), 1);
+  EXPECT_EQ(count_attempts(result.diagnostics, "predictor_reset"), 0);
+}
+
+TEST(RecoveryLadder, PredictorResetRungRecovers) {
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/1);
+  ss::SimOptions options;
+  options.recovery_escalate_after = 1;  // escalate on the first failure
+  const auto result = ss::run_transient(bench.circuit, 1e-9, options);
+  EXPECT_EQ(result.recovered_steps, 1u);
+  EXPECT_EQ(count_attempts(result.diagnostics, "predictor_reset", true), 1);
+  EXPECT_EQ(count_attempts(result.diagnostics, "gmin_ramp"), 0);
+  EXPECT_EQ(count_attempts(result.diagnostics, "source_ramp"), 0);
+}
+
+TEST(RecoveryLadder, GminRampRungRecovers) {
+  // Budget 2: the escalation's predictor-reset solve is also poisoned, so
+  // the gmin ramp is the first rung that can succeed.
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/2);
+  ss::SimOptions options;
+  options.recovery_escalate_after = 1;
+  const auto result = ss::run_transient(bench.circuit, 1e-9, options);
+  EXPECT_EQ(result.recovered_steps, 1u);
+  EXPECT_EQ(count_attempts(result.diagnostics, "predictor_reset"), 1);
+  EXPECT_EQ(count_attempts(result.diagnostics, "predictor_reset", true), 0);
+  EXPECT_EQ(count_attempts(result.diagnostics, "gmin_ramp", true), 1);
+  EXPECT_EQ(count_attempts(result.diagnostics, "source_ramp"), 0);
+}
+
+TEST(RecoveryLadder, SourceRampRungRecovers) {
+  // Budget 3 also poisons the first gmin-ramp solve: only the source ramp
+  // is left standing.
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/3);
+  ss::SimOptions options;
+  options.recovery_escalate_after = 1;
+  const auto result = ss::run_transient(bench.circuit, 1e-9, options);
+  EXPECT_EQ(result.recovered_steps, 1u);
+  EXPECT_EQ(count_attempts(result.diagnostics, "predictor_reset", true), 0);
+  EXPECT_EQ(count_attempts(result.diagnostics, "gmin_ramp", true), 0);
+  EXPECT_EQ(count_attempts(result.diagnostics, "source_ramp", true), 1);
+}
+
+TEST(RecoveryLadder, MinimumDtStallThrowsWithFullDiagnostics) {
+  // An unlimited NaN source is unrecoverable: the engine must shrink to
+  // dtmin, run the ladder once more, and give up with a structured report
+  // naming the node, the blamed device, and the failure time in
+  // engineering notation (not "t=0.000000").
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/-1);
+  try {
+    (void)ss::run_transient(bench.circuit, 1e-9, {});
+    FAIL() << "expected the unrecoverable fault to throw";
+  } catch (const softfet::ConvergenceError& e) {
+    ASSERT_TRUE(e.has_diagnostics());
+    const auto& d = e.diagnostics();
+    EXPECT_EQ(d.analysis, "transient");
+    EXPECT_NE(d.failure.find("minimum timestep"), std::string::npos);
+    EXPECT_EQ(d.worst_node, "v(out)");
+    EXPECT_EQ(d.worst_device, "FLT1");
+    // The fault arms at 200 ps; the last accepted time cannot pass it.
+    EXPECT_GT(d.time, 150e-12);
+    EXPECT_LT(d.time, 210e-12);
+    EXPECT_GT(d.last_dt, 0.0);
+    EXPECT_GE(count_attempts(d, "dt_shrink"), 1);
+    // The at-dtmin escalation runs the full ladder at least once.
+    EXPECT_GE(count_attempts(d, "predictor_reset"), 1);
+    EXPECT_GE(count_attempts(d, "gmin_ramp"), 1);
+    EXPECT_GE(count_attempts(d, "source_ramp"), 1);
+    // Engineering-notation message: picoseconds, not a six-decimal zero.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ps"), std::string::npos) << what;
+    EXPECT_EQ(what.find("0.000000"), std::string::npos) << what;
+  }
+}
+
+TEST(RecoveryLadder, EscalationCanBeDisabled) {
+  auto bench = make_fault_bench(FaultMode::kNanResidual, /*budget=*/-1);
+  ss::SimOptions options;
+  options.recovery_escalate_after = 0;  // shrink-only ladder
+  try {
+    (void)ss::run_transient(bench.circuit, 1e-9, options);
+    FAIL() << "expected the unrecoverable fault to throw";
+  } catch (const softfet::ConvergenceError& e) {
+    ASSERT_TRUE(e.has_diagnostics());
+    EXPECT_EQ(count_attempts(e.diagnostics(), "predictor_reset"), 0);
+    EXPECT_EQ(count_attempts(e.diagnostics(), "gmin_ramp"), 0);
+    EXPECT_GE(count_attempts(e.diagnostics(), "dt_shrink"), 1);
+  }
+}
+
+TEST(RecoveryLadder, SingularStampNamesTheOffendingUnknown) {
+  // A structurally zero matrix row (a device that claims a branch unknown
+  // and never stamps it) must surface the unknown's label through every
+  // homotopy rung's failure.
+  auto bench =
+      make_fault_bench(FaultMode::kSingularRow, /*budget=*/-1, 0.0, 1.0);
+  try {
+    (void)ss::dc_operating_point(bench.circuit);
+    FAIL() << "expected the singular stamp to defeat every DC homotopy";
+  } catch (const softfet::ConvergenceError& e) {
+    ASSERT_TRUE(e.has_diagnostics());
+    const auto& d = e.diagnostics();
+    EXPECT_EQ(d.analysis, "dc operating point");
+    EXPECT_EQ(d.worst_node, "i(flt1)");
+    EXPECT_NE(d.failure.find("singular"), std::string::npos);
+    EXPECT_EQ(count_attempts(d, "direct_newton"), 1);
+    EXPECT_EQ(count_attempts(d, "gmin_stepping"), 1);
+    EXPECT_EQ(count_attempts(d, "source_stepping"), 1);
+  }
+}
+
+TEST(RecoveryLadder, NanJacobianIsCaughtByTheUpdateGuard) {
+  // Jacobian poison passes the residual check but must still fail the
+  // solve fast (non-finite update or singular factorization), and a
+  // 1-solve budget must be absorbed without losing the run.
+  auto bench = make_fault_bench(FaultMode::kNanJacobian, /*budget=*/1);
+  const auto result = ss::run_transient(bench.circuit, 1e-9, {});
+  EXPECT_EQ(bench.fault->injections(), 1);
+  EXPECT_GE(count_attempts(result.diagnostics, "dt_shrink", true), 1);
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  EXPECT_NEAR(vout.value(1e-9), 1.0, 1e-2);
+}
+
+TEST(RecoveryLadder, EventStormIsSurvivedAtFullAccuracy) {
+  // A device reporting an event every 2 ps across [200 ps, 400 ps] forces
+  // a dense burst of step cuts; the engine must neither hang nor lose the
+  // waveform. (Spacing is chosen below the engine's dtmax so events land
+  // inside candidate steps.)
+  auto bench = make_fault_bench(FaultMode::kEventStorm, /*budget=*/-1,
+                                200e-12, 400e-12, 2e-12);
+  const auto result = ss::run_transient(bench.circuit, 1e-9, {});
+  EXPECT_GE(result.event_count, 10u);       // ~100 storm boundaries
+  EXPECT_LT(result.accepted_steps, 5000u);  // bounded work
+  const Waveform vout = Waveform::from_tran(result, "v(out)");
+  EXPECT_NEAR(vout.value(1e-9), 1.0, 1e-2);
 }
