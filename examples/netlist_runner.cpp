@@ -1,6 +1,12 @@
 // softfet-spice: run a SPICE-style netlist through the softfet simulator.
 //
 //   $ ./netlist_runner circuit.sp [--csv out.csv] [--signals v(out),i(vdd)]
+//                      [--timeout seconds]
+//
+// --timeout puts a wall-clock budget on every analysis; a transient that
+// trips it still writes the partial waveform to --csv, prints a one-line
+// diagnostic, and exits with code 3 (130 when stopped by Ctrl-C instead).
+// The first Ctrl-C requests a cooperative stop; a second one hard-exits.
 //
 // Supports .op, .dc and .tran (driven by the netlist's directives), the
 // element cards R C L V I E G S D M P X, .model cards (nmos/pmos/ptm/d/sw),
@@ -29,13 +35,24 @@
 #include "netlist/measure_eval.hpp"
 #include "sim/ac.hpp"
 #include "sim/analyses.hpp"
+#include "util/budget.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/units.hpp"
 
 namespace {
 
 using namespace softfet;
+
+// Distinct exit codes so scripts can tell "netlist/convergence problem"
+// from "ran out of budget" from "user interrupted".
+constexpr int kExitBudget = 3;
+constexpr int kExitCancel = 130;
+
+[[nodiscard]] int exit_code_for(util::BudgetStop stop) {
+  return stop == util::BudgetStop::kCancel ? kExitCancel : kExitBudget;
+}
 
 void write_rows(const std::string& path, const std::string& axis_name,
                 const std::vector<double>& axis, const sim::SignalTable& table,
@@ -67,18 +84,26 @@ int run(int argc, char** argv) {
   std::string netlist_path;
   std::string csv_path;
   std::vector<std::string> signals;
+  double timeout_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv" && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (arg == "--signals" && i + 1 < argc) {
       signals = util::split(argv[++i], ",");
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      const auto parsed = util::parse_spice_number(argv[++i]);
+      if (!parsed || *parsed <= 0.0) {
+        std::fprintf(stderr, "--timeout needs a positive number of seconds\n");
+        return 2;
+      }
+      timeout_seconds = *parsed;
     } else if (!arg.empty() && arg[0] != '-') {
       netlist_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: netlist_runner <file.sp> [--csv out.csv] "
-                   "[--signals a,b,...]\n");
+                   "[--signals a,b,...] [--timeout seconds]\n");
       return 2;
     }
   }
@@ -86,6 +111,11 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "usage: netlist_runner <file.sp> [--csv out.csv]\n");
     return 2;
   }
+
+  util::install_sigint_cancel();
+  sim::SimOptions options;
+  options.budget.max_wall_seconds = timeout_seconds;
+  options.budget.cancel = &util::sigint_cancel_token();
 
   auto net = netlist::compile_netlist_file(netlist_path);
   if (!net.title.empty()) std::printf("* %s\n", net.title.c_str());
@@ -95,7 +125,7 @@ int run(int argc, char** argv) {
               net.circuit->unknown_count());
 
   if (net.op || (!net.tran && !net.dc)) {
-    const auto op = sim::dc_operating_point(*net.circuit);
+    const auto op = sim::dc_operating_point(*net.circuit, options);
     std::printf("\n.op results:\n");
     for (std::size_t i = 0; i < op.labels.size(); ++i) {
       std::printf("  %-20s %+.6g\n", op.labels[i].c_str(), op.x[i]);
@@ -103,7 +133,7 @@ int run(int argc, char** argv) {
   }
   if (net.dc) {
     const auto sweep =
-        sim::dc_sweep(*net.circuit, net.dc->source, net.dc->points());
+        sim::dc_sweep(*net.circuit, net.dc->source, net.dc->points(), options);
     std::printf("\n.dc sweep of %s: %zu points\n", net.dc->source.c_str(),
                 sweep.axis.size());
     if (!csv_path.empty()) {
@@ -111,7 +141,6 @@ int run(int argc, char** argv) {
     }
   }
   if (net.tran) {
-    sim::SimOptions options;
     if (net.tran->tstep > 0.0) options.dtmax = net.tran->tstep * 10.0;
     const auto result =
         sim::run_transient(*net.circuit, net.tran->tstop, options);
@@ -119,8 +148,18 @@ int run(int argc, char** argv) {
                 "%zu Newton iterations, %zu PTM events\n",
                 net.tran->tstop, result.accepted_steps, result.rejected_steps,
                 result.newton_iterations, result.event_count);
-    if (!csv_path.empty()) {
+    if (!csv_path.empty() && !result.time.empty()) {
       write_rows(csv_path, "time", result.time, result.table, signals);
+    }
+    if (result.truncated) {
+      // Partial CSV (if any) is already on disk; one line says why and how
+      // far the run got, then the budget-specific exit code.
+      const double reached = result.time.empty() ? 0.0 : result.time.back();
+      std::fprintf(stderr,
+                   "budget stop: %s at t=%g s of %g s (%s)\n",
+                   util::to_string(result.stop_reason), reached,
+                   net.tran->tstop, result.diagnostics.summary().c_str());
+      return exit_code_for(result.stop_reason);
     }
     if (!net.measures.empty()) {
       std::printf("\n.measure results:\n");
@@ -173,6 +212,11 @@ int main(int argc, char** argv) {
     // for callers that want the number on its own.
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 1;
+  } catch (const softfet::BudgetExceededError& e) {
+    // A budget stop outside the transient (e.g. the .op phase) surfaces as
+    // a throw; same one-line contract and exit codes as the truncated path.
+    std::fprintf(stderr, "budget stop: %s\n", e.what());
+    return exit_code_for(e.stop());
   } catch (const softfet::ConvergenceError& e) {
     std::fprintf(stderr, "convergence error: %s\n", e.what());
     return 1;

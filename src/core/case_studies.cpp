@@ -18,12 +18,15 @@ namespace {
 /// Run a case-study leg; on a ConvergenceError retry once under tightened
 /// options and flag the outcome. A second failure propagates — unlike the
 /// batch sweeps, a case study has nothing meaningful to report without
-/// both legs.
+/// both legs. Budget/cancel stops propagate immediately: retrying them
+/// doubles the spent wall clock (or defeats the cancel).
 template <typename Runner>
 [[nodiscard]] auto with_retry(const Runner& runner,
                               const sim::SimOptions& options) {
   try {
     return runner(options);
+  } catch (const BudgetExceededError&) {
+    throw;
   } catch (const ConvergenceError& e) {
     util::log_warn(std::string("case study: retrying with tightened "
                                "options after: ") +
@@ -39,6 +42,7 @@ template <typename Runner>
   cells::PowerGateTestbench tb = cells::make_power_gate_testbench(spec);
   PowerGateOutcome out;
   out.tran = sim::run_transient(tb.circuit, tb.suggested_tstop, options);
+  require_complete(out.tran, "power gate study");
 
   const Waveform rail = Waveform::from_tran(out.tran, tb.rail_signal);
   const Waveform vvdd = Waveform::from_tran(out.tran, tb.virtual_rail_signal);
@@ -72,6 +76,7 @@ template <typename Runner>
   cells::IoBufferTestbench tb = cells::make_io_buffer_testbench(spec);
   IoBufferOutcome out;
   out.tran = sim::run_transient(tb.circuit, tb.suggested_tstop, options);
+  require_complete(out.tran, "io buffer study");
 
   const Waveform vddi = Waveform::from_tran(out.tran, tb.vddi_signal);
   const Waveform vssi = Waveform::from_tran(out.tran, tb.vssi_signal);

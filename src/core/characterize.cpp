@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/failure.hpp"
 #include "measure/metrics.hpp"
 #include "measure/waveform.hpp"
 
@@ -22,6 +23,9 @@ TransitionMetrics characterize_inverter(const cells::InverterTestbenchSpec& spec
     tb = cells::make_inverter_testbench(spec);
     if (attempt == 0) tstop = tb.suggested_tstop;
     out.tran = sim::run_transient(tb.circuit, tstop, options);
+    // A budget-truncated waveform must not be measured as if it completed
+    // (and may be empty, which Waveform::from_tran rejects).
+    require_complete(out.tran, "characterize_inverter");
     const Waveform vout_probe = Waveform::from_tran(out.tran, tb.output_signal);
     const bool output_rising_probe = !spec.input_rising;
     const double target =

@@ -1,0 +1,82 @@
+#include "core/checkpointing.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace softfet::core {
+
+std::string encode_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+double decode_double(const std::string& token) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    throw Error("checkpoint: malformed double token '" + token + "'");
+  }
+  return value;
+}
+
+std::string encode_failure(const FailureRecord& failure) {
+  return std::to_string(failure.retried ? 1 : 0) + ' ' +
+         std::to_string(static_cast<int>(failure.budget_stop)) + ' ' +
+         util::escape_field(failure.context) + ' ' +
+         util::escape_field(failure.message);
+}
+
+std::string encode_metrics(const TransitionMetrics& metrics) {
+  return encode_double(metrics.i_max) + ' ' + encode_double(metrics.max_didt) +
+         ' ' + encode_double(metrics.delay) + ' ' +
+         encode_double(metrics.output_transition) + ' ' +
+         encode_double(metrics.q_short) + ' ' +
+         encode_double(metrics.q_output) + ' ' + encode_double(metrics.energy) +
+         ' ' + std::to_string(metrics.imt_count) + ' ' +
+         std::to_string(metrics.mit_count);
+}
+
+TransitionMetrics decode_metrics(const std::string& tail) {
+  std::istringstream in(tail);
+  std::string i_max, max_didt, delay, output_transition, q_short, q_output,
+      energy;
+  TransitionMetrics metrics;
+  if (!(in >> i_max >> max_didt >> delay >> output_transition >> q_short >>
+        q_output >> energy >> metrics.imt_count >> metrics.mit_count)) {
+    throw Error("checkpoint: malformed metrics payload '" + tail + "'");
+  }
+  metrics.i_max = decode_double(i_max);
+  metrics.max_didt = decode_double(max_didt);
+  metrics.delay = decode_double(delay);
+  metrics.output_transition = decode_double(output_transition);
+  metrics.q_short = decode_double(q_short);
+  metrics.q_output = decode_double(q_output);
+  metrics.energy = decode_double(energy);
+  return metrics;
+}
+
+FailureRecord decode_failure(std::size_t index, const std::string& tail) {
+  std::istringstream in(tail);
+  int retried = 0;
+  int stop = 0;
+  std::string context;
+  std::string message;
+  if (!(in >> retried >> stop >> context >> message) || stop < 0 ||
+      stop > static_cast<int>(util::BudgetStop::kNewtonIterations)) {
+    throw Error("checkpoint: malformed failure payload '" + tail + "'");
+  }
+  FailureRecord failure;
+  failure.index = index;
+  failure.retried = retried != 0;
+  failure.budget_stop = static_cast<util::BudgetStop>(stop);
+  failure.context = util::unescape_field(context);
+  failure.message = util::unescape_field(message);
+  return failure;
+}
+
+}  // namespace softfet::core

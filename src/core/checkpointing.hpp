@@ -1,0 +1,52 @@
+// Checkpoint payload codec for the batch drivers (Monte Carlo, design-space
+// sweeps): bitwise-exact double encoding plus FailureRecord round-tripping.
+//
+// Payloads use C hexfloat ("%a") for every double so a resumed run decodes
+// exactly the bits the interrupted run computed — resume is bitwise
+// identical to an uninterrupted run, not merely close. FailureRecords keep
+// index/context/message/retried/budget_stop across the round trip; the
+// structured SolverDiagnostics are summarized into the message and not
+// persisted (re-running the point is the way to regenerate them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/characterize.hpp"
+#include "core/failure.hpp"
+
+namespace softfet::core {
+
+/// Where (and how often) a batch driver persists completed-point slots.
+/// An empty path disables checkpointing entirely.
+struct CheckpointSpec {
+  std::string path;     ///< checkpoint file (atomic tmp+rename saves)
+  int flush_every = 16; ///< save after this many newly completed points
+
+  [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
+};
+
+/// Bitwise-exact double -> token ("%a" hexfloat; round-trips -0.0/inf/nan).
+[[nodiscard]] std::string encode_double(double value);
+/// Inverse of encode_double; throws softfet::Error on a malformed token.
+[[nodiscard]] double decode_double(const std::string& token);
+
+/// FailureRecord -> payload tail (the tokens after a leading "fail"
+/// keyword): "<retried> <budget_stop> <context> <message>" with the string
+/// fields percent-escaped.
+[[nodiscard]] std::string encode_failure(const FailureRecord& failure);
+/// Inverse of encode_failure; `index` restores the batch position (it is
+/// implied by the slot, not stored in the payload).
+[[nodiscard]] FailureRecord decode_failure(std::size_t index,
+                                           const std::string& tail);
+
+/// TransitionMetrics -> payload tail: the nine scalar metrics plus the PTM
+/// transition counters, all bitwise round-trippable. The full waveforms
+/// (`tran`) are NOT serialized: a resumed sweep point carries empty
+/// waveforms, which the sweep consumers (statistics, CSV dumps of the
+/// scalar metrics) never read.
+[[nodiscard]] std::string encode_metrics(const TransitionMetrics& metrics);
+/// Inverse of encode_metrics (minus `tran`, see above).
+[[nodiscard]] TransitionMetrics decode_metrics(const std::string& tail);
+
+}  // namespace softfet::core

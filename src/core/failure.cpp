@@ -4,6 +4,19 @@
 
 namespace softfet::core {
 
+void require_complete(const sim::TranResult& tran, const std::string& who) {
+  if (!tran.truncated) return;
+  SolverDiagnostics d = tran.diagnostics;
+  if (d.analysis.empty()) d.analysis = "transient";
+  throw BudgetExceededError(who, tran.stop_reason, std::move(d));
+}
+
+void throw_if_cancelled(const sim::SimOptions& options, const char* who) {
+  if (options.budget.cancel != nullptr && options.budget.cancel->requested()) {
+    throw BudgetExceededError(who, util::BudgetStop::kCancel);
+  }
+}
+
 sim::SimOptions tightened_options(const sim::SimOptions& options) {
   sim::SimOptions tight = options;
   // Backward Euler is L-stable: no trapezoidal ringing across the PTM's

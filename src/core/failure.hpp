@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "sim/options.hpp"
+#include "sim/result.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace softfet::core {
@@ -22,6 +24,15 @@ struct FailureRecord {
   std::string message;    ///< what() of the final error
   SolverDiagnostics diagnostics;  ///< populated when the error carried one
   bool retried = false;   ///< a tightened-options retry was attempted first
+  /// Which budget limit stopped the point (kNone = a numerical failure).
+  util::BudgetStop budget_stop = util::BudgetStop::kNone;
+
+  /// True when the point did not fail on its own merits but was swept up by
+  /// a cooperative cancel. Cancelled records must not enter statistics or
+  /// checkpoints — the point reruns on resume.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return budget_stop == util::BudgetStop::kCancel;
+  }
 };
 
 /// Conservative option set for retrying a failed batch point: backward
@@ -29,10 +40,24 @@ struct FailureRecord {
 /// recovery ladder. Slower but markedly more robust.
 [[nodiscard]] sim::SimOptions tightened_options(const sim::SimOptions& options);
 
+/// Throw BudgetExceededError when a transient came back truncated. Batch
+/// points and case studies call this right after run_transient so a
+/// budget-stopped partial waveform is recorded as an isolated failure (or
+/// surfaces the cancel) instead of being measured as if it completed.
+void require_complete(const sim::TranResult& tran, const std::string& who);
+
+/// Throw BudgetExceededError(kCancel) when the options' cancel token has
+/// been tripped. Batch drivers call this between serial phases so a Ctrl-C
+/// lands promptly even outside parallel loops.
+void throw_if_cancelled(const sim::SimOptions& options, const char* who);
+
 /// Run `body(options)`; on a ConvergenceError retry once with
 /// tightened_options(). Returns nullopt on success, otherwise a
-/// FailureRecord describing the final error. Non-softfet exceptions
-/// propagate: they indicate bugs, not convergence trouble.
+/// FailureRecord describing the final error. Budget/cancel stops are
+/// recorded WITHOUT the retry: retrying a point that ran out of budget only
+/// doubles the spent wall clock, and retrying under cancellation defeats
+/// the cancel. Non-softfet exceptions propagate: they indicate bugs, not
+/// convergence trouble.
 template <typename Body>
 [[nodiscard]] std::optional<FailureRecord> run_isolated(
     std::size_t index, std::string context, const sim::SimOptions& options,
@@ -46,12 +71,17 @@ template <typename Body>
         conv != nullptr && conv->has_diagnostics()) {
       rec.diagnostics = conv->diagnostics();
     }
+    if (const auto* budget = dynamic_cast<const BudgetExceededError*>(&e)) {
+      rec.budget_stop = budget->stop();
+    }
     rec.retried = retried;
     return rec;
   };
   try {
     body(options);
     return std::nullopt;
+  } catch (const BudgetExceededError& e) {
+    return record(e, /*retried=*/false);
   } catch (const ConvergenceError&) {
     try {
       body(tightened_options(options));

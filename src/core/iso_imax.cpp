@@ -121,17 +121,21 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
   // aborting the other four curves.
   std::vector<std::optional<FailureRecord>> calibration_failures(3);
   const char* const calibration_names[] = {"hvt", "series-r", "stacked"};
-  util::parallel_for(3, [&](std::size_t task) {
-    calibration_failures[task] = run_isolated(
-        task, std::string("calibrate ") + calibration_names[task], options,
-        [&](const sim::SimOptions& opts) {
-          switch (task) {
-            case 0: calibrate_hvt(opts); break;
-            case 1: calibrate_series_r(opts); break;
-            default: calibrate_stack(opts); break;
-          }
-        });
-  });
+  util::parallel_for(
+      3,
+      [&](std::size_t task) {
+        calibration_failures[task] = run_isolated(
+            task, std::string("calibrate ") + calibration_names[task], options,
+            [&](const sim::SimOptions& opts) {
+              switch (task) {
+                case 0: calibrate_hvt(opts); break;
+                case 1: calibrate_series_r(opts); break;
+                default: calibrate_stack(opts); break;
+              }
+            });
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "run_iso_imax_study");
 
   // --- sweep VCC for every variant --------------------------------------
   using SpecMaker = std::function<cells::InverterTestbenchSpec(double)>;
@@ -178,28 +182,32 @@ IsoImaxResult run_iso_imax_study(const IsoImaxSpec& spec,
   }
   std::vector<std::optional<FailureRecord>> grid_failures(variants.size() *
                                                           sweep_size);
-  util::parallel_for(variants.size() * sweep_size, [&](std::size_t task) {
-    const std::size_t v = task / sweep_size;
-    const std::size_t i = task % sweep_size;
-    const double vcc = spec.vcc_sweep[i];
-    VariantPoint& point = result.curves[variants[v].first][i];
-    const auto* calibration = calibration_failure_of(variants[v].first);
-    if (calibration != nullptr && calibration->has_value()) {
-      point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
-      return;
-    }
-    grid_failures[task] = run_isolated(
-        task,
-        variants[v].first + " vcc=" + util::format_si(vcc, 3, "V"), options,
-        [&](const sim::SimOptions& opts) {
-          const TransitionMetrics m =
-              characterize_inverter(variants[v].second(vcc), opts);
-          point = {vcc, m.i_max, m.max_didt, m.delay, /*ok=*/true};
-        });
-    if (grid_failures[task].has_value()) {
-      point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
-    }
-  });
+  util::parallel_for(
+      variants.size() * sweep_size,
+      [&](std::size_t task) {
+        const std::size_t v = task / sweep_size;
+        const std::size_t i = task % sweep_size;
+        const double vcc = spec.vcc_sweep[i];
+        VariantPoint& point = result.curves[variants[v].first][i];
+        const auto* calibration = calibration_failure_of(variants[v].first);
+        if (calibration != nullptr && calibration->has_value()) {
+          point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
+          return;
+        }
+        grid_failures[task] = run_isolated(
+            task,
+            variants[v].first + " vcc=" + util::format_si(vcc, 3, "V"), options,
+            [&](const sim::SimOptions& opts) {
+              const TransitionMetrics m =
+                  characterize_inverter(variants[v].second(vcc), opts);
+              point = {vcc, m.i_max, m.max_didt, m.delay, /*ok=*/true};
+            });
+        if (grid_failures[task].has_value()) {
+          point = {vcc, 0.0, 0.0, 0.0, /*ok=*/false};
+        }
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "run_iso_imax_study");
 
   // Serial, index-ordered failure report (calibrations first, then grid).
   for (auto& failure : calibration_failures) {

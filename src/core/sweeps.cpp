@@ -1,5 +1,9 @@
 #include "core/sweeps.hpp"
 
+#include <atomic>
+#include <sstream>
+
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/units.hpp"
@@ -17,8 +21,10 @@ void require_softfet(const cells::InverterTestbenchSpec& base,
 
 std::vector<DesignSpacePoint> sweep_vimt_vmit(
     const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
-    const std::vector<double>& v_mit, const sim::SimOptions& options) {
+    const std::vector<double>& v_mit, const sim::SimOptions& options,
+    const CheckpointSpec& checkpoint_spec) {
   require_softfet(base, "sweep_vimt_vmit");
+  throw_if_cancelled(options, "sweep_vimt_vmit");
 
   // Enumerate the feasible grid first so the characterizations can run as
   // one flat parallel batch with a stable output order.
@@ -32,18 +38,100 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
       points.push_back(std::move(point));
     }
   }
-  util::parallel_for(points.size(), [&](std::size_t i) {
-    auto spec = base;
-    spec.dut.ptm->v_imt = points[i].v_imt;
-    spec.dut.ptm->v_mit = points[i].v_mit;
-    points[i].failure = run_isolated(
-        i,
-        "v_imt=" + util::format_si(points[i].v_imt, 3, "V") +
-            " v_mit=" + util::format_si(points[i].v_mit, 3, "V"),
-        options, [&](const sim::SimOptions& opts) {
-          points[i].metrics = characterize_inverter(spec, opts);
-        });
-  });
+
+  // One checkpoint slot per feasible grid point; the tag pins the file to
+  // this exact grid (bit-exact axis values), refusing stale files.
+  const bool use_checkpoint = checkpoint_spec.enabled();
+  util::Checkpoint checkpoint;
+  std::vector<char> point_done(points.size(), 0);
+  if (use_checkpoint) {
+    std::string tag = "vimt_vmit imt=";
+    for (std::size_t i = 0; i < v_imt.size(); ++i) {
+      tag += (i == 0 ? "" : ",") + encode_double(v_imt[i]);
+    }
+    tag += " mit=";
+    for (std::size_t i = 0; i < v_mit.size(); ++i) {
+      tag += (i == 0 ? "" : ",") + encode_double(v_mit[i]);
+    }
+    checkpoint = util::Checkpoint::load_or_create(checkpoint_spec.path, tag,
+                                                  points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto payload = checkpoint.payload(i);
+      if (!payload.has_value()) continue;
+      std::istringstream in(*payload);
+      std::string keyword, tail;
+      in >> keyword;
+      std::getline(in, tail);
+      if (!tail.empty() && tail.front() == ' ') tail.erase(0, 1);
+      if (keyword == "ok") {
+        points[i].metrics = decode_metrics(tail);
+      } else if (keyword == "fail") {
+        points[i].failure = decode_failure(i, tail);
+      } else {
+        throw Error("checkpoint '" + checkpoint_spec.path + "': slot " +
+                    std::to_string(i) + " has malformed payload '" + *payload +
+                    "'");
+      }
+      point_done[i] = 1;
+    }
+  }
+
+  std::atomic<int> completions_since_flush{0};
+  const auto note_done = [&](std::size_t i, std::string payload) {
+    if (!use_checkpoint) return;
+    checkpoint.record(i, std::move(payload));
+    const int fresh = completions_since_flush.fetch_add(1) + 1;
+    if (fresh >= std::max(checkpoint_spec.flush_every, 1)) {
+      completions_since_flush.store(0);
+      checkpoint.save(checkpoint_spec.path);
+    }
+  };
+
+  util::parallel_for(
+      points.size(),
+      [&](std::size_t i) {
+        if (point_done[i] != 0) return;
+        auto spec = base;
+        spec.dut.ptm->v_imt = points[i].v_imt;
+        spec.dut.ptm->v_mit = points[i].v_mit;
+        points[i].failure = run_isolated(
+            i,
+            "v_imt=" + util::format_si(points[i].v_imt, 3, "V") +
+                " v_mit=" + util::format_si(points[i].v_mit, 3, "V"),
+            options, [&](const sim::SimOptions& opts) {
+              points[i].metrics = characterize_inverter(spec, opts);
+            });
+        if (!points[i].failure.has_value()) {
+          note_done(i, "ok " + encode_metrics(points[i].metrics));
+        } else if (!points[i].failure->cancelled()) {
+          note_done(i, "fail " + encode_failure(*points[i].failure));
+        }
+      },
+      0, options.budget.cancel);
+
+  // Cancel-poisoned points were never really attempted: clear them (they
+  // rerun on resume), flush what is real, and surface the cancel — a
+  // silently partial design-space map would mislead.
+  bool cancelled = options.budget.cancel != nullptr &&
+                   options.budget.cancel->requested();
+  for (auto& point : points) {
+    if (point.failure.has_value() && point.failure->cancelled()) {
+      point.failure.reset();
+      cancelled = true;
+    }
+  }
+  if (cancelled) {
+    std::string message = "sweep_vimt_vmit: cancelled";
+    if (use_checkpoint) {
+      checkpoint.save(checkpoint_spec.path);
+      message += " with " + std::to_string(checkpoint.completed()) + "/" +
+                 std::to_string(points.size()) +
+                 " points checkpointed; rerun against '" +
+                 checkpoint_spec.path + "' to resume";
+    }
+    throw BudgetExceededError(message, util::BudgetStop::kCancel);
+  }
+  if (use_checkpoint) checkpoint.save(checkpoint_spec.path);
   return points;
 }
 
@@ -52,16 +140,20 @@ std::vector<TptmPoint> sweep_tptm(const cells::InverterTestbenchSpec& base,
                                   const sim::SimOptions& options) {
   require_softfet(base, "sweep_tptm");
   std::vector<TptmPoint> points(t_ptm_values.size());
-  util::parallel_for(points.size(), [&](std::size_t i) {
-    auto spec = base;
-    spec.dut.ptm->t_ptm = t_ptm_values[i];
-    points[i].t_ptm = t_ptm_values[i];
-    points[i].failure = run_isolated(
-        i, "t_ptm=" + util::format_si(t_ptm_values[i], 3, "s"), options,
-        [&](const sim::SimOptions& opts) {
-          points[i].metrics = characterize_inverter(spec, opts);
-        });
-  });
+  util::parallel_for(
+      points.size(),
+      [&](std::size_t i) {
+        auto spec = base;
+        spec.dut.ptm->t_ptm = t_ptm_values[i];
+        points[i].t_ptm = t_ptm_values[i];
+        points[i].failure = run_isolated(
+            i, "t_ptm=" + util::format_si(t_ptm_values[i], 3, "s"), options,
+            [&](const sim::SimOptions& opts) {
+              points[i].metrics = characterize_inverter(spec, opts);
+            });
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "sweep_tptm");
   return points;
 }
 
@@ -79,24 +171,28 @@ std::vector<SlewPoint> sweep_slew(const cells::InverterTestbenchSpec& base,
   // Failures land in per-task slots (two tasks share one point, so writing
   // points[i].failure directly from both would race) and merge serially.
   std::vector<std::optional<FailureRecord>> slots(2 * points.size());
-  util::parallel_for(2 * points.size(), [&](std::size_t task) {
-    const std::size_t i = task / 2;
-    const std::string context =
-        "slew=" + util::format_si(transitions[i], 3, "s") +
-        (task % 2 == 0 ? " (soft)" : " (baseline)");
-    slots[task] =
-        run_isolated(i, context, options, [&](const sim::SimOptions& opts) {
-          if (task % 2 == 0) {
-            auto soft = base;
-            soft.input_transition = transitions[i];
-            points[i].soft = characterize_inverter(soft, opts);
-          } else {
-            auto plain = baseline_spec;
-            plain.input_transition = transitions[i];
-            points[i].baseline = characterize_inverter(plain, opts);
-          }
-        });
-  });
+  util::parallel_for(
+      2 * points.size(),
+      [&](std::size_t task) {
+        const std::size_t i = task / 2;
+        const std::string context =
+            "slew=" + util::format_si(transitions[i], 3, "s") +
+            (task % 2 == 0 ? " (soft)" : " (baseline)");
+        slots[task] =
+            run_isolated(i, context, options, [&](const sim::SimOptions& opts) {
+              if (task % 2 == 0) {
+                auto soft = base;
+                soft.input_transition = transitions[i];
+                points[i].soft = characterize_inverter(soft, opts);
+              } else {
+                auto plain = baseline_spec;
+                plain.input_transition = transitions[i];
+                points[i].baseline = characterize_inverter(plain, opts);
+              }
+            });
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "sweep_slew");
   for (std::size_t i = 0; i < points.size(); ++i) {
     points[i].failure = slots[2 * i] ? slots[2 * i] : slots[2 * i + 1];
   }
@@ -113,44 +209,53 @@ std::vector<RatioPoint> sweep_slew_tptm_ratio(
   // Per-slew baseline references, computed in parallel.
   std::vector<TransitionMetrics> refs(slews.size());
   std::vector<std::optional<FailureRecord>> ref_failures(slews.size());
-  util::parallel_for(slews.size(), [&](std::size_t s) {
-    ref_failures[s] = run_isolated(
-        s, "baseline slew=" + util::format_si(slews[s], 3, "s"), options,
-        [&](const sim::SimOptions& opts) {
-          auto plain = baseline_spec;
-          plain.input_transition = slews[s];
-          refs[s] = characterize_inverter(plain, opts);
-        });
-  });
+  util::parallel_for(
+      slews.size(),
+      [&](std::size_t s) {
+        ref_failures[s] = run_isolated(
+            s, "baseline slew=" + util::format_si(slews[s], 3, "s"), options,
+            [&](const sim::SimOptions& opts) {
+              auto plain = baseline_spec;
+              plain.input_transition = slews[s];
+              refs[s] = characterize_inverter(plain, opts);
+            });
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "sweep_slew_tptm_ratio");
 
   // The full (slew, t_ptm) grid as one flat batch. Points whose per-slew
   // baseline reference failed inherit that failure without re-simulating.
   std::vector<RatioPoint> points(slews.size() * t_ptms.size());
-  util::parallel_for(points.size(), [&](std::size_t task) {
-    const std::size_t s = task / t_ptms.size();
-    const std::size_t t = task % t_ptms.size();
-    RatioPoint& point = points[task];
-    point.slew = slews[s];
-    point.t_ptm = t_ptms[t];
-    point.ratio = slews[s] / t_ptms[t];
-    if (ref_failures[s].has_value()) {
-      point.failure = ref_failures[s];
-      point.failure->index = task;
-      return;
-    }
-    point.failure = run_isolated(
-        task,
-        "slew=" + util::format_si(slews[s], 3, "s") +
-            " t_ptm=" + util::format_si(t_ptms[t], 3, "s"),
-        options, [&](const sim::SimOptions& opts) {
-          auto spec = base;
-          spec.input_transition = slews[s];
-          spec.dut.ptm->t_ptm = t_ptms[t];
-          const TransitionMetrics m = characterize_inverter(spec, opts);
-          point.imax_reduction_pct = 100.0 * (1.0 - m.i_max / refs[s].i_max);
-          point.delay_penalty = m.delay / refs[s].delay;
-        });
-  });
+  util::parallel_for(
+      points.size(),
+      [&](std::size_t task) {
+        const std::size_t s = task / t_ptms.size();
+        const std::size_t t = task % t_ptms.size();
+        RatioPoint& point = points[task];
+        point.slew = slews[s];
+        point.t_ptm = t_ptms[t];
+        point.ratio = slews[s] / t_ptms[t];
+        if (ref_failures[s].has_value()) {
+          point.failure = ref_failures[s];
+          point.failure->index = task;
+          return;
+        }
+        point.failure = run_isolated(
+            task,
+            "slew=" + util::format_si(slews[s], 3, "s") +
+                " t_ptm=" + util::format_si(t_ptms[t], 3, "s"),
+            options, [&](const sim::SimOptions& opts) {
+              auto spec = base;
+              spec.input_transition = slews[s];
+              spec.dut.ptm->t_ptm = t_ptms[t];
+              const TransitionMetrics m = characterize_inverter(spec, opts);
+              point.imax_reduction_pct =
+                  100.0 * (1.0 - m.i_max / refs[s].i_max);
+              point.delay_penalty = m.delay / refs[s].delay;
+            });
+      },
+      0, options.budget.cancel);
+  throw_if_cancelled(options, "sweep_slew_tptm_ratio");
   return points;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/checkpointing.hpp"
 #include "core/failure.hpp"
 
 namespace softfet::core {
@@ -24,9 +25,16 @@ struct DesignSpacePoint {
 
 /// Grid sweep of (V_IMT, V_MIT); infeasible combinations (v_mit >= v_imt)
 /// are skipped. `base.dut.ptm` must be set.
+///
+/// With `checkpoint.path` set, completed grid points (scalar metrics and
+/// isolated failures — never cancel-poisoned ones) persist via atomic saves;
+/// a rerun against the same file skips them and reproduces the
+/// uninterrupted sweep bitwise, except that resumed points carry empty
+/// `metrics.tran` waveforms. The file's tag binds it to this exact grid.
 [[nodiscard]] std::vector<DesignSpacePoint> sweep_vimt_vmit(
     const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
-    const std::vector<double>& v_mit, const sim::SimOptions& options = {});
+    const std::vector<double>& v_mit, const sim::SimOptions& options = {},
+    const CheckpointSpec& checkpoint = {});
 
 struct TptmPoint {
   double t_ptm = 0.0;

@@ -1,11 +1,14 @@
 #include "core/variation.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <iterator>
 #include <random>
+#include <sstream>
 
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -63,17 +66,23 @@ std::vector<SensitivityRow> ptm_sensitivity(
   TransitionMetrics mid;
   std::vector<TransitionMetrics> hi(kParamCount);
   std::vector<TransitionMetrics> lo(kParamCount);
-  util::parallel_for(1 + 2 * kParamCount, [&](std::size_t task) {
-    if (task == 0) {
-      mid = characterize_inverter(base, options);
-      return;
-    }
-    const std::size_t p = (task - 1) / 2;
-    const bool is_hi = (task - 1) % 2 == 0;
-    auto& out = is_hi ? hi[p] : lo[p];
-    out = metrics_at(kParams[p],
-                     is_hi ? 1.0 + delta_fraction : 1.0 - delta_fraction);
-  });
+  util::parallel_for(
+      1 + 2 * kParamCount,
+      [&](std::size_t task) {
+        if (task == 0) {
+          mid = characterize_inverter(base, options);
+          return;
+        }
+        const std::size_t p = (task - 1) / 2;
+        const bool is_hi = (task - 1) % 2 == 0;
+        auto& out = is_hi ? hi[p] : lo[p];
+        out = metrics_at(kParams[p],
+                         is_hi ? 1.0 + delta_fraction : 1.0 - delta_fraction);
+      },
+      0, options.budget.cancel);
+  // Partially filled hi/lo tables would silently skew the central
+  // differences; a cancel must surface instead.
+  throw_if_cancelled(options, "ptm_sensitivity");
 
   const auto central = [&](double y_hi, double y_lo, double y_mid) {
     // %metric per %param.
@@ -100,6 +109,7 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
                                 const sim::SimOptions& options) {
   require_softfet(base, "ptm_monte_carlo");
   if (mc.samples < 2) throw Error("ptm_monte_carlo: need >= 2 samples");
+  throw_if_cancelled(options, "ptm_monte_carlo");
 
   const auto sample_count = static_cast<std::size_t>(mc.samples);
   double baseline_imax = 0.0;
@@ -109,6 +119,69 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
   // keeping them indexed (rather than pushing to a shared list) makes the
   // failure report thread-count independent too.
   std::vector<std::optional<FailureRecord>> failure_slots(sample_count);
+
+  // Checkpoint slot 0 is the baseline, slot k+1 is sample k. The tag pins
+  // the file to this exact study so a stale file cannot contaminate it.
+  const bool use_checkpoint = mc.checkpoint.enabled();
+  util::Checkpoint checkpoint;
+  bool baseline_done = false;
+  std::vector<char> sample_done(sample_count, 0);
+  if (use_checkpoint) {
+    const std::string tag =
+        "mc seed=" + std::to_string(mc.seed) +
+        " samples=" + std::to_string(mc.samples) +
+        " sig_th=" + encode_double(mc.sigma_threshold) +
+        " sig_r=" + encode_double(mc.sigma_resistance) +
+        " sig_t=" + encode_double(mc.sigma_tptm);
+    checkpoint = util::Checkpoint::load_or_create(mc.checkpoint.path, tag,
+                                                  sample_count + 1);
+    const auto malformed = [&](std::size_t slot, const std::string& payload) {
+      return Error("checkpoint '" + mc.checkpoint.path + "': slot " +
+                   std::to_string(slot) + " has malformed payload '" +
+                   payload + "'");
+    };
+    if (const auto payload = checkpoint.payload(0)) {
+      std::istringstream in(*payload);
+      std::string keyword, token;
+      if (!(in >> keyword >> token) || keyword != "base") {
+        throw malformed(0, *payload);
+      }
+      baseline_imax = decode_double(token);
+      baseline_done = true;
+    }
+    for (std::size_t k = 0; k < sample_count; ++k) {
+      const auto payload = checkpoint.payload(k + 1);
+      if (!payload.has_value()) continue;
+      std::istringstream in(*payload);
+      std::string keyword;
+      in >> keyword;
+      if (keyword == "ok") {
+        std::string imax_token, delay_token;
+        if (!(in >> imax_token >> delay_token)) throw malformed(k + 1, *payload);
+        imaxes[k] = decode_double(imax_token);
+        delays[k] = decode_double(delay_token);
+      } else if (keyword == "fail") {
+        std::string tail;
+        std::getline(in, tail);
+        if (!tail.empty() && tail.front() == ' ') tail.erase(0, 1);
+        failure_slots[k] = decode_failure(k, tail);
+      } else {
+        throw malformed(k + 1, *payload);
+      }
+      sample_done[k] = 1;
+    }
+  }
+
+  std::atomic<int> completions_since_flush{0};
+  const auto note_done = [&](std::size_t slot, std::string payload) {
+    if (!use_checkpoint) return;
+    checkpoint.record(slot, std::move(payload));
+    const int fresh = completions_since_flush.fetch_add(1) + 1;
+    if (fresh >= std::max(mc.checkpoint.flush_every, 1)) {
+      completions_since_flush.store(0);
+      checkpoint.save(mc.checkpoint.path);
+    }
+  };
 
   // Every sample owns an independent RNG stream seeded from mc.seed + k, so
   // the draws — and therefore the statistics — are identical for any worker
@@ -155,21 +228,57 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
           imaxes[k] = m.i_max;
           delays[k] = m.delay;
         });
+    if (!failure_slots[k].has_value()) {
+      note_done(k + 1, "ok " + encode_double(imaxes[k]) + ' ' +
+                           encode_double(delays[k]));
+    } else if (!failure_slots[k]->cancelled()) {
+      // Real failures (incl. per-point budget timeouts) persist so resume
+      // does not redo them; cancel-poisoned slots must rerun instead.
+      note_done(k + 1, "fail " + encode_failure(*failure_slots[k]));
+    }
   };
 
-  // Task 0 is the PTM-less baseline; tasks 1..N are the samples.
+  // Task 0 is the PTM-less baseline; tasks 1..N are the samples. Resumed
+  // slots return immediately, so a restart only pays for unfinished points.
   util::parallel_for(
       sample_count + 1,
       [&](std::size_t task) {
         if (task == 0) {
+          if (baseline_done) return;
           auto spec = base;
           spec.dut.ptm.reset();
           baseline_imax = characterize_inverter(spec, options).i_max;
+          note_done(0, "base " + encode_double(baseline_imax));
           return;
         }
+        if (sample_done[task - 1] != 0) return;
         run_sample(task - 1);
       },
-      static_cast<std::size_t>(std::max(mc.threads, 0)));
+      static_cast<std::size_t>(std::max(mc.threads, 0)), options.budget.cancel);
+
+  // A cancel mid-batch leaves poisoned failure slots (and unclaimed
+  // samples). Clear the poisoned ones — they were never really attempted —
+  // then flush and surface the cancel: partial statistics would mislead.
+  bool cancelled = options.budget.cancel != nullptr &&
+                   options.budget.cancel->requested();
+  for (auto& slot : failure_slots) {
+    if (slot.has_value() && slot->cancelled()) {
+      slot.reset();
+      cancelled = true;
+    }
+  }
+  if (cancelled) {
+    std::string message = "ptm_monte_carlo: cancelled";
+    if (use_checkpoint) {
+      checkpoint.save(mc.checkpoint.path);
+      message += " with " + std::to_string(checkpoint.completed()) + "/" +
+                 std::to_string(sample_count + 1) +
+                 " points checkpointed; rerun against '" + mc.checkpoint.path +
+                 "' to resume";
+    }
+    throw BudgetExceededError(message, util::BudgetStop::kCancel);
+  }
+  if (use_checkpoint) checkpoint.save(mc.checkpoint.path);
 
   // Compact survivors serially in index order so the floating-point
   // accumulation order — hence the result — is thread-count independent.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/characterize.hpp"
+#include "core/checkpointing.hpp"
 #include "core/failure.hpp"
 
 namespace softfet::core {
@@ -51,6 +52,14 @@ struct MonteCarloSpec {
   /// logging). Must be thread-safe; it runs from the worker pool.
   std::function<void(std::size_t, cells::InverterTestbenchSpec&)>
       per_sample_hook;
+  /// Checkpoint/resume: with `checkpoint.path` set, completed sample slots
+  /// (and isolated failures — but never cancel-poisoned ones) persist via
+  /// atomic saves every `checkpoint.flush_every` completions, on
+  /// cancellation, and at the end. A rerun against the same file skips
+  /// finished samples and reproduces the uninterrupted statistics bitwise
+  /// (payloads are hexfloat-encoded). The file's tag binds it to this
+  /// (seed, samples, sigma_*) study; mismatches are refused.
+  CheckpointSpec checkpoint;
 };
 
 struct MonteCarloStats {

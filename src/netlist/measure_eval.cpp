@@ -66,12 +66,18 @@ std::size_t parse_edge_options(const std::vector<std::string>& tokens,
   if (!util::iequals(tokens[i], "trig")) {
     throw ParseError("expected TRIG", directive.line);
   }
-  trig.signal = tokens.at(++i);
+  if (++i >= tokens.size()) {
+    throw ParseError("TRIG needs a signal", directive.line);
+  }
+  trig.signal = tokens[i];
   i = parse_edge_options(tokens, i + 1, trig, directive.line);
   if (i >= tokens.size() || !util::iequals(tokens[i], "targ")) {
     throw ParseError("expected TARG after TRIG options", directive.line);
   }
-  targ.signal = tokens.at(++i);
+  if (++i >= tokens.size()) {
+    throw ParseError("TARG needs a signal", directive.line);
+  }
+  targ.signal = tokens[i];
   i = parse_edge_options(tokens, i + 1, targ, directive.line);
 
   const Waveform w_trig = Waveform::from_tran(result, trig.signal);

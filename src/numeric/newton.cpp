@@ -26,6 +26,7 @@ const char* to_string(NewtonFailure failure) {
     case NewtonFailure::kNonFiniteResidual: return "non-finite residual";
     case NewtonFailure::kNonFiniteUpdate: return "non-finite newton update";
     case NewtonFailure::kSingularMatrix: return "singular matrix";
+    case NewtonFailure::kBudgetExhausted: return "run budget exhausted";
   }
   return "unknown failure";
 }
@@ -63,6 +64,16 @@ NewtonResult solve_newton(NonlinearSystem& system, std::vector<double>& x,
   };
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Budget check once per iteration: a check is a clock read, an iteration
+    // is a full load + LU factorization, so the overhead is in the noise.
+    if (options.budget != nullptr) {
+      const util::BudgetStop stop = options.budget->check_now();
+      if (stop != util::BudgetStop::kNone) {
+        result.failure = NewtonFailure::kBudgetExhausted;
+        result.failure_detail = util::to_string(stop);
+        return result;
+      }
+    }
     result.iterations = iter + 1;
 
     jacobian.set_zero_keep_structure();

@@ -19,6 +19,7 @@
 
 #include "numeric/linear_solver.hpp"
 #include "numeric/sparse_matrix.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace softfet::numeric {
@@ -64,6 +65,11 @@ struct NewtonOptions {
   /// timestep; `solver` above is ignored in that case (the instance's own
   /// kind wins). When null, a fresh solver is created per call.
   LinearSolver* solver_instance = nullptr;
+  /// Optional armed run budget, checked at every iteration head. When it
+  /// trips, the solve stops with NewtonFailure::kBudgetExhausted — reported
+  /// structurally like any other failure, so the analysis driver (not this
+  /// loop) decides to truncate instead of climbing its recovery ladder.
+  const util::BudgetTimer* budget = nullptr;
 };
 
 /// Why a solve stopped without converging.
@@ -73,6 +79,7 @@ enum class NewtonFailure {
   kNonFiniteResidual, ///< NaN/Inf in F(x) from a device evaluation
   kNonFiniteUpdate,   ///< NaN/Inf in the Newton update dx
   kSingularMatrix,    ///< Jacobian factorization hit a vanishing pivot
+  kBudgetExhausted,   ///< options.budget tripped (wall clock or cancel)
 };
 
 [[nodiscard]] const char* to_string(NewtonFailure failure);

@@ -17,9 +17,12 @@ namespace softfet::sim::detail {
 /// given, carries the cached factorization across calls (one per circuit).
 /// `diag`, if given, accumulates the homotopy attempt log; on total failure
 /// the thrown error carries a copy with the failing node/device filled in.
+/// `budget`, if given, is checked inside every Newton solve; tripping it
+/// throws softfet::BudgetExceededError (never retried by batch drivers).
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
              std::vector<double>& x, numeric::LinearSolver* solver = nullptr,
-             SolverDiagnostics* diag = nullptr);
+             SolverDiagnostics* diag = nullptr,
+             const util::BudgetTimer* budget = nullptr);
 
 /// Collect the full signal-name list: unknown labels then device probes.
 [[nodiscard]] std::vector<std::string> signal_names(const Circuit& circuit);

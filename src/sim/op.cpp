@@ -27,11 +27,12 @@ namespace detail {
 /// warm start in and the solution out. Returns Newton iterations used.
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
              std::vector<double>& x, numeric::LinearSolver* solver,
-             SolverDiagnostics* diag) {
+             SolverDiagnostics* diag, const util::BudgetTimer* budget) {
   MnaSystem system(circuit, options, ctx);
   numeric::NewtonOptions nopt = newton_options(options);
   numeric::LinearSolver local_solver(options.solver);
   nopt.solver_instance = solver != nullptr ? solver : &local_solver;
+  nopt.budget = budget;
   int total_iterations = 0;
 
   ctx.mode = AnalysisMode::kDcOp;
@@ -43,6 +44,19 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
   const auto attempt = [&](std::vector<double>& guess) {
     last = numeric::solve_newton(system, guess, nopt);
     total_iterations += last.iterations;
+    if (last.failure == numeric::NewtonFailure::kBudgetExhausted) {
+      // Not a homotopy failure: stop the whole DC solve, skipping the
+      // remaining (expensive) rungs.
+      util::BudgetStop stop = budget != nullptr ? budget->check_now()
+                                                : util::BudgetStop::kNone;
+      if (stop == util::BudgetStop::kNone) stop = util::BudgetStop::kWallClock;
+      SolverDiagnostics d;
+      if (diag != nullptr) d = *diag;
+      d.analysis = "dc operating point";
+      d.failure = std::string("run budget: ") + util::to_string(stop);
+      d.total_iterations = total_iterations;
+      throw BudgetExceededError("dc operating point", stop, std::move(d));
+    }
     if (!last.converged) last_x = guess;
     return last.converged;
   };
@@ -151,8 +165,9 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   std::vector<double> x(circuit.unknown_count(), 0.0);
   SolverDiagnostics diag;
   diag.analysis = "dc operating point";
+  const util::BudgetTimer budget(options.budget);
   const int iterations =
-      detail::solve_dc(circuit, options, ctx, x, &solver, &diag);
+      detail::solve_dc(circuit, options, ctx, x, &solver, &diag, &budget);
   // Let hysteretic devices settle their quasistatic state, re-solving until
   // the (state, solution) pair is self-consistent.
   constexpr int kMaxStateIterations = 20;
@@ -162,7 +177,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
       changed = device->update_quasistatic_state(x) || changed;
     }
     if (!changed) break;
-    detail::solve_dc(circuit, options, ctx, x, &solver, &diag);
+    detail::solve_dc(circuit, options, ctx, x, &solver, &diag, &budget);
   }
   for (const auto& device : circuit.devices()) device->init_state(x);
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "numeric/linear_solver.hpp"
+#include "util/budget.hpp"
 
 namespace softfet::sim {
 
@@ -46,6 +47,13 @@ struct SimOptions {
 
   // --- Linear solver ----------------------------------------------------
   numeric::SolverKind solver = numeric::SolverKind::kAuto;
+
+  // --- Run budget -------------------------------------------------------
+  /// Wall-clock / step / iteration limits plus an optional cancel token.
+  /// Default-constructed = unlimited. Each analysis arms its own
+  /// util::BudgetTimer from this spec at entry; transients that trip it
+  /// return a partial result flagged `truncated` instead of throwing.
+  util::RunBudget budget;
 };
 
 }  // namespace softfet::sim

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace softfet::sim {
@@ -71,6 +72,11 @@ struct TranResult {
   /// Recovery-attempt log and last-failure context (populated even when the
   /// run ultimately succeeds; attempts empty = no Newton trouble at all).
   SolverDiagnostics diagnostics;
+  /// True when the run stopped early because SimOptions::budget tripped (or
+  /// a cancel was requested). `time`/`table` then hold the partial waveform
+  /// up to the stop; `stop_reason` and `diagnostics.failure` say why.
+  bool truncated = false;
+  util::BudgetStop stop_reason = util::BudgetStop::kNone;
 };
 
 }  // namespace softfet::sim

@@ -88,12 +88,29 @@ TranResult run_transient(Circuit& circuit, double tstop,
   if (!(tstop > 0.0)) throw Error("run_transient: tstop must be positive");
   circuit.prepare();
 
-  // Operating point at t = 0 (also initializes device state).
-  OpResult op = dc_operating_point(circuit, options);
-  std::vector<double> x = op.x;
+  // Arm the run budget before the operating point so its wall clock counts
+  // against the transient too (the OP additionally arms its own timer from
+  // the same spec for the checks inside its homotopy ladder).
+  const util::BudgetTimer budget_timer(options.budget);
 
   TranResult out;
+  out.diagnostics.analysis = "transient";
   out.table = SignalTable(detail::signal_names(circuit));
+
+  // Operating point at t = 0 (also initializes device state).
+  std::vector<double> x;
+  try {
+    OpResult op = dc_operating_point(circuit, options);
+    x = std::move(op.x);
+  } catch (const BudgetExceededError& e) {
+    // Budget spent before a single timepoint existed: a truncated result
+    // with an empty waveform, not a failure throw — the caller's contract
+    // for budget stops is uniform.
+    out.truncated = true;
+    out.stop_reason = e.stop();
+    out.diagnostics.failure = e.what();
+    return out;
+  }
   out.time.push_back(0.0);
   out.table.append_row(detail::sample_row(circuit, x));
 
@@ -107,6 +124,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
   nopt.reltol = options.reltol;
   nopt.solver = options.solver;
   nopt.solver_instance = &solver;
+  nopt.budget = &budget_timer;
 
   const double dtmax = options.dtmax > 0.0 ? options.dtmax : tstop / 200.0;
   double dt = options.dt_initial > 0.0 ? options.dt_initial
@@ -121,8 +139,6 @@ TranResult run_transient(Circuit& circuit, double tstop,
   int consecutive_rejects = 0;
   int newton_failures = 0;        // consecutive, reset on acceptance
   bool escalated_at_min = false;  // ladder runs at most twice per step
-
-  out.diagnostics.analysis = "transient";
 
   // Record a recovery attempt; returns its index for later success marking
   // (-1 when the bounded log is full).
@@ -234,11 +250,30 @@ TranResult run_transient(Circuit& circuit, double tstop,
     return false;
   };
 
+  // Flag the result truncated with full failure context; the partial
+  // waveform accepted so far stays in `out`.
+  const auto mark_truncated = [&](util::BudgetStop stop,
+                                  const numeric::NewtonResult& last) {
+    out.diagnostics = failure_diagnostics(
+        last, x, system, std::string("run budget: ") + util::to_string(stop));
+    out.truncated = true;
+    out.stop_reason = stop;
+  };
+
   // dt_shrink attempts whose outcome is not yet known; marked succeeded
   // when a subsequent plain solve converges.
   std::vector<int> pending_shrinks;
 
   while (t < tstop * (1.0 - 1e-12)) {
+    // The budget gate covers every loop path — accepted steps, LTE rejects,
+    // and event cuts alike — so an event storm spinning on tiny cut steps
+    // still terminates when the wall clock runs out.
+    if (const util::BudgetStop stop =
+            budget_timer.check(out.accepted_steps, out.newton_iterations);
+        stop != util::BudgetStop::kNone) {
+      mark_truncated(stop, numeric::NewtonResult{});
+      return out;
+    }
     if (out.accepted_steps + out.rejected_steps >= options.max_steps) {
       numeric::NewtonResult none;
       throw ConvergenceError(
@@ -277,6 +312,14 @@ TranResult run_transient(Circuit& circuit, double tstop,
     out.newton_iterations += static_cast<std::size_t>(newton.iterations);
 
     bool recovered = false;
+    if (!newton.converged &&
+        newton.failure == numeric::NewtonFailure::kBudgetExhausted) {
+      // Not a numerical reject: the solve was cut short by the budget.
+      util::BudgetStop stop = budget_timer.check_now();
+      if (stop == util::BudgetStop::kNone) stop = util::BudgetStop::kWallClock;
+      mark_truncated(stop, newton);
+      return out;
+    }
     if (!newton.converged) {
       ++out.rejected_steps;
       ++consecutive_rejects;
@@ -290,6 +333,13 @@ TranResult run_transient(Circuit& circuit, double tstop,
         recovered = try_ladder(x_new);
       }
       if (!recovered) {
+        // A ladder defeated by the budget (its solves stop converging once
+        // the timer trips) must truncate, not throw the at-min failure.
+        if (const util::BudgetStop stop = budget_timer.check_now();
+            stop != util::BudgetStop::kNone) {
+          mark_truncated(stop, newton);
+          return out;
+        }
         if (at_min) {
           throw ConvergenceError(
               "transient",

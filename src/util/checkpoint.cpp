@@ -1,0 +1,199 @@
+#include "util/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace softfet::util {
+
+namespace {
+
+constexpr const char* kMagic = "softfet-checkpoint v1";
+
+[[nodiscard]] char hex_digit(int v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'A' + (v - 10));
+}
+
+[[nodiscard]] int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string escape_field(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '%' || std::isspace(u) != 0 || u < 0x20) {
+      out += '%';
+      out += hex_digit(u >> 4);
+      out += hex_digit(u & 0xF);
+    } else {
+      out += c;
+    }
+  }
+  // An empty field still needs a token on the line.
+  return out.empty() ? "%00" : out;
+}
+
+std::string unescape_field(const std::string& field) {
+  if (field == "%00") return {};
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size()) {
+      const int hi = hex_value(field[i + 1]);
+      const int lo = hex_value(field[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += field[i];
+  }
+  return out;
+}
+
+Checkpoint::Checkpoint(std::string tag, std::size_t total)
+    : tag_(std::move(tag)), slots_(total) {}
+
+Checkpoint::Checkpoint(Checkpoint&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  tag_ = std::move(other.tag_);
+  slots_ = std::move(other.slots_);
+}
+
+Checkpoint& Checkpoint::operator=(Checkpoint&& other) noexcept {
+  if (this != &other) {
+    const std::scoped_lock lock(mutex_, other.mutex_);
+    tag_ = std::move(other.tag_);
+    slots_ = std::move(other.slots_);
+  }
+  return *this;
+}
+
+Checkpoint Checkpoint::load_or_create(const std::string& path,
+                                      const std::string& tag,
+                                      std::size_t total) {
+  std::ifstream file(path);
+  if (!file) return Checkpoint(tag, total);  // fresh start
+
+  const auto malformed = [&](const std::string& why) {
+    return Error("checkpoint '" + path + "': " + why);
+  };
+
+  std::string line;
+  if (!std::getline(file, line) || line != kMagic) {
+    throw malformed("not a softfet checkpoint file");
+  }
+
+  Checkpoint out(tag, total);
+  bool saw_tag = false;
+  bool saw_total = false;
+  int line_no = 1;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "tag") {
+      std::string stored;
+      fields >> stored;
+      if (unescape_field(stored) != tag) {
+        throw malformed("tag mismatch: file holds a different batch (\"" +
+                        unescape_field(stored) + "\" vs expected \"" + tag +
+                        "\"); refusing to mix studies");
+      }
+      saw_tag = true;
+    } else if (keyword == "total") {
+      std::size_t stored = 0;
+      if (!(fields >> stored)) {
+        throw malformed("bad total on line " + std::to_string(line_no));
+      }
+      if (stored != total) {
+        throw malformed("slot-count mismatch (" + std::to_string(stored) +
+                        " in file, " + std::to_string(total) + " expected)");
+      }
+      saw_total = true;
+    } else if (keyword == "slot") {
+      std::size_t index = 0;
+      if (!(fields >> index) || index >= total) {
+        throw malformed("bad slot index on line " + std::to_string(line_no));
+      }
+      std::string payload;
+      std::getline(fields, payload);
+      // Drop the single separating space left by operator>>.
+      if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+      out.slots_[index] = std::move(payload);
+    } else {
+      throw malformed("unknown keyword '" + keyword + "' on line " +
+                      std::to_string(line_no));
+    }
+  }
+  if (!saw_tag || !saw_total) throw malformed("missing tag/total header");
+  return out;
+}
+
+bool Checkpoint::has(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index < slots_.size() && slots_[index].has_value();
+}
+
+std::optional<std::string> Checkpoint::payload(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= slots_.size()) return std::nullopt;
+  return slots_[index];
+}
+
+std::size_t Checkpoint::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) ++count;
+  }
+  return count;
+}
+
+void Checkpoint::record(std::size_t index, std::string payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= slots_.size()) {
+    throw Error("checkpoint: slot " + std::to_string(index) +
+                " out of range (total " + std::to_string(slots_.size()) + ")");
+  }
+  slots_[index] = std::move(payload);
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  // The rename stays under the lock: concurrent saves share the tmp path,
+  // and renaming it while another save is mid-write would publish a torn
+  // file — the one thing this protocol exists to rule out.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) throw Error("checkpoint: cannot write '" + tmp + "'");
+    file << kMagic << '\n';
+    file << "tag " << escape_field(tag_) << '\n';
+    file << "total " << slots_.size() << '\n';
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) file << "slot " << i << ' ' << *slots_[i] << '\n';
+    }
+    file.flush();
+    if (!file) throw Error("checkpoint: write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error("checkpoint: atomic rename to '" + path + "' failed");
+  }
+}
+
+}  // namespace softfet::util

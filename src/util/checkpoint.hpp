@@ -1,0 +1,70 @@
+// Batch checkpoint store: completed index slots persisted for resume.
+//
+// A Checkpoint maps batch indices to opaque single-line payloads. Batch
+// drivers record() a slot when its point completes, save() periodically and
+// on cancellation, and on resume skip every slot the loaded file already
+// holds. Saves are atomic (write to "<path>.tmp", then rename), so a killed
+// process leaves either the previous complete file or the new complete file
+// — never a torn one. The file is line-oriented text:
+//
+//   softfet-checkpoint v1
+//   tag <escaped batch tag>
+//   total <slot count>
+//   slot <index> <payload>
+//
+// The tag identifies the batch (spec parameters, seed, grid); a resume
+// against a file whose tag or total mismatches is refused, because mixing
+// points from two different studies would corrupt the statistics silently.
+// Payloads are free-form but must be single-line; escape_field() percent-
+// encodes whitespace and newlines for embedded strings.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace softfet::util {
+
+/// Percent-encode a string so it survives as one whitespace-free token on a
+/// checkpoint line ('%', whitespace, and control characters are escaped).
+[[nodiscard]] std::string escape_field(const std::string& text);
+[[nodiscard]] std::string unescape_field(const std::string& field);
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  Checkpoint(std::string tag, std::size_t total);
+
+  Checkpoint(Checkpoint&& other) noexcept;
+  Checkpoint& operator=(Checkpoint&& other) noexcept;
+
+  /// Load `path` if it exists, else start a fresh checkpoint. Throws
+  /// softfet::Error when the file exists but is malformed or its tag/total
+  /// does not match the expected batch.
+  [[nodiscard]] static Checkpoint load_or_create(const std::string& path,
+                                                 const std::string& tag,
+                                                 std::size_t total);
+
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+  [[nodiscard]] std::size_t total() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] bool has(std::size_t index) const;
+  /// Payload of a completed slot (nullopt when the slot is still open).
+  [[nodiscard]] std::optional<std::string> payload(std::size_t index) const;
+  [[nodiscard]] std::size_t completed() const;
+
+  /// Record a completed slot (thread-safe; last write wins on re-record).
+  void record(std::size_t index, std::string payload);
+
+  /// Atomically persist the current state to `path` (tmp + rename).
+  void save(const std::string& path) const;
+
+ private:
+  std::string tag_;
+  std::vector<std::optional<std::string>> slots_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace softfet::util

@@ -44,6 +44,16 @@ std::string SolverDiagnostics::summary() const {
   return out;
 }
 
+BudgetExceededError::BudgetExceededError(const std::string& what,
+                                         util::BudgetStop stop)
+    : ConvergenceError(what + " (" + util::to_string(stop) + ")"),
+      stop_(stop) {}
+
+BudgetExceededError::BudgetExceededError(const std::string& what,
+                                         util::BudgetStop stop,
+                                         SolverDiagnostics diagnostics)
+    : ConvergenceError(what, std::move(diagnostics)), stop_(stop) {}
+
 ConvergenceError::ConvergenceError(const std::string& what,
                                    SolverDiagnostics diagnostics)
     // summary() already leads with the analysis name; skip a duplicate

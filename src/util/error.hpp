@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/budget.hpp"
+
 namespace softfet {
 
 /// Root of the softfet exception hierarchy.
@@ -91,6 +93,24 @@ class ConvergenceError : public Error {
  private:
   SolverDiagnostics diagnostics_;
   bool has_diagnostics_ = false;
+};
+
+/// A run stopped by its RunBudget or a cooperative cancel request rather
+/// than by a numerical failure. Batch drivers record these as isolated
+/// FailureRecords WITHOUT the tightened-options retry (retrying a point
+/// that ran out of budget only doubles the spent wall clock, and retrying
+/// under cancellation defeats the cancel).
+class BudgetExceededError : public ConvergenceError {
+ public:
+  BudgetExceededError(const std::string& what, util::BudgetStop stop);
+  BudgetExceededError(const std::string& what, util::BudgetStop stop,
+                      SolverDiagnostics diagnostics);
+
+  /// Which budget limit (or the cancel token) stopped the run.
+  [[nodiscard]] util::BudgetStop stop() const noexcept { return stop_; }
+
+ private:
+  util::BudgetStop stop_;
 };
 
 /// A numerically singular linear system; `column` is the unknown whose pivot

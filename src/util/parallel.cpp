@@ -30,13 +30,16 @@ std::size_t hardware_threads() noexcept {
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
+                  std::size_t threads, const CancelToken* cancel) {
   if (count == 0) return;
   if (threads == 0) threads = hardware_threads();
   threads = std::min(threads, count);
 
   if (threads <= 1 || t_in_parallel_region) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->requested()) return;
+      body(i);
+    }
     return;
   }
 
@@ -50,9 +53,13 @@ void parallel_for(std::size_t count,
 
   const auto worker = [&] {
     t_in_parallel_region = true;
-    while (!failed.load(std::memory_order_relaxed)) {
+    while (!failed.load(std::memory_order_relaxed) &&
+           (cancel == nullptr || !cancel->requested())) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
+      // A claim can race a failure flagged between the loop condition and
+      // fetch_add; re-check so no new body starts after the first throw.
+      if (failed.load(std::memory_order_relaxed)) break;
       try {
         body(i);
       } catch (...) {

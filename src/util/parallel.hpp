@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/budget.hpp"
+
 namespace softfet::util {
 
 /// Worker count used by default: SOFTFET_THREADS when set (>= 1), otherwise
@@ -19,13 +21,23 @@ namespace softfet::util {
 [[nodiscard]] std::size_t hardware_threads() noexcept;
 
 /// Run body(0..count-1), distributing indices over `threads` workers
-/// (0 = hardware_threads()). Blocks until all indices completed. The calling
-/// thread participates, so threads = 1 is exactly a serial loop. Nested
-/// calls from inside a body run serially (no deadlock, same results). The
-/// first exception thrown by any body is rethrown here after the loop
-/// drains.
+/// (0 = hardware_threads()). Blocks until every *claimed* index completed.
+/// The calling thread participates, so threads = 1 is exactly a serial
+/// loop. Nested calls from inside a body run serially (no deadlock, same
+/// results).
+///
+/// Fast-fail: once any body throws, workers stop claiming new indices —
+/// only bodies already in flight run to completion — and the first
+/// exception thrown is rethrown here after the pool joins.
+///
+/// Cancellation: when `cancel` is given, it is checked at every index
+/// claim; once tripped, no new indices are claimed (in-flight bodies
+/// finish) and the call returns normally. The caller decides what a
+/// partially covered batch means — typically flushing a checkpoint and
+/// raising BudgetExceededError.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
-                  std::size_t threads = 0);
+                  std::size_t threads = 0,
+                  const CancelToken* cancel = nullptr);
 
 }  // namespace softfet::util

@@ -108,3 +108,30 @@ R1 in 0 1k
   EXPECT_NEAR(values[0].value, 1.0, 1e-6);
   EXPECT_NEAR(values[1].value, 0.0, 1e-6);
 }
+
+TEST(Measure, TruncatedTrigTargThrowsParseErrorNotOutOfRange) {
+  // A ".measure tran d TRIG" cut short after any keyword used to escape as
+  // std::out_of_range from tokens.at(++i); every truncation must surface as
+  // a ParseError carrying the netlist line instead.
+  ss::TranResult empty;
+  nl::MeasureDirective bad;
+  bad.analysis = "tran";
+  bad.name = "d";
+  bad.line = 12;
+
+  const std::vector<std::vector<std::string>> truncations = {
+      {"TRIG"},                                         // no trigger signal
+      {"TRIG", "v(in)", "VAL=0.5", "TARG"},             // no target signal
+      {"TRIG", "v(in)", "VAL=0.5"},                     // TARG missing
+      {"TRIG", "v(in)", "TARG", "v(out)", "VAL="},      // empty value
+  };
+  for (const auto& tokens : truncations) {
+    bad.tokens = tokens;
+    try {
+      (void)nl::evaluate_measure(bad, empty);
+      FAIL() << "expected ParseError for " << tokens.size() << " tokens";
+    } catch (const softfet::ParseError& e) {
+      EXPECT_EQ(e.line(), 12) << e.what();
+    }
+  }
+}

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/budget.hpp"
 
 namespace su = softfet::util;
 
@@ -62,6 +66,64 @@ TEST(ParallelFor, NestedCallsRunSerially) {
   for (std::size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
   }
+}
+
+TEST(ParallelFor, FastFailStopsClaimingNewWork) {
+  // After the first body throws, no worker may start a fresh index: a batch
+  // of expensive simulations must not keep burning CPU behind a failure.
+  constexpr std::size_t kCount = 64;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      su::parallel_for(
+          kCount,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error("boom");
+            ++executed;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          },
+          4),
+      std::runtime_error);
+  // Only the bodies already in flight when index 0 threw may have run.
+  EXPECT_LT(executed.load(), static_cast<int>(kCount));
+}
+
+TEST(ParallelFor, PreTrippedCancelRunsNothing) {
+  su::CancelToken token;
+  token.request();
+  std::atomic<int> executed{0};
+  // Cancellation is cooperative, not an error: returns normally.
+  su::parallel_for(1000, [&](std::size_t) { ++executed; }, 4, &token);
+  EXPECT_EQ(executed.load(), 0);
+  executed = 0;
+  su::parallel_for(1000, [&](std::size_t) { ++executed; }, 1, &token);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ParallelFor, MidRunCancelStopsSerialLoopImmediately) {
+  su::CancelToken token;
+  std::atomic<int> executed{0};
+  su::parallel_for(
+      100,
+      [&](std::size_t i) {
+        ++executed;
+        if (i == 9) token.request();
+      },
+      1, &token);
+  // Serial path checks the token before every index: 0..9 ran, 10+ did not.
+  EXPECT_EQ(executed.load(), 10);
+}
+
+TEST(ParallelFor, MidRunCancelStopsWorkersClaiming) {
+  su::CancelToken token;
+  std::atomic<int> executed{0};
+  su::parallel_for(
+      10000,
+      [&](std::size_t) {
+        if (++executed == 8) token.request();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      },
+      4, &token);
+  EXPECT_LT(executed.load(), 10000);
 }
 
 TEST(HardwareThreads, IsAtLeastOne) {
