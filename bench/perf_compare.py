@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON snapshots and fail on regression.
+
+Usage:
+    perf_compare.py BASELINE.json CANDIDATE.json [--max-regression 0.25]
+
+Benchmarks are matched by name; names present in only one file are listed
+but never fail the run (new benchmarks appear, old ones retire). A matched
+benchmark regresses when its candidate real_time exceeds the baseline by
+more than --max-regression (fractional, default 0.25 = 25% slower). Exit
+status is 1 when any matched benchmark regresses, 0 otherwise.
+
+The threshold is deliberately loose: CI runners are noisy shared machines,
+and the point is to catch order-of-magnitude mistakes (a cache accidentally
+disabled, a map lookup back on the hot path), not 5% wobble.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    out: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+        # would double-count; keep only plain iteration rows.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional real_time increase (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    matched = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if not matched:
+        print("error: no benchmark names in common", file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(f"{'benchmark':46s} {'baseline':>12s} {'candidate':>12s} {'ratio':>8s}")
+    for name in matched:
+        b, c = base[name], cand[name]
+        if b.get("time_unit") != c.get("time_unit"):
+            print(f"error: {name}: time_unit changed", file=sys.stderr)
+            return 1
+        ratio = c["real_time"] / b["real_time"] if b["real_time"] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.max_regression:
+            regressions.append((name, ratio))
+            flag = "  <-- REGRESSION"
+        unit = b.get("time_unit", "ns")
+        print(
+            f"{name:46s} {b['real_time']:12.1f} {c['real_time']:12.1f} "
+            f"{ratio:7.2f}x{flag} ({unit})"
+        )
+
+    for name in only_base:
+        print(f"note: {name} only in baseline (retired?)")
+    for name in only_cand:
+        print(f"note: {name} only in candidate (new)")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+            f"{1.0 + args.max_regression:.2f}x baseline "
+            f"(worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"\nOK: {len(matched)} benchmarks within {1.0 + args.max_regression:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <random>
@@ -21,6 +22,7 @@
 #include "devices/ptm.hpp"
 #include "devices/resistor.hpp"
 #include "devices/sources.hpp"
+#include "numeric/batch_lu.hpp"
 #include "numeric/dense_lu.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "sim/analyses.hpp"
@@ -272,6 +274,109 @@ void BM_PtmMonteCarlo(benchmark::State& state) {
                       : static_cast<std::size_t>(mc.threads));
 }
 BENCHMARK(BM_PtmMonteCarlo)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Headline Monte-Carlo throughput for the batched lockstep engine: arg =
+// lane width. 1 pins the scalar oracle path; 8 is the automatic batch
+// width (what MonteCarloSpec::lanes = 0 resolves to). Statistics are
+// bitwise identical across widths — only samples/s moves.
+void BM_PtmMonteCarloLanes(benchmark::State& state) {
+  cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = devices::PtmParams{};
+  core::MonteCarloSpec mc;
+  mc.samples = 64;
+  mc.threads = 1;
+  mc.lanes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ptm_monte_carlo(spec, mc));
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(mc.samples),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PtmMonteCarloLanes)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Factor-path breakdown of the SoA batch kernel. The timed loop refills the
+// lane-minor buffer and factors all 8 lanes, mirroring the per-Newton-
+// iteration scatter + factor the lockstep engine pays; the counter reports
+// per-system throughput so this compares directly against one-at-a-time
+// BM_DenseLuFactor at the same Arg.
+void BM_BatchLuFactor(benchmark::State& state) {
+  constexpr std::size_t kLanes = 8;
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng).to_dense();
+  numeric::BatchDenseLu lu;
+  lu.configure(n, kLanes);
+  std::vector<std::uint8_t> ok(kLanes, 0);
+  for (auto _ : state) {
+    double* v = lu.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t s = 0; s < kLanes; ++s) {
+          v[(r * n + c) * kLanes + s] = a(r, c);
+        }
+      }
+    }
+    lu.factor(kLanes, ok.data());
+    benchmark::DoNotOptimize(lu.values());
+  }
+  state.counters["systems/s"] = benchmark::Counter(
+      static_cast<double>(kLanes),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BatchLuFactor)->Arg(8)->Arg(16);
+
+// Scalar reference for BM_BatchLuFactor: the same matrix factored once per
+// call through DenseLu (copy + factor, the scalar Newton path's cost shape).
+void BM_DenseLuFactor(benchmark::State& state) {
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng).to_dense();
+  numeric::DenseLu lu;
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.min_pivot());
+  }
+  state.counters["systems/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DenseLuFactor)->Arg(8)->Arg(16);
+
+// Multi-RHS substitution throughput on a factored batch (the solve half of
+// the lockstep Newton iteration).
+void BM_BatchLuSolve(benchmark::State& state) {
+  constexpr std::size_t kLanes = 8;
+  std::mt19937 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_system(n, rng).to_dense();
+  numeric::BatchDenseLu lu;
+  lu.configure(n, kLanes);
+  double* v = lu.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t s = 0; s < kLanes; ++s) {
+        v[(r * n + c) * kLanes + s] = a(r, c);
+      }
+    }
+  }
+  std::vector<std::uint8_t> ok(kLanes, 0);
+  lu.factor(kLanes, ok.data());
+  std::vector<double> b(n * kLanes, 1.0);
+  std::vector<double> x(n * kLanes, 0.0);
+  for (auto _ : state) {
+    lu.solve(kLanes, b.data(), x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["systems/s"] = benchmark::Counter(
+      static_cast<double>(kLanes),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BatchLuSolve)->Arg(8)->Arg(16);
 
 }  // namespace
 

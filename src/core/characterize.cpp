@@ -1,42 +1,39 @@
 #include "core/characterize.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "core/failure.hpp"
 #include "measure/metrics.hpp"
 #include "measure/waveform.hpp"
+#include "sim/batch.hpp"
 
 namespace softfet::core {
 
 using measure::Waveform;
 
-TransitionMetrics characterize_inverter(const cells::InverterTestbenchSpec& spec,
-                                        const sim::SimOptions& options) {
-  // Slow variants (HVT near threshold, huge series R) can take orders of
-  // magnitude longer than the heuristic stop time suggests; retry with a
-  // stretched window until the output transition completes.
-  double tstop = 0.0;
-  TransitionMetrics out;
-  cells::InverterTestbench tb;
-  constexpr int kMaxStretches = 10;
-  for (int attempt = 0;; ++attempt) {
-    tb = cells::make_inverter_testbench(spec);
-    if (attempt == 0) tstop = tb.suggested_tstop;
-    out.tran = sim::run_transient(tb.circuit, tstop, options);
-    // A budget-truncated waveform must not be measured as if it completed
-    // (and may be empty, which Waveform::from_tran rejects).
-    require_complete(out.tran, "characterize_inverter");
-    const Waveform vout_probe = Waveform::from_tran(out.tran, tb.output_signal);
-    const bool output_rising_probe = !spec.input_rising;
-    const double target =
-        output_rising_probe ? 0.85 * spec.vcc : 0.15 * spec.vcc;
-    const bool done = output_rising_probe
-                          ? vout_probe.max_value() >= target
-                          : vout_probe.min_value() <= target;
-    if (done || attempt >= kMaxStretches) break;
-    tstop *= 4.0;
-  }
+namespace {
 
+/// Has the output transition completed within the captured window? Shared
+/// by the scalar stretch loop and the batched one so both make the same
+/// stretch decisions.
+[[nodiscard]] bool transition_complete(const sim::TranResult& tran,
+                                       const cells::InverterTestbench& tb,
+                                       const cells::InverterTestbenchSpec& spec) {
+  const Waveform vout_probe = Waveform::from_tran(tran, tb.output_signal);
+  const bool output_rising_probe = !spec.input_rising;
+  const double target =
+      output_rising_probe ? 0.85 * spec.vcc : 0.15 * spec.vcc;
+  return output_rising_probe ? vout_probe.max_value() >= target
+                             : vout_probe.min_value() <= target;
+}
+
+/// Extract every metric from the (final) transient already stored in
+/// `out.tran`. One body for the scalar and batched paths guarantees they
+/// measure identically.
+void measure_transition(const cells::InverterTestbench& tb,
+                        const cells::InverterTestbenchSpec& spec,
+                        TransitionMetrics& out) {
   const Waveform vin = Waveform::from_tran(out.tran, tb.input_signal);
   const Waveform vout = Waveform::from_tran(out.tran, tb.output_signal);
   // SPICE sign convention: a sourcing supply reads negative; flip so that
@@ -87,7 +84,121 @@ TransitionMetrics characterize_inverter(const cells::InverterTestbenchSpec& spec
     out.imt_count = tb.dut.ptm->imt_count();
     out.mit_count = tb.dut.ptm->mit_count();
   }
+}
+
+constexpr int kMaxStretches = 10;
+
+}  // namespace
+
+TransitionMetrics characterize_inverter(const cells::InverterTestbenchSpec& spec,
+                                        const sim::SimOptions& options) {
+  // Slow variants (HVT near threshold, huge series R) can take orders of
+  // magnitude longer than the heuristic stop time suggests; retry with a
+  // stretched window until the output transition completes. The testbench
+  // is elaborated once — retries reset device state instead of rebuilding
+  // the circuit (bitwise-equivalent to a fresh build: the operating point
+  // re-derives everything reset_state does not cover).
+  TransitionMetrics out;
+  cells::InverterTestbench tb = cells::make_inverter_testbench(spec);
+  double tstop = tb.suggested_tstop;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      for (const auto& device : tb.circuit.devices()) device->reset_state();
+    }
+    out.tran = sim::run_transient(tb.circuit, tstop, options);
+    // A budget-truncated waveform must not be measured as if it completed
+    // (and may be empty, which Waveform::from_tran rejects).
+    require_complete(out.tran, "characterize_inverter");
+    if (transition_complete(out.tran, tb, spec) || attempt >= kMaxStretches) {
+      break;
+    }
+    tstop *= 4.0;
+  }
+  measure_transition(tb, spec, out);
   return out;
+}
+
+std::vector<std::optional<TransitionMetrics>> characterize_inverter_batch(
+    const std::vector<cells::InverterTestbenchSpec>& specs,
+    const sim::SimOptions& options) {
+  const std::size_t count = specs.size();
+  std::vector<std::optional<TransitionMetrics>> results(count);
+
+  struct LaneState {
+    cells::InverterTestbench tb;
+    double tstop = 0.0;
+    int attempt = 0;
+    bool active = false;  // needs a (re-)run this generation
+  };
+  std::vector<LaneState> lanes(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    try {
+      lanes[k].tb = cells::make_inverter_testbench(specs[k]);
+      lanes[k].tstop = lanes[k].tb.suggested_tstop;
+      lanes[k].active = true;
+    } catch (const Error&) {
+      // Invalid spec: leave nullopt; the scalar rerun throws identically
+      // and the caller's failure isolation records it.
+      lanes[k].active = false;
+    }
+  }
+
+  // Stretch generations: each pass runs every still-unfinished lane in one
+  // lockstep batch, then applies the same done/stretch decision the scalar
+  // loop makes per sample.
+  std::vector<sim::BatchLaneSpec> batch;
+  std::vector<std::size_t> batch_index;
+  while (true) {
+    batch.clear();
+    batch_index.clear();
+    for (std::size_t k = 0; k < count; ++k) {
+      LaneState& lane = lanes[k];
+      if (!lane.active) continue;
+      if (lane.attempt > 0) {
+        for (const auto& device : lane.tb.circuit.devices()) {
+          device->reset_state();
+        }
+      }
+      batch.push_back({&lane.tb.circuit, lane.tstop});
+      batch_index.push_back(k);
+    }
+    if (batch.empty()) break;
+
+    std::vector<sim::BatchLaneOutcome> outcomes =
+        sim::run_transient_batch(batch, options);
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+      const std::size_t k = batch_index[j];
+      LaneState& lane = lanes[k];
+      if (outcomes[j].evicted) {
+        lane.active = false;  // nullopt -> caller reruns on the scalar path
+        continue;
+      }
+      sim::TranResult& tran = outcomes[j].tran;
+      if (tran.truncated) {
+        // Cannot happen (batch_transient_supported excludes budgets and a
+        // tripped cancel evicts), but stay honest if that ever changes.
+        lane.active = false;
+        continue;
+      }
+      if (transition_complete(tran, lane.tb, specs[k]) ||
+          lane.attempt >= kMaxStretches) {
+        TransitionMetrics metrics;
+        metrics.tran = std::move(tran);
+        try {
+          measure_transition(lane.tb, specs[k], metrics);
+          results[k] = std::move(metrics);
+        } catch (const Error&) {
+          // Measurement rejected the waveform; the scalar rerun reproduces
+          // the same throw for the caller's failure isolation to record.
+        }
+        lane.active = false;
+      } else {
+        lane.tstop *= 4.0;
+        ++lane.attempt;
+      }
+    }
+  }
+  return results;
 }
 
 }  // namespace softfet::core

@@ -3,6 +3,9 @@
 // (paper Figs. 4-9 all build on this).
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "cells/inverter.hpp"
 #include "sim/analyses.hpp"
 #include "sim/options.hpp"
@@ -32,5 +35,15 @@ inline constexpr double kDidtWindow = 10e-12;
 /// Run the testbench described by `spec` and measure one transition.
 [[nodiscard]] TransitionMetrics characterize_inverter(
     const cells::InverterTestbenchSpec& spec, const sim::SimOptions& options = {});
+
+/// Characterize K sibling specs (same topology, different parameter values)
+/// through the batched lockstep transient engine. Entry k is the metrics
+/// for specs[k], bitwise identical to characterize_inverter(specs[k]), or
+/// nullopt when the engine evicted that lane — the caller must rerun those
+/// samples through scalar characterize_inverter, which reproduces the
+/// scalar behaviour (including its failure throws) exactly.
+[[nodiscard]] std::vector<std::optional<TransitionMetrics>>
+characterize_inverter_batch(const std::vector<cells::InverterTestbenchSpec>& specs,
+                            const sim::SimOptions& options = {});
 
 }  // namespace softfet::core

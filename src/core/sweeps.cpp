@@ -1,8 +1,10 @@
 #include "core/sweeps.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
 
+#include "sim/batch.hpp"
 #include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -22,7 +24,7 @@ void require_softfet(const cells::InverterTestbenchSpec& base,
 std::vector<DesignSpacePoint> sweep_vimt_vmit(
     const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
     const std::vector<double>& v_mit, const sim::SimOptions& options,
-    const CheckpointSpec& checkpoint_spec) {
+    const CheckpointSpec& checkpoint_spec, int lanes) {
   require_softfet(base, "sweep_vimt_vmit");
   throw_if_cancelled(options, "sweep_vimt_vmit");
 
@@ -87,27 +89,85 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
     }
   };
 
-  util::parallel_for(
-      points.size(),
-      [&](std::size_t i) {
-        if (point_done[i] != 0) return;
-        auto spec = base;
-        spec.dut.ptm->v_imt = points[i].v_imt;
-        spec.dut.ptm->v_mit = points[i].v_mit;
-        points[i].failure = run_isolated(
-            i,
-            "v_imt=" + util::format_si(points[i].v_imt, 3, "V") +
-                " v_mit=" + util::format_si(points[i].v_mit, 3, "V"),
-            options, [&](const sim::SimOptions& opts) {
-              points[i].metrics = characterize_inverter(spec, opts);
-            });
-        if (!points[i].failure.has_value()) {
-          note_done(i, "ok " + encode_metrics(points[i].metrics));
-        } else if (!points[i].failure->cancelled()) {
-          note_done(i, "fail " + encode_failure(*points[i].failure));
-        }
-      },
-      0, options.budget.cancel);
+  const auto make_spec = [&](std::size_t i) {
+    auto spec = base;
+    spec.dut.ptm->v_imt = points[i].v_imt;
+    spec.dut.ptm->v_mit = points[i].v_mit;
+    return spec;
+  };
+
+  const auto run_point = [&](std::size_t i) {
+    auto spec = make_spec(i);
+    points[i].failure = run_isolated(
+        i,
+        "v_imt=" + util::format_si(points[i].v_imt, 3, "V") +
+            " v_mit=" + util::format_si(points[i].v_mit, 3, "V"),
+        options, [&](const sim::SimOptions& opts) {
+          points[i].metrics = characterize_inverter(spec, opts);
+        });
+    if (!points[i].failure.has_value()) {
+      note_done(i, "ok " + encode_metrics(points[i].metrics));
+    } else if (!points[i].failure->cancelled()) {
+      note_done(i, "fail " + encode_failure(*points[i].failure));
+    }
+  };
+
+  // One block of consecutive grid points through the lockstep batch engine;
+  // any lane the batch cannot finish (eviction, measurement throw) falls
+  // back to run_point, whose behaviour IS the scalar path. Blocks are fixed
+  // spans of point indices, so results match the scalar scheduler bitwise
+  // for any worker count.
+  const auto run_block = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::size_t> lane_points;
+    std::vector<cells::InverterTestbenchSpec> lane_specs;
+    lane_points.reserve(end - begin);
+    lane_specs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (point_done[i] != 0) continue;
+      lane_points.push_back(i);
+      lane_specs.push_back(make_spec(i));
+    }
+    if (lane_specs.empty()) return;
+    const auto lane_results = characterize_inverter_batch(lane_specs, options);
+    for (std::size_t j = 0; j < lane_results.size(); ++j) {
+      const std::size_t i = lane_points[j];
+      if (lane_results[j].has_value()) {
+        points[i].metrics = *lane_results[j];
+        points[i].failure.reset();
+        note_done(i, "ok " + encode_metrics(points[i].metrics));
+      } else {
+        run_point(i);
+      }
+    }
+  };
+
+  // Same lane-knob policy as MonteCarloSpec::lanes (0 = auto). Budgeted
+  // runs stay scalar: the batch cannot replicate per-lane truncation.
+  constexpr int kAutoLanes = 8;
+  const int lane_knob = lanes == 0 ? kAutoLanes : std::max(lanes, 1);
+  const bool use_batch =
+      lane_knob > 1 && sim::batch_transient_supported(options);
+
+  if (use_batch) {
+    const auto lane_width = static_cast<std::size_t>(lane_knob);
+    const std::size_t blocks =
+        (points.size() + lane_width - 1) / lane_width;
+    util::parallel_for(
+        blocks,
+        [&](std::size_t b) {
+          const std::size_t begin = b * lane_width;
+          run_block(begin, std::min(begin + lane_width, points.size()));
+        },
+        0, options.budget.cancel);
+  } else {
+    util::parallel_for(
+        points.size(),
+        [&](std::size_t i) {
+          if (point_done[i] != 0) return;
+          run_point(i);
+        },
+        0, options.budget.cancel);
+  }
 
   // Cancel-poisoned points were never really attempted: clear them (they
   // rerun on resume), flush what is real, and surface the cancel — a
@@ -135,6 +195,11 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
   return points;
 }
 
+// The remaining sweeps stay on the scalar path deliberately: they are
+// small (tens of points), run once per study, and two of them interleave
+// soft/baseline topologies per task — different circuits cannot share a
+// lane batch. The V_IMT/V_MIT grid above is the only sweep whose point
+// count grows quadratically with resolution.
 std::vector<TptmPoint> sweep_tptm(const cells::InverterTestbenchSpec& base,
                                   const std::vector<double>& t_ptm_values,
                                   const sim::SimOptions& options) {

@@ -31,10 +31,16 @@ struct DesignSpacePoint {
 /// a rerun against the same file skips them and reproduces the
 /// uninterrupted sweep bitwise, except that resumed points carry empty
 /// `metrics.tran` waveforms. The file's tag binds it to this exact grid.
+///
+/// `lanes` selects the batched lockstep transient engine, exactly as
+/// MonteCarloSpec::lanes does: 0 = auto (8-lane blocks when the engine
+/// supports `options`), 1 = the scalar oracle path, K > 1 = explicit block
+/// width. Evicted lanes transparently rerun on the scalar path; results
+/// and checkpoint payloads are bitwise identical for every setting.
 [[nodiscard]] std::vector<DesignSpacePoint> sweep_vimt_vmit(
     const cells::InverterTestbenchSpec& base, const std::vector<double>& v_imt,
     const std::vector<double>& v_mit, const sim::SimOptions& options = {},
-    const CheckpointSpec& checkpoint = {});
+    const CheckpointSpec& checkpoint = {}, int lanes = 0);
 
 struct TptmPoint {
   double t_ptm = 0.0;

@@ -8,6 +8,7 @@
 #include <random>
 #include <sstream>
 
+#include "sim/batch.hpp"
 #include "util/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -185,8 +186,12 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
 
   // Every sample owns an independent RNG stream seeded from mc.seed + k, so
   // the draws — and therefore the statistics — are identical for any worker
-  // count, including the serial path.
-  const auto run_sample = [&](std::size_t k) {
+  // count, including the serial path. The batched engine consumes the exact
+  // same stream through the same code, which is what makes its results
+  // bitwise identical to the scalar oracle.
+  const int draw_budget = std::max(mc.max_draw_attempts, 1);
+  const auto draw_sample = [&](std::size_t k,
+                               cells::InverterTestbenchSpec& spec) {
     std::mt19937 rng(mc.seed + static_cast<unsigned>(k));
     std::normal_distribution<double> gauss(0.0, 1.0);
     const auto draw = [&](double nominal, double sigma_rel) {
@@ -195,10 +200,7 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
       z = std::clamp(z, -3.0, 3.0);
       return nominal * (1.0 + sigma_rel * z);
     };
-
-    auto spec = base;
     auto& p = *spec.dut.ptm;
-    const int draw_budget = std::max(mc.max_draw_attempts, 1);
     for (int attempt = 0; attempt < draw_budget; ++attempt) {
       p.r_ins = draw(base.dut.ptm->r_ins, mc.sigma_resistance);
       p.r_met = draw(base.dut.ptm->r_met, mc.sigma_resistance);
@@ -207,9 +209,16 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
       p.t_ptm = draw(base.dut.ptm->t_ptm, mc.sigma_tptm);
       if (p.r_ins > p.r_met && p.v_imt > p.v_mit && p.v_mit > 0.0 &&
           p.t_ptm > 0.0) {
-        break;
+        return true;
       }
     }
+    return false;  // p keeps the last (invalid) draw; validate() reports it
+  };
+
+  const auto run_sample = [&](std::size_t k) {
+    auto spec = base;
+    draw_sample(k, spec);
+    auto& p = *spec.dut.ptm;
     failure_slots[k] = run_isolated(
         k, "sample " + std::to_string(k), options,
         [&](const sim::SimOptions& opts) {
@@ -238,23 +247,94 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
     }
   };
 
-  // Task 0 is the PTM-less baseline; tasks 1..N are the samples. Resumed
-  // slots return immediately, so a restart only pays for unfinished points.
-  util::parallel_for(
-      sample_count + 1,
-      [&](std::size_t task) {
-        if (task == 0) {
-          if (baseline_done) return;
-          auto spec = base;
-          spec.dut.ptm.reset();
-          baseline_imax = characterize_inverter(spec, options).i_max;
-          note_done(0, "base " + encode_double(baseline_imax));
-          return;
-        }
-        if (sample_done[task - 1] != 0) return;
-        run_sample(task - 1);
-      },
-      static_cast<std::size_t>(std::max(mc.threads, 0)), options.budget.cancel);
+  const auto run_baseline = [&] {
+    if (baseline_done) return;
+    auto spec = base;
+    spec.dut.ptm.reset();
+    baseline_imax = characterize_inverter(spec, options).i_max;
+    note_done(0, "base " + encode_double(baseline_imax));
+  };
+
+  // One block of consecutive samples through the lockstep batch engine.
+  // Unfinished samples draw their specs (same RNG streams as run_sample),
+  // run as lanes of one batch, and record exactly what the scalar path
+  // would; anything the batch cannot finish (invalid draw, eviction,
+  // failure, cancel) falls back to run_sample, whose behaviour — including
+  // isolation retries and failure records — IS the scalar path.
+  const auto run_block = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::size_t> lane_samples;
+    std::vector<cells::InverterTestbenchSpec> lane_specs;
+    lane_samples.reserve(end - begin);
+    lane_specs.reserve(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+      if (sample_done[k] != 0) continue;
+      auto spec = base;
+      if (!draw_sample(k, spec)) {
+        run_sample(k);  // reproduces the no-valid-draw error verbatim
+        continue;
+      }
+      if (mc.per_sample_hook) mc.per_sample_hook(k, spec);
+      lane_samples.push_back(k);
+      lane_specs.push_back(std::move(spec));
+    }
+    if (lane_specs.empty()) return;
+    const auto lane_results = characterize_inverter_batch(lane_specs, options);
+    for (std::size_t j = 0; j < lane_results.size(); ++j) {
+      const std::size_t k = lane_samples[j];
+      if (lane_results[j].has_value()) {
+        imaxes[k] = lane_results[j]->i_max;
+        delays[k] = lane_results[j]->delay;
+        failure_slots[k].reset();
+        note_done(k + 1, "ok " + encode_double(imaxes[k]) + ' ' +
+                             encode_double(delays[k]));
+      } else {
+        run_sample(k);
+      }
+    }
+  };
+
+  // Resolve the lane knob: 0 = auto. Budgeted runs (wall-clock/step caps)
+  // stay scalar because the batch cannot replicate per-lane truncation.
+  constexpr int kAutoLanes = 8;
+  const int lane_knob = mc.lanes == 0 ? kAutoLanes : std::max(mc.lanes, 1);
+  const bool use_batch =
+      lane_knob > 1 && sim::batch_transient_supported(options);
+  const auto threads = static_cast<std::size_t>(std::max(mc.threads, 0));
+
+  if (use_batch) {
+    // Task 0 is the PTM-less baseline; task b >= 1 is the block of samples
+    // [(b-1)*K, b*K). Blocks are fixed spans of sample indices, so the
+    // work-to-result mapping — and every result — is identical for any
+    // worker count, exactly as in the scalar scheduler.
+    const auto lane_width = static_cast<std::size_t>(lane_knob);
+    const std::size_t blocks = (sample_count + lane_width - 1) / lane_width;
+    util::parallel_for(
+        blocks + 1,
+        [&](std::size_t task) {
+          if (task == 0) {
+            run_baseline();
+            return;
+          }
+          const std::size_t begin = (task - 1) * lane_width;
+          run_block(begin, std::min(begin + lane_width, sample_count));
+        },
+        threads, options.budget.cancel);
+  } else {
+    // Scalar oracle path: task 0 is the baseline; tasks 1..N are the
+    // samples. Resumed slots return immediately, so a restart only pays
+    // for unfinished points.
+    util::parallel_for(
+        sample_count + 1,
+        [&](std::size_t task) {
+          if (task == 0) {
+            run_baseline();
+            return;
+          }
+          if (sample_done[task - 1] != 0) return;
+          run_sample(task - 1);
+        },
+        threads, options.budget.cancel);
+  }
 
   // A cancel mid-batch leaves poisoned failure slots (and unclaimed
   // samples). Clear the poisoned ones — they were never really attempted —

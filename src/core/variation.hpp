@@ -47,9 +47,19 @@ struct MonteCarloSpec {
   /// Rejection-sampling budget per sample before the draw is declared
   /// impossible for the given sigma_* spreads.
   int max_draw_attempts = 100;
+  /// Lane width for the batched lockstep transient engine: 0 = auto
+  /// (8 lanes whenever the engine supports `options`), 1 = always the
+  /// scalar oracle path, K > 1 = explicit width. Consecutive samples are
+  /// grouped into K-lane blocks that share one batched factor/solve; a
+  /// sample the engine evicts (recovery-ladder trigger, cancel, non-finite
+  /// math) transparently reruns on the scalar path. Per-sample results are
+  /// bitwise identical for every setting.
+  int lanes = 0;
   /// Test / instrumentation hook: called with the sample index and the
   /// fully drawn spec just before characterization (fault injection,
-  /// logging). Must be thread-safe; it runs from the worker pool.
+  /// logging). Must be thread-safe; it runs from the worker pool and may be
+  /// called more than once for one sample (isolation retries and batch
+  /// eviction reruns repeat it), so it must be idempotent per index.
   std::function<void(std::size_t, cells::InverterTestbenchSpec&)>
       per_sample_hook;
   /// Checkpoint/resume: with `checkpoint.path` set, completed sample slots

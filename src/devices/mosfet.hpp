@@ -83,6 +83,9 @@ class Mosfet final : public sim::Device {
   void accept_step(const std::vector<double>& x,
                    const sim::LoadContext& ctx) override;
   [[nodiscard]] std::vector<sim::Probe> probes() const override;
+  void probe_values(std::vector<double>& out) const override {
+    out.push_back(last_id_);
+  }
 
   /// Conduction (channel) current at the last accepted point, NMOS-positive
   /// drain->source convention.

@@ -74,7 +74,28 @@ class Ptm final : public sim::Device {
                     double t_end) const override;
   [[nodiscard]] double max_timestep() const override;
   [[nodiscard]] std::vector<sim::Probe> probes() const override;
+  void probe_values(std::vector<double>& out) const override {
+    out.push_back(last_i_);
+    out.push_back(resistance());
+    out.push_back(s_);
+  }
+  void reset_state() override {
+    s_ = 0.0;
+    target_ = PtmPhase::kInsulating;
+    v_prev_ = 0.0;
+    last_i_ = 0.0;
+    imt_count_ = 0;
+    mit_count_ = 0;
+  }
   bool update_quasistatic_state(const std::vector<double>& x) override;
+
+  /// Swap in a new parameter card (validated); callers that reuse an
+  /// elaborated testbench across Monte-Carlo samples pair this with
+  /// reset_state() to make the device indistinguishable from freshly built.
+  void set_params(const PtmParams& params) {
+    params.validate();
+    params_ = params;
+  }
 
   [[nodiscard]] const PtmParams& params() const noexcept { return params_; }
   [[nodiscard]] PtmPhase target_phase() const noexcept { return target_; }

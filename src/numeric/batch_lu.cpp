@@ -1,0 +1,155 @@
+#include "numeric/batch_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softfet::numeric {
+
+void BatchDenseLu::configure(std::size_t n, std::size_t lanes) {
+  n_ = n;
+  lanes_ = lanes;
+  lu_.assign(n * n * lanes, 0.0);
+  perm_.assign(n * lanes, 0);
+  fac_.assign(lanes, 0.0);
+  inv_pivot_.assign(lanes, 0.0);
+  y_.assign(n * lanes, 0.0);
+  pivot_mag_.assign(lanes, 0.0);
+  pivot_row_.assign(lanes, 0);
+}
+
+void BatchDenseLu::clear_lane(std::size_t s) {
+  double* lu = lu_.data();
+  const std::size_t stride = lanes_;
+  for (std::size_t e = 0; e < n_ * n_; ++e) lu[e * stride + s] = 0.0;
+}
+
+void BatchDenseLu::factor(std::size_t m, std::uint8_t* ok) {
+  const std::size_t n = n_;
+  const std::size_t L = lanes_;
+  double* lu = lu_.data();
+  double* fac = fac_.data();
+  double* inv_pivot = inv_pivot_.data();
+
+  for (std::size_t s = 0; s < m; ++s) ok[s] = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < m; ++s) {
+      perm_[i * L + s] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  double* best_mag = pivot_mag_.data();
+  std::uint32_t* best_row = pivot_row_.data();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search as one lane-contiguous argmax sweep over the column.
+    // Rows are visited in ascending order with a strict `>` compare, so
+    // each lane selects exactly the row scalar DenseLu would (first max
+    // wins) — that choice is what keeps the factorization bitwise
+    // identical.
+    {
+      const double* rkk = lu + (k * n + k) * L;
+      for (std::size_t s = 0; s < m; ++s) {
+        best_mag[s] = std::fabs(rkk[s]);
+        best_row[s] = static_cast<std::uint32_t>(k);
+      }
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double* rik = lu + (i * n + k) * L;
+      for (std::size_t s = 0; s < m; ++s) {
+        const double mag = std::fabs(rik[s]);
+        if (mag > best_mag[s]) {
+          best_mag[s] = mag;
+          best_row[s] = static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+    // Row swap and reciprocal stay per-lane scalar work: the chosen pivot
+    // row differs across lanes.
+    for (std::size_t s = 0; s < m; ++s) {
+      if (ok[s] == 0) {
+        inv_pivot[s] = 0.0;
+        continue;
+      }
+      if (!(best_mag[s] > 0.0) || !std::isfinite(best_mag[s])) {
+        // DenseLu throws SingularMatrixError here; the batch marks the lane
+        // dead and lets it coast with zero multipliers.
+        ok[s] = 0;
+        inv_pivot[s] = 0.0;
+        continue;
+      }
+      const std::size_t pivot_row = best_row[s];
+      if (pivot_row != k) {
+        std::swap(perm_[k * L + s], perm_[pivot_row * L + s]);
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(lu[(k * n + c) * L + s], lu[(pivot_row * n + c) * L + s]);
+        }
+      }
+      inv_pivot[s] = 1.0 / lu[(k * n + k) * L + s];
+    }
+
+    for (std::size_t i = k + 1; i < n; ++i) {
+      std::size_t zero_lanes = 0;
+      for (std::size_t s = 0; s < m; ++s) {
+        double f = 0.0;
+        if (ok[s] != 0) {
+          f = lu[(i * n + k) * L + s] * inv_pivot[s];
+          lu[(i * n + k) * L + s] = f;
+        }
+        fac[s] = f;
+        if (f == 0.0) ++zero_lanes;
+      }
+      if (zero_lanes == m) continue;  // all lanes skip, as scalar would
+      if (zero_lanes == 0) {
+        // Common case: every lane eliminates — clean lane-contiguous loop.
+        for (std::size_t c = k + 1; c < n; ++c) {
+          double* row_i = lu + (i * n + c) * L;
+          const double* row_k = lu + (k * n + c) * L;
+          for (std::size_t s = 0; s < m; ++s) row_i[s] -= fac[s] * row_k[s];
+        }
+      } else {
+        // Mixed: mask out zero-multiplier lanes so a -0.0 entry is not
+        // rewritten to +0.0 by an `x -= 0.0 * y` the scalar path skips.
+        for (std::size_t c = k + 1; c < n; ++c) {
+          double* row_i = lu + (i * n + c) * L;
+          const double* row_k = lu + (k * n + c) * L;
+          for (std::size_t s = 0; s < m; ++s) {
+            if (fac[s] != 0.0) row_i[s] -= fac[s] * row_k[s];
+          }
+        }
+      }
+    }
+  }
+}
+
+void BatchDenseLu::solve(std::size_t m, const double* b, double* x) {
+  const std::size_t n = n_;
+  const std::size_t L = lanes_;
+  const double* lu = lu_.data();
+  double* y = y_.data();
+
+  // Forward substitution with the permuted RHS (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double* yi = y + i * L;
+    for (std::size_t s = 0; s < m; ++s) yi[s] = b[perm_[i * L + s] * L + s];
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* lij = lu + (i * n + j) * L;
+      const double* yj = y + j * L;
+      for (std::size_t s = 0; s < m; ++s) yi[s] -= lij[s] * yj[s];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* xi = x + ii * L;
+    const double* yi = y + ii * L;
+    for (std::size_t s = 0; s < m; ++s) xi[s] = yi[s];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      const double* lj = lu + (ii * n + j) * L;
+      const double* xj = x + j * L;
+      for (std::size_t s = 0; s < m; ++s) xi[s] -= lj[s] * xj[s];
+    }
+    const double* diag = lu + (ii * n + ii) * L;
+    for (std::size_t s = 0; s < m; ++s) xi[s] /= diag[s];
+  }
+}
+
+}  // namespace softfet::numeric

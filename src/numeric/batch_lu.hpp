@@ -1,0 +1,67 @@
+// Structure-of-arrays batch of dense LU factorizations for the lockstep
+// Monte-Carlo engine: K same-size systems factored and solved together so
+// the elimination/substitution inner loops run contiguously across lanes
+// (lane-minor layout, SIMD-friendly) instead of pointer-chasing one matrix
+// at a time.
+//
+// Bitwise contract: each lane executes exactly the floating-point operation
+// sequence of DenseLu::factor / DenseLu::solve — same pivot choice (strict
+// `>` search), same elimination order, same skip-a-row-when-the-multiplier-
+// is-exactly-zero semantics, same accumulate-then-divide substitution — so
+// lane results are bitwise identical to a scalar DenseLu on the same matrix.
+// The zero-multiplier skip matters beyond speed: an unconditional
+// `lu -= 0.0 * lu_k` can flip a -0.0 entry to +0.0, which the scalar path
+// never does, so rows whose multiplier is zero in *some* lanes fall back to
+// a per-lane masked loop (rare in practice: lanes share one sparsity
+// pattern, so zero multipliers almost always line up across the batch).
+//
+// A lane whose pivot search fails (where DenseLu throws SingularMatrixError)
+// is marked dead in `ok` and keeps eliminating with zero multipliers; its
+// values are garbage from that column on but never contaminate other lanes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace softfet::numeric {
+
+class BatchDenseLu {
+ public:
+  /// Shape the batch: n unknowns, `lanes` resident lanes. Value storage is
+  /// lane-minor: entry (r, c) of lane s lives at values()[(r*n + c)*lanes + s].
+  void configure(std::size_t n, std::size_t lanes);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Lane-minor value buffer (n*n*lanes entries). The caller zeroes its
+  /// lane column (clear_lane) and scatters the Jacobian in before factor();
+  /// factor() consumes it in place.
+  [[nodiscard]] double* values() noexcept { return lu_.data(); }
+
+  /// Zero lane `s`'s matrix entries ahead of a fresh scatter.
+  void clear_lane(std::size_t s);
+
+  /// Factor lanes [0, m) in place. ok[s] is set to 1 on success and 0 when
+  /// lane s hit a pivot DenseLu would have rejected (singular / non-finite).
+  void factor(std::size_t m, std::uint8_t* ok);
+
+  /// Solve A_s x_s = b_s for lanes [0, m). `b` and `x` are lane-minor
+  /// n×lanes buffers (entry i of lane s at [i*lanes + s]) and must not
+  /// alias. Lanes whose factor failed produce garbage the caller discards.
+  void solve(std::size_t m, const double* b, double* x);
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  std::vector<double> lu_;           // n*n*lanes, lane-minor
+  std::vector<std::uint32_t> perm_;  // n*lanes, lane-minor
+  std::vector<double> fac_;          // per-lane multiplier scratch
+  std::vector<double> inv_pivot_;    // per-lane pivot reciprocal scratch
+  std::vector<double> y_;            // n*lanes forward-substitution scratch
+  std::vector<double> pivot_mag_;    // per-lane argmax scratch
+  std::vector<std::uint32_t> pivot_row_;
+};
+
+}  // namespace softfet::numeric

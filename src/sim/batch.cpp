@@ -1,0 +1,544 @@
+// Batched lockstep transient engine (see batch.hpp for the contract).
+//
+// Implementation notes: every lane carries the complete scalar run_transient
+// control state (dt controller, predictor history, reject counters) and the
+// round loop advances each active lane exactly one Newton iteration, packing
+// the lanes' linear systems into one BatchDenseLu factor/solve. The per-lane
+// code below intentionally mirrors transient.cpp and newton.cpp line for
+// line — any arithmetic drift there breaks the bitwise-identity contract, so
+// edits to those files must be reflected here (the equivalence tests catch
+// it).
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/batch_lu.hpp"
+#include "numeric/linear_solver.hpp"
+#include "sim/analyses.hpp"
+#include "sim/detail.hpp"
+#include "sim/device.hpp"
+#include "sim/stamper.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace softfet::sim {
+
+namespace {
+
+constexpr double kEventBoundaryTolerance = 1e-9;  // matches transient.cpp
+
+/// Allocation-free twin of transient.cpp's History.
+struct LaneHistory {
+  double t_prev = 0.0;
+  double t_curr = 0.0;
+  std::vector<double> x_prev;
+  std::vector<double> x_curr;
+  bool has_two_points = false;
+
+  void reset(double t, const std::vector<double>& x) {
+    t_curr = t;
+    x_curr = x;
+    has_two_points = false;
+  }
+
+  void push(double t, const std::vector<double>& x) {
+    t_prev = t_curr;
+    x_prev = x_curr;
+    t_curr = t;
+    x_curr = x;
+    has_two_points = true;
+  }
+
+  void predict_into(double t, std::vector<double>& out) const {
+    if (!has_two_points || t_curr <= t_prev) {
+      out = x_curr;
+      return;
+    }
+    const double alpha = (t - t_curr) / (t_curr - t_prev);
+    out.resize(x_curr.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = x_curr[i] + alpha * (x_curr[i] - x_prev[i]);
+    }
+  }
+};
+
+/// Same arithmetic as transient.cpp's lte_ratio.
+[[nodiscard]] double lte_ratio(const std::vector<double>& x,
+                               const std::vector<double>& x_pred,
+                               std::size_t voltage_unknowns,
+                               const SimOptions& options) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < voltage_unknowns; ++i) {
+    const double scale = std::max({std::fabs(x[i]), std::fabs(x_pred[i]), 0.05});
+    const double tol = options.lte_reltol * scale;
+    worst = std::max(worst, std::fabs(x[i] - x_pred[i]) / tol);
+  }
+  return worst;
+}
+
+[[nodiscard]] std::size_t first_non_finite(const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return i;
+  }
+  return v.size();
+}
+
+enum class LanePhase { kSolving, kDone, kEvicted };
+
+struct Lane {
+  Circuit* circuit = nullptr;
+  double tstop = 0.0;
+  BatchLaneOutcome* out = nullptr;
+
+  LoadContext ctx;
+  FlatJacobian flat;
+  std::vector<double> residual;
+  std::vector<double> x;       // last accepted solution
+  std::vector<double> x_new;   // Newton iterate of the step in flight
+  std::vector<double> x_pred;  // predictor of the step in flight
+  std::vector<double> dx;
+  std::vector<double> row;  // sample-row buffer
+  LaneHistory history;
+
+  double dtmax = 0.0;
+  double dt = 0.0;
+  double t = 0.0;
+  bool force_backward_euler = true;
+  int consecutive_rejects = 0;
+  int newton_failures = 0;
+  std::size_t voltage_unknowns = 0;
+  std::vector<int> pending_shrinks;
+
+  int solve_iterations = 0;  // iterations of the solve in flight
+  std::size_t slot = 0;      // batch slot this round (when in_round)
+  bool in_round = false;
+  LanePhase phase = LanePhase::kSolving;
+};
+
+class BatchEngine {
+ public:
+  BatchEngine(const std::vector<BatchLaneSpec>& specs,
+              const SimOptions& options,
+              std::vector<BatchLaneOutcome>& outcomes)
+      : options_(options), budget_timer_(options.budget) {
+    lanes_.resize(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      Lane& lane = lanes_[s];
+      lane.circuit = specs[s].circuit;
+      lane.tstop = specs[s].tstop;
+      lane.out = &outcomes[s];
+    }
+  }
+
+  void run() {
+    for (Lane& lane : lanes_) init_lane(lane);
+    if (n_ > 0) {
+      lu_.configure(n_, lanes_.size());
+      b_.assign(n_ * lanes_.size(), 0.0);
+      dx_soa_.assign(n_ * lanes_.size(), 0.0);
+      ok_.assign(lanes_.size(), 0);
+    }
+
+    std::vector<Lane*> round;
+    round.reserve(lanes_.size());
+    while (true) {
+      round.clear();
+      // Zero every lane column at once (cheaper than per-lane strided
+      // clears); prepare_iteration stages each load in the lane's flat
+      // values buffer (L1-resident) and scatter copies the live patterns
+      // on top. (Stamping straight into the strided SoA cells was tried
+      // and measured slower: it turns every accumulate into a scattered
+      // read-modify-write in the middle of the device-model code.)
+      std::fill(lu_.values(), lu_.values() + n_ * n_ * lanes_.size(), 0.0);
+      for (Lane& lane : lanes_) {
+        if (lane.phase != LanePhase::kSolving) continue;
+        lane.slot = round.size();
+        if (prepare_iteration(lane)) {
+          scatter(lane);
+          lane.in_round = true;
+          round.push_back(&lane);
+        } else {
+          lane.in_round = false;
+        }
+      }
+      bool any_active = false;
+      for (const Lane& lane : lanes_) {
+        any_active = any_active || lane.phase == LanePhase::kSolving;
+      }
+      if (!any_active) break;
+      if (round.empty()) continue;  // all active lanes restarted their steps
+
+      const std::size_t m = round.size();
+      lu_.factor(m, ok_.data());
+      lu_.solve(m, b_.data(), dx_soa_.data());
+      for (Lane* lane : round) finish_iteration(*lane);
+    }
+  }
+
+ private:
+  void evict(Lane& lane, std::string reason) {
+    lane.phase = LanePhase::kEvicted;
+    lane.out->evicted = true;
+    lane.out->eviction_reason = std::move(reason);
+  }
+
+  /// transient.cpp's note_attempt, against this lane's diagnostics.
+  int note_attempt(Lane& lane, const char* strategy) {
+    auto& diag = lane.out->tran.diagnostics;
+    const std::size_t before = diag.attempts.size();
+    diag.record_attempt({strategy, false,
+                         "t=" + util::format_si(lane.t, 4, "s") +
+                             " dt=" + util::format_si(lane.dt, 3, "s")});
+    return diag.attempts.size() > before ? static_cast<int>(before) : -1;
+  }
+
+  void mark_succeeded(Lane& lane, int attempt) {
+    if (attempt >= 0) {
+      lane.out->tran.diagnostics.attempts[static_cast<std::size_t>(attempt)]
+          .succeeded = true;
+    }
+  }
+
+  void init_lane(Lane& lane) {
+    TranResult& out = lane.out->tran;
+    out.diagnostics.analysis = "transient";
+    try {
+      if (!(lane.tstop > 0.0)) {
+        // run_transient throws Error here; the scalar rerun reproduces it.
+        evict(lane, "non-positive tstop");
+        return;
+      }
+      lane.circuit->prepare();
+      const std::size_t n = lane.circuit->unknown_count();
+      const std::size_t vu = lane.circuit->node_count() - 1;
+      if (n_ == 0) {
+        n_ = n;
+        voltage_unknowns_ = vu;
+      }
+      if (n != n_ || vu != voltage_unknowns_) {
+        evict(lane, "unknown count differs from batch");
+        return;
+      }
+      if (options_.solver == numeric::SolverKind::kSparse ||
+          (options_.solver == numeric::SolverKind::kAuto &&
+           n > numeric::LinearSolver::kDenseThreshold)) {
+        evict(lane, "not dense-solver eligible");
+        return;
+      }
+      out.table = SignalTable(detail::signal_names(*lane.circuit));
+
+      OpResult op = dc_operating_point(*lane.circuit, options_);
+      lane.x = std::move(op.x);
+      detail::sample_row_into(*lane.circuit, lane.x, lane.row);
+      out.time.push_back(0.0);
+      out.table.append_row(lane.row);
+
+      lane.dtmax =
+          options_.dtmax > 0.0 ? options_.dtmax : lane.tstop / 200.0;
+      lane.dt = options_.dt_initial > 0.0
+                    ? options_.dt_initial
+                    : std::min(lane.tstop / 1e6, lane.dtmax);
+      lane.history.reset(0.0, lane.x);
+      lane.voltage_unknowns = lane.circuit->node_count() - 1;
+      lane.t = 0.0;
+      lane.force_backward_euler = true;
+      lane.flat.reset(n_);
+      lane.residual.assign(n_, 0.0);
+      lane.dx.assign(n_, 0.0);
+      begin_step(lane);
+    } catch (const Error& e) {
+      // OP budget truncation, OP convergence failure, bad circuit — all
+      // reproduced faithfully by the scalar rerun.
+      evict(lane, std::string("setup/op: ") + e.what());
+    }
+  }
+
+  /// Scalar loop head: decide whether another step starts, clamp dt, land
+  /// on breakpoints, build the predictor, and open a fresh Newton solve.
+  void begin_step(Lane& lane) {
+    TranResult& out = lane.out->tran;
+    if (!(lane.t < lane.tstop * (1.0 - 1e-12))) {
+      lane.phase = LanePhase::kDone;
+      return;
+    }
+    if (budget_timer_.check(out.accepted_steps, out.newton_iterations) !=
+        util::BudgetStop::kNone) {
+      evict(lane, "budget stop at step head");
+      return;
+    }
+    if (out.accepted_steps + out.rejected_steps >= options_.max_steps) {
+      evict(lane, "step budget exhausted");
+      return;
+    }
+
+    double device_cap = kNeverTime;
+    for (const auto& device : lane.circuit->devices()) {
+      device_cap = std::min(device_cap, device->max_timestep());
+    }
+    lane.dt = std::min({lane.dt, device_cap, lane.dtmax, lane.tstop - lane.t});
+    lane.dt = std::max(lane.dt, options_.dtmin);
+
+    double breakpoint = kNeverTime;
+    for (const auto& device : lane.circuit->devices()) {
+      breakpoint = std::min(breakpoint, device->next_breakpoint(lane.t));
+    }
+    if (breakpoint > lane.t && breakpoint < lane.t + lane.dt) {
+      lane.dt = std::max(breakpoint - lane.t, options_.dtmin);
+    }
+
+    lane.ctx.mode = AnalysisMode::kTransient;
+    lane.ctx.method = (lane.force_backward_euler || !options_.use_trapezoidal)
+                          ? IntegrationMethod::kBackwardEuler
+                          : IntegrationMethod::kTrapezoidal;
+    lane.ctx.time = lane.t + lane.dt;
+    lane.ctx.dt = lane.dt;
+    lane.ctx.source_scale = 1.0;
+
+    lane.history.predict_into(lane.t + lane.dt, lane.x_pred);
+    lane.x_new = lane.x_pred;
+    lane.solve_iterations = 0;
+  }
+
+  /// Front half of one Newton iteration (newton.cpp's loop head through the
+  /// RHS build). Returns true when the lane joined this round's batch
+  /// solve; false when the iteration was fully handled here (failure paths
+  /// and evictions — the lane may have already begun its next step).
+  bool prepare_iteration(Lane& lane) {
+    TranResult& out = lane.out->tran;
+    if (budget_timer_.check_now() != util::BudgetStop::kNone) {
+      // solve_newton reports kBudgetExhausted; run_transient truncates.
+      evict(lane, "budget stop in newton");
+      return false;
+    }
+    ++lane.solve_iterations;
+    out.newton_iterations += 1;
+
+    lane.flat.begin_load();
+    std::fill(lane.residual.begin(), lane.residual.end(), 0.0);
+    Stamper stamper(lane.flat, lane.residual);
+    try {
+      for (const auto& device : lane.circuit->devices()) {
+        device->load(lane.x_new, stamper, lane.ctx);
+      }
+    } catch (const Error& e) {
+      evict(lane, std::string("device load: ") + e.what());
+      return false;
+    }
+    // gmin shunts in MnaSystem::load order (devices first, then shunts).
+    for (std::size_t i = 0; i < lane.voltage_unknowns; ++i) {
+      const int unknown = static_cast<int>(i);
+      stamper.add_residual(unknown, options_.gmin * lane.x_new[i]);
+      stamper.add_jacobian(unknown, unknown, options_.gmin);
+    }
+    if (!lane.flat.end_load()) {
+      evict(lane, "stamp pattern changed mid-run");
+      return false;
+    }
+    if (first_non_finite(lane.residual) != n_) {
+      on_solve_failure(lane);
+      return false;
+    }
+    return true;
+  }
+
+  /// Copy a staged load (flat values buffer) into the lane's SoA column
+  /// and RHS.
+  void scatter(Lane& lane) {
+    const std::size_t L = lanes_.size();
+    double* lu = lu_.values();
+    const auto& slots = lane.flat.slots();
+    const auto& values = lane.flat.values();
+    for (std::size_t e = 0; e < slots.size(); ++e) {
+      const auto r = static_cast<std::size_t>(slots[e].row);
+      const auto c = static_cast<std::size_t>(slots[e].col);
+      lu[(r * n_ + c) * L + lane.slot] = values[e];
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      b_[i * L + lane.slot] = -lane.residual[i];
+    }
+  }
+
+  /// Back half of one Newton iteration (update, convergence test) plus the
+  /// step-completion logic when the solve ended this round.
+  void finish_iteration(Lane& lane) {
+    const std::size_t L = lanes_.size();
+    if (ok_[lane.slot] == 0) {
+      // DenseLu would have thrown SingularMatrixError -> kSingularMatrix.
+      on_solve_failure(lane);
+      return;
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      lane.dx[i] = dx_soa_[i * L + lane.slot];
+    }
+    if (first_non_finite(lane.dx) != n_) {
+      on_solve_failure(lane);
+      return;
+    }
+    // Per-unknown step limiting, then the dx convergence test — identical
+    // arithmetic and order to solve_newton.
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double limit = max_step(i);
+      if (limit > 0.0 && std::fabs(lane.dx[i]) > limit) {
+        lane.dx[i] = (lane.dx[i] > 0.0) ? limit : -limit;
+      }
+    }
+    bool dx_converged = true;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double x_old = lane.x_new[i];
+      lane.x_new[i] += lane.dx[i];
+      const double tol =
+          options_.reltol *
+              std::max(std::fabs(lane.x_new[i]), std::fabs(x_old)) +
+          abstol(i);
+      if (std::fabs(lane.dx[i]) > tol) dx_converged = false;
+    }
+    if (dx_converged) {
+      on_solve_converged(lane);
+      return;
+    }
+    if (lane.solve_iterations >= options_.newton_max_iter) {
+      on_solve_failure(lane);  // kMaxIterations
+    }
+    // Otherwise: the solve continues next round with the updated iterate.
+  }
+
+  /// run_transient's !newton.converged branch. Budget exhaustion is handled
+  /// at prepare_iteration; everything that would climb the recovery ladder
+  /// or throw evicts instead.
+  void on_solve_failure(Lane& lane) {
+    TranResult& out = lane.out->tran;
+    ++out.rejected_steps;
+    ++lane.consecutive_rejects;
+    ++lane.newton_failures;
+    const bool at_min = lane.dt <= options_.dtmin * 1.0001;
+    const bool ladder_enabled = options_.recovery_escalate_after > 0;
+    if (ladder_enabled &&
+        (lane.newton_failures == options_.recovery_escalate_after || at_min)) {
+      // The scalar engine would climb the recovery ladder here (PR 3); the
+      // batch hands the sample back to it instead.
+      evict(lane, "recovery ladder triggered");
+      return;
+    }
+    if (budget_timer_.check_now() != util::BudgetStop::kNone) {
+      evict(lane, "budget stop after failed solve");
+      return;
+    }
+    if (at_min) {
+      // Ladder disabled: run_transient throws ConvergenceError at dtmin.
+      evict(lane, "newton failed at minimum timestep");
+      return;
+    }
+    lane.pending_shrinks.push_back(note_attempt(lane, "dt_shrink"));
+    lane.dt *= options_.dt_shrink;
+    lane.force_backward_euler = true;
+    begin_step(lane);
+  }
+
+  /// run_transient's post-convergence logic: shrink vindication, event
+  /// cuts, LTE control, acceptance, and the next-step dt policy.
+  void on_solve_converged(Lane& lane) {
+    TranResult& out = lane.out->tran;
+    for (const int attempt : lane.pending_shrinks) {
+      mark_succeeded(lane, attempt);
+    }
+    lane.pending_shrinks.clear();
+
+    double event_at = kNeverTime;
+    for (const auto& device : lane.circuit->devices()) {
+      event_at = std::min(
+          event_at, device->event_time(lane.x_new, lane.t, lane.t + lane.dt));
+    }
+    const bool event_on_boundary =
+        std::isfinite(event_at) &&
+        event_at >= lane.t + lane.dt * (1.0 - kEventBoundaryTolerance);
+    if (std::isfinite(event_at) && !event_on_boundary) {
+      const double cut = event_at - lane.t;
+      if (cut >= std::max(options_.dtmin, lane.dt * 1e-6)) {
+        ++out.rejected_steps;
+        lane.dt = cut;
+        begin_step(lane);
+        return;
+      }
+    }
+
+    if (!lane.force_backward_euler && lane.consecutive_rejects < 15) {
+      const double ratio =
+          lte_ratio(lane.x_new, lane.x_pred, lane.voltage_unknowns, options_);
+      if (ratio > 4.0 && lane.dt > options_.dtmin * 4.0) {
+        ++out.rejected_steps;
+        ++lane.consecutive_rejects;
+        lane.dt *= 0.5;
+        begin_step(lane);
+        return;
+      }
+      if (ratio < 0.25) {
+        lane.dt *= options_.dt_grow;
+      } else if (ratio < 1.0) {
+        lane.dt *= 1.15;
+      }
+    } else {
+      lane.dt *= 1.5;  // recover step size after BE / trouble
+    }
+
+    for (const auto& device : lane.circuit->devices()) {
+      device->accept_step(lane.x_new, lane.ctx);
+    }
+    lane.t = lane.ctx.time;
+    lane.history.push(lane.t, lane.x_new);
+    lane.x = lane.x_new;
+    out.time.push_back(lane.t);
+    detail::sample_row_into(*lane.circuit, lane.x, lane.row);
+    out.table.append_row(lane.row);
+    ++out.accepted_steps;
+    lane.consecutive_rejects = 0;
+    lane.newton_failures = 0;
+
+    if (event_on_boundary) {
+      ++out.event_count;
+      lane.history.reset(lane.t, lane.x);
+      lane.force_backward_euler = true;
+    } else {
+      lane.force_backward_euler = false;
+    }
+    if (lane.solve_iterations > 25) lane.dt *= 0.7;
+    begin_step(lane);
+  }
+
+  [[nodiscard]] double abstol(std::size_t unknown) const {
+    return unknown < voltage_unknowns_ ? options_.vabstol : options_.iabstol;
+  }
+  [[nodiscard]] double max_step(std::size_t unknown) const {
+    return unknown < voltage_unknowns_ ? options_.v_max_step : 0.0;
+  }
+
+  const SimOptions& options_;
+  util::BudgetTimer budget_timer_;
+  std::vector<Lane> lanes_;
+  std::size_t n_ = 0;
+  std::size_t voltage_unknowns_ = 0;
+  numeric::BatchDenseLu lu_;
+  std::vector<double> b_;
+  std::vector<double> dx_soa_;
+  std::vector<std::uint8_t> ok_;
+};
+
+}  // namespace
+
+bool batch_transient_supported(const SimOptions& options) {
+  const util::RunBudget& budget = options.budget;
+  return budget.max_wall_seconds <= 0.0 && budget.max_accepted_steps == 0 &&
+         budget.max_newton_iterations == 0;
+}
+
+std::vector<BatchLaneOutcome> run_transient_batch(
+    const std::vector<BatchLaneSpec>& lanes, const SimOptions& options) {
+  std::vector<BatchLaneOutcome> outcomes(lanes.size());
+  if (lanes.empty()) return outcomes;
+  BatchEngine engine(lanes, options, outcomes);
+  engine.run();
+  return outcomes;
+}
+
+}  // namespace softfet::sim

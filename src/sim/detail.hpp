@@ -31,4 +31,10 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
 [[nodiscard]] std::vector<double> sample_row(const Circuit& circuit,
                                              const std::vector<double>& x);
 
+/// sample_row into a caller-owned buffer — no per-row allocation, and probe
+/// values come from Device::probe_values so no name strings are built.
+/// Row sampling runs once per accepted step, making this the hot variant.
+void sample_row_into(const Circuit& circuit, const std::vector<double>& x,
+                     std::vector<double>& row);
+
 }  // namespace softfet::sim::detail

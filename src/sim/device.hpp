@@ -91,6 +91,20 @@ class Device {
   /// Named currents/values recorded per accepted point (after accept_step).
   [[nodiscard]] virtual std::vector<Probe> probes() const { return {}; }
 
+  /// Append this device's probe *values* to `out`, in probes() order.
+  /// Row sampling runs once per accepted step, so hot devices override this
+  /// to skip building the name strings probes() returns; overrides must
+  /// stay consistent with probes().
+  virtual void probe_values(std::vector<double>& out) const {
+    for (const auto& probe : probes()) out.push_back(probe.second);
+  }
+
+  /// Restore construction-time dynamic state so the owning testbench can be
+  /// re-run as if freshly elaborated (a new analysis re-derives everything
+  /// else via init_state). Only devices with state that survives across
+  /// runs and is *not* reset by init_state need to override.
+  virtual void reset_state() {}
+
   /// Quasistatic state update for DC sweeps (e.g. PTM phase snapping).
   /// Returns true if state changed and the point must be re-solved.
   virtual bool update_quasistatic_state(const std::vector<double>& x) {

@@ -146,14 +146,17 @@ std::vector<std::string> signal_names(const Circuit& circuit) {
 
 std::vector<double> sample_row(const Circuit& circuit,
                                const std::vector<double>& x) {
-  std::vector<double> row = x;
-  for (const auto& device : circuit.devices()) {
-    for (const auto& [probe_name, value] : device->probes()) {
-      (void)probe_name;
-      row.push_back(value);
-    }
-  }
+  std::vector<double> row;
+  sample_row_into(circuit, x, row);
   return row;
+}
+
+void sample_row_into(const Circuit& circuit, const std::vector<double>& x,
+                     std::vector<double>& row) {
+  row.assign(x.begin(), x.end());
+  for (const auto& device : circuit.devices()) {
+    device->probe_values(row);
+  }
 }
 
 }  // namespace detail

@@ -111,8 +111,12 @@ TranResult run_transient(Circuit& circuit, double tstop,
     out.diagnostics.failure = e.what();
     return out;
   }
+  // Reused for every accepted point: sampling runs per step, so the row
+  // buffer and the string-free probe_values path keep it allocation-free.
+  std::vector<double> row_buffer;
+  detail::sample_row_into(circuit, x, row_buffer);
   out.time.push_back(0.0);
-  out.table.append_row(detail::sample_row(circuit, x));
+  out.table.append_row(row_buffer);
 
   LoadContext ctx;
   MnaSystem system(circuit, options, ctx);
@@ -409,7 +413,8 @@ TranResult run_transient(Circuit& circuit, double tstop,
     history.push(t, x_new);
     x = x_new;
     out.time.push_back(t);
-    out.table.append_row(detail::sample_row(circuit, x));
+    detail::sample_row_into(circuit, x, row_buffer);
+    out.table.append_row(row_buffer);
     ++out.accepted_steps;
     if (recovered) ++out.recovered_steps;
     consecutive_rejects = 0;

@@ -1,0 +1,180 @@
+// Checkpoint/resume interop between the batched lockstep engine and the
+// scalar oracle: a killed batched run resumes bitwise-identically, and a
+// checkpoint written by either engine restores under the other. The
+// payloads are engine-agnostic (hexfloat sample metrics keyed by index), so
+// lane width is a pure execution detail — these tests pin that down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpointing.hpp"
+#include "core/variation.hpp"
+#include "devices/ptm.hpp"
+#include "util/budget.hpp"
+#include "util/error.hpp"
+
+namespace sc = softfet::core;
+namespace sd = softfet::devices;
+namespace su = softfet::util;
+
+namespace {
+
+softfet::cells::InverterTestbenchSpec soft_base() {
+  softfet::cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = sd::PtmParams{};
+  return spec;
+}
+
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+void copy_file(const std::string& from, const std::string& to) {
+  std::ifstream src(from, std::ios::binary);
+  std::ofstream dst(to, std::ios::binary);
+  ASSERT_TRUE(src.good());
+  dst << src.rdbuf();
+  ASSERT_TRUE(dst.good());
+}
+
+void expect_stats_bitwise(const sc::MonteCarloStats& a,
+                          const sc::MonteCarloStats& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  EXPECT_EQ(a.imax_mean, b.imax_mean);
+  EXPECT_EQ(a.imax_std, b.imax_std);
+  EXPECT_EQ(a.imax_worst, b.imax_worst);
+  EXPECT_EQ(a.delay_mean, b.delay_mean);
+  EXPECT_EQ(a.delay_std, b.delay_std);
+  EXPECT_EQ(a.delay_worst, b.delay_worst);
+  EXPECT_EQ(a.fraction_below_baseline, b.fraction_below_baseline);
+}
+
+/// Kill a batched run by cooperative cancel at sample `kill_at` (a block
+/// boundary, so the cut is deterministic: the batch draws a whole 8-lane
+/// block before simulating it, and cancel-poisoned samples are never
+/// persisted). Returns nothing; the checkpoint file holds samples
+/// [0, kill_at).
+void run_killed_batched(const sc::MonteCarloSpec& base, std::size_t kill_at) {
+  su::CancelToken token;
+  softfet::sim::SimOptions options;
+  options.budget.cancel = &token;
+
+  auto killed = base;
+  killed.lanes = 8;
+  killed.per_sample_hook = [&](std::size_t k,
+                               softfet::cells::InverterTestbenchSpec&) {
+    if (k == kill_at) token.request();
+  };
+  try {
+    (void)sc::ptm_monte_carlo(soft_base(), killed, options);
+    FAIL() << "expected BudgetExceededError";
+  } catch (const softfet::BudgetExceededError& e) {
+    EXPECT_EQ(e.stop(), su::BudgetStop::kCancel);
+  }
+}
+
+}  // namespace
+
+// A batched run killed at a block boundary resumes — under either engine —
+// to statistics bitwise equal to an uninterrupted scalar-oracle run, and
+// the resume only simulates the samples the killed run never finished.
+TEST(BatchCheckpoint, BatchedKilledRunResumesUnderBothEngines) {
+  TempFile batched_file("mc_batch_resume.ckpt");
+  TempFile scalar_file("mc_batch_resume_scalar.ckpt");
+
+  sc::MonteCarloSpec mc;
+  mc.samples = 16;
+  mc.seed = 7;
+  mc.threads = 1;
+  mc.checkpoint.path = batched_file.path;
+  mc.checkpoint.flush_every = 1;
+
+  run_killed_batched(mc, 8);
+  // Same partial checkpoint, one copy per resume direction.
+  copy_file(batched_file.path, scalar_file.path);
+
+  // Uninterrupted scalar-oracle reference, no checkpoint.
+  auto reference_spec = mc;
+  reference_spec.checkpoint = sc::CheckpointSpec{};
+  reference_spec.lanes = 1;
+  const auto reference = sc::ptm_monte_carlo(soft_base(), reference_spec);
+
+  for (const int lanes : {8, 1}) {
+    SCOPED_TRACE("resume lanes=" + std::to_string(lanes));
+    auto resumed_spec = mc;
+    resumed_spec.lanes = lanes;
+    resumed_spec.checkpoint.path =
+        lanes == 8 ? batched_file.path : scalar_file.path;
+    std::vector<std::size_t> simulated;
+    resumed_spec.per_sample_hook =
+        [&](std::size_t k, softfet::cells::InverterTestbenchSpec&) {
+          simulated.push_back(k);
+        };
+    const auto resumed = sc::ptm_monte_carlo(soft_base(), resumed_spec);
+    std::sort(simulated.begin(), simulated.end());
+    EXPECT_EQ(simulated,
+              (std::vector<std::size_t>{8, 9, 10, 11, 12, 13, 14, 15}));
+    expect_stats_bitwise(resumed, reference);
+  }
+}
+
+// The reverse interop: a checkpoint written by the scalar oracle restores
+// under the batched engine (the direction a user upgrading an in-flight
+// long study actually hits).
+TEST(BatchCheckpoint, ScalarKilledRunResumesUnderBatchedEngine) {
+  TempFile file("mc_scalar_to_batch.ckpt");
+  sc::MonteCarloSpec mc;
+  mc.samples = 8;
+  mc.seed = 42;
+  mc.threads = 1;
+  mc.checkpoint.path = file.path;
+  mc.checkpoint.flush_every = 1;
+
+  su::CancelToken token;
+  softfet::sim::SimOptions options;
+  options.budget.cancel = &token;
+  auto killed = mc;
+  killed.lanes = 1;  // scalar per-sample sequencing: kill point is exact
+  killed.per_sample_hook = [&](std::size_t k,
+                               softfet::cells::InverterTestbenchSpec&) {
+    if (k == 4) token.request();
+  };
+  try {
+    (void)sc::ptm_monte_carlo(soft_base(), killed, options);
+    FAIL() << "expected BudgetExceededError";
+  } catch (const softfet::BudgetExceededError& e) {
+    EXPECT_EQ(e.stop(), su::BudgetStop::kCancel);
+  }
+
+  auto resumed_spec = mc;
+  resumed_spec.lanes = 8;
+  std::vector<std::size_t> simulated;
+  resumed_spec.per_sample_hook =
+      [&](std::size_t k, softfet::cells::InverterTestbenchSpec&) {
+        simulated.push_back(k);
+      };
+  const auto resumed = sc::ptm_monte_carlo(soft_base(), resumed_spec);
+  std::sort(simulated.begin(), simulated.end());
+  EXPECT_EQ(simulated, (std::vector<std::size_t>{4, 5, 6, 7}));
+
+  auto reference_spec = mc;
+  reference_spec.checkpoint = sc::CheckpointSpec{};
+  reference_spec.lanes = 1;
+  const auto reference = sc::ptm_monte_carlo(soft_base(), reference_spec);
+  expect_stats_bitwise(resumed, reference);
+}

@@ -140,6 +140,13 @@ TEST(MonteCarloCheckpoint, CancelledRunResumesBitwise) {
   options.budget.cancel = &token;
 
   auto killed = mc;
+  // The kill point is only deterministic with per-sample sequencing: the
+  // batched engine draws a whole block (hooks included) before simulating,
+  // so a hook-injected cancel would fire before samples 0-3 complete.
+  // Pinning the killed run to the scalar oracle keeps the cut exact; the
+  // resume below stays on the default batched path, which doubles as a
+  // scalar-written-checkpoint -> batched-resume interop check.
+  killed.lanes = 1;
   killed.per_sample_hook = [&](std::size_t k,
                                softfet::cells::InverterTestbenchSpec&) {
     if (k == 4) token.request();
