@@ -18,7 +18,7 @@ int main() {
   bench::banner("Fig. 1 (AC companion)", "PDN impedance |Z(f)| at the rail");
 
   sim::Circuit c;
-  const cells::PdnParams params;
+  const cells::PdnParams params = cells::PdnParams::zhang_islped13();
   const cells::Pdn pdn = cells::add_pdn(c, "pdn", "rail", params);
   auto probe = devices::SourceSpec::dc(0.0);
   probe.set_ac_magnitude(1.0);  // 1 A AC probe: |v(rail)| == |Z|

@@ -19,7 +19,8 @@ using measure::Waveform;
 
 double droop_for(double i_step, double edge) {
   sim::Circuit c;
-  const cells::Pdn pdn = cells::add_pdn(c, "pdn", "rail", cells::PdnParams{});
+  const cells::Pdn pdn =
+      cells::add_pdn(c, "pdn", "rail", cells::PdnParams::zhang_islped13());
   c.add<devices::ISource>(
       "Iload", pdn.rail, sim::kGroundNode,
       devices::SourceSpec::pulse(0.0, i_step, 2e-9, edge, edge, 1.0));
@@ -33,7 +34,7 @@ double droop_for(double i_step, double edge) {
 int main() {
   bench::banner("Fig. 1", "supply droop vs load step magnitude and di/dt");
 
-  const cells::PdnParams pdn;
+  const cells::PdnParams pdn = cells::PdnParams::zhang_islped13();
   std::printf("PDN: R_pkg=%.0f mOhm, L_pkg=%.0f pH, C_decap=%.0f pF\n\n",
               pdn.r_pkg * 1e3, pdn.l_pkg * 1e12, pdn.c_decap * 1e12);
 

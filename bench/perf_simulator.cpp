@@ -24,6 +24,8 @@
 #include "devices/sources.hpp"
 #include "numeric/batch_lu.hpp"
 #include "numeric/dense_lu.hpp"
+#include "numeric/krylov.hpp"
+#include "numeric/ordering.hpp"
 #include "numeric/sparse_lu.hpp"
 #include "sim/analyses.hpp"
 #include "util/parallel.hpp"
@@ -173,6 +175,148 @@ void BM_SparseLuRefactorSolve(benchmark::State& state) {
       static_cast<double>(lu.refactor_count());
 }
 BENCHMARK(BM_SparseLuRefactorSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+/// PDN-grid conductance matrix: a 5-point rail mesh plus one decap leaf
+/// node per tile, with all rail nodes numbered before all leaf nodes —
+/// the stamp order make_pdn_grid produces. Symmetric positive definite,
+/// arg = grid side, 2*side^2 unknowns. The rail-to-leaf couplings put
+/// nonzeros a full side^2 off the diagonal, which is what makes natural
+/// (stamping) order fill the whole band and fill-reducing ordering pay.
+numeric::SparseMatrix grid_system(std::size_t side) {
+  const std::size_t tiles = side * side;
+  numeric::SparseMatrix a(2 * tiles);
+  const auto id = [side](std::size_t r, std::size_t c) {
+    return r * side + c;
+  };
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double diag = 1e-3;  // leak keeps the Laplacian nonsingular
+      if (c + 1 < side) {
+        a.add(id(r, c), id(r, c + 1), -1.0);
+        a.add(id(r, c + 1), id(r, c), -1.0);
+        diag += 1.0;
+      }
+      if (c > 0) diag += 1.0;
+      if (r + 1 < side) {
+        a.add(id(r, c), id(r + 1, c), -1.0);
+        a.add(id(r + 1, c), id(r, c), -1.0);
+        diag += 1.0;
+      }
+      if (r > 0) diag += 1.0;
+      // Decap leaf through its ESR (the companion-model conductance).
+      const std::size_t leaf = tiles + id(r, c);
+      a.add(id(r, c), leaf, -0.5);
+      a.add(leaf, id(r, c), -0.5);
+      a.add(leaf, leaf, 0.5 + 1e-3);
+      diag += 0.5;
+      a.add(id(r, c), id(r, c), diag);
+    }
+  }
+  return a;
+}
+
+// Natural-order factorization of the mesh: the banded worst case the AMD
+// ordering exists to avoid. Capped at 16x16 — the trend line against
+// BM_GridLuFactorAmd at the same Arg (and BM_GridOrderingFill's counters
+// at the full scale) already tells the story; natural order at 32x32
+// costs over a minute per factorization.
+void BM_GridLuFactorNatural(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto a = grid_system(side);
+  const std::vector<double> b(a.size(), 1.0);
+  for (auto _ : state) {
+    numeric::SparseLu lu;
+    lu.set_ordering(numeric::OrderingKind::kNatural);
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+    state.counters["fill"] = lu.fill_ratio();
+  }
+}
+BENCHMARK(BM_GridLuFactorNatural)->Arg(8)->Arg(16);
+
+void BM_GridLuFactorAmd(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto a = grid_system(side);
+  const std::vector<double> b(a.size(), 1.0);
+  for (auto _ : state) {
+    numeric::SparseLu lu;
+    lu.set_ordering(numeric::OrderingKind::kAmd);
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+    state.counters["fill"] = lu.fill_ratio();
+  }
+}
+BENCHMARK(BM_GridLuFactorAmd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Ordering cost and predicted-fill comparison at the 4k-unknown scale the
+// droop study runs at. The counters record the headline ratio: natural
+// banded fill vs AMD fill on the same pattern.
+void BM_GridOrderingFill(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto a = grid_system(side);
+  const auto adjacency = numeric::pattern_adjacency(a);
+  std::size_t fill_amd = 0;
+  for (auto _ : state) {
+    const auto order = numeric::amd_order(adjacency);
+    fill_amd = numeric::symbolic_fill(adjacency, order);
+    benchmark::DoNotOptimize(fill_amd);
+  }
+  const std::size_t fill_natural = numeric::symbolic_fill_natural(adjacency);
+  state.counters["fill_natural"] = static_cast<double>(fill_natural);
+  state.counters["fill_amd"] = static_cast<double>(fill_amd);
+  state.counters["fill_reduction"] =
+      static_cast<double>(fill_natural) / static_cast<double>(fill_amd);
+}
+BENCHMARK(BM_GridOrderingFill)->Arg(64);
+
+// The transient hot path on the big mesh: AMD-ordered analyze once, then
+// numeric refactor + solve per step.
+void BM_GridLuRefactorSolve(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto a = grid_system(side);
+  const std::vector<double> b(a.size(), 1.0);
+  numeric::SparseLu lu;
+  lu.set_ordering(numeric::OrderingKind::kAmd);
+  lu.factor(a);
+  for (auto _ : state) {
+    lu.factor(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  if (lu.analyze_count() != 1) {
+    state.SkipWithError("refactor path fell back to analysis");
+  }
+  state.counters["fill"] = lu.fill_ratio();
+}
+BENCHMARK(BM_GridLuRefactorSolve)->Arg(32)->Arg(64);
+
+// Stale-preconditioner CG on the mesh: the LU of the unperturbed matrix
+// keeps serving while the values drift 5% (a Newton/transient step), which
+// is the iterative policy's steady state. Compare directly against
+// BM_GridLuRefactorSolve at the same Arg.
+void BM_GridCgStalePrecond(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto a = grid_system(side);
+  numeric::SparseLu precond;
+  precond.set_ordering(numeric::OrderingKind::kAmd);
+  precond.factor(a);
+  // Node-dependent drift: a uniform shift would make the stale LU a
+  // perfect preconditioner (CG converges in one step) and hide the cost.
+  auto drifted = grid_system(side);
+  for (std::size_t i = 0; i < drifted.size(); ++i) {
+    drifted.add(i, i, 0.05 * static_cast<double>(i % 8 + 1) / 8.0);
+  }
+  const std::vector<double> b(a.size(), 1.0);
+  std::vector<double> x(a.size(), 0.0);
+  numeric::KrylovResult result;
+  for (auto _ : state) {
+    x.assign(x.size(), 0.0);
+    result = numeric::conjugate_gradient(drifted, b, x, &precond);
+    benchmark::DoNotOptimize(x.data());
+  }
+  if (!result.converged) state.SkipWithError("CG did not converge");
+  state.counters["iterations"] = static_cast<double>(result.iterations);
+}
+BENCHMARK(BM_GridCgStalePrecond)->Arg(32)->Arg(64);
 
 void BM_RcLadderDcOp(benchmark::State& state) {
   const int stages = static_cast<int>(state.range(0));

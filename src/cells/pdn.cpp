@@ -3,6 +3,7 @@
 #include "devices/capacitor.hpp"
 #include "devices/inductor.hpp"
 #include "devices/resistor.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace softfet::cells {
@@ -29,6 +30,146 @@ Pdn add_pdn(sim::Circuit& circuit, const std::string& name,
 
   pdn.rail_signal = "v(" + util::to_lower(rail_name) + ")";
   return pdn;
+}
+
+PdnGridParams PdnGridParams::from_lumped(const PdnParams& lumped,
+                                         std::size_t rows, std::size_t cols,
+                                         std::size_t layers) {
+  PdnGridParams p;
+  p.rows = rows;
+  p.cols = cols;
+  p.layers = layers;
+  p.vcc = lumped.vcc;
+  p.r_pkg = lumped.r_pkg;
+  p.l_pkg = lumped.l_pkg;
+  p.c_decap = lumped.c_decap;
+  p.r_decap = lumped.r_decap;
+  return p;
+}
+
+sim::NodeId PdnGrid::node(std::size_t layer, std::size_t row,
+                          std::size_t col) const {
+  return nodes[(layer * rows + row) * cols + col];
+}
+
+std::string PdnGrid::tile_signal(std::size_t row, std::size_t col) const {
+  return "v(" + util::to_lower(name) + ".n0_" + std::to_string(row) + "_" +
+         std::to_string(col) + ")";
+}
+
+namespace {
+
+/// Bump coordinates along one axis: centered, every `pitch` tiles; a
+/// pitch covering the whole span degenerates to the single center tile.
+std::vector<std::size_t> bump_axis(std::size_t n, std::size_t pitch) {
+  std::vector<std::size_t> at;
+  if (pitch == 0 || pitch >= n) {
+    at.push_back(n / 2);
+    return at;
+  }
+  for (std::size_t i = pitch / 2; i < n; i += pitch) at.push_back(i);
+  return at;
+}
+
+}  // namespace
+
+PdnGrid make_pdn_grid(sim::Circuit& circuit, const std::string& name,
+                      const PdnGridParams& params) {
+  if (params.rows == 0 || params.cols == 0 || params.layers == 0) {
+    throw InvalidCircuitError("make_pdn_grid: rows/cols/layers must be >= 1");
+  }
+  PdnGrid grid;
+  grid.rows = params.rows;
+  grid.cols = params.cols;
+  grid.layers = params.layers;
+  grid.name = name;
+  grid.nodes.reserve(params.layers * params.rows * params.cols);
+  for (std::size_t l = 0; l < params.layers; ++l) {
+    for (std::size_t r = 0; r < params.rows; ++r) {
+      for (std::size_t c = 0; c < params.cols; ++c) {
+        grid.nodes.push_back(circuit.node(
+            name + ".n" + std::to_string(l) + "_" + std::to_string(r) + "_" +
+            std::to_string(c)));
+      }
+    }
+  }
+
+  // Rail segments within each layer. With l_seg > 0 every segment is a
+  // series R-L through an internal node; otherwise a plain resistor.
+  std::size_t seg = 0;
+  const auto add_segment = [&](sim::NodeId a, sim::NodeId b) {
+    const std::string id = name + ".s" + std::to_string(seg++);
+    if (params.l_seg > 0.0) {
+      const auto mid = circuit.node(id + "m");
+      circuit.add<sd::Resistor>(id + "r", a, mid, params.r_seg);
+      circuit.add<sd::Inductor>(id + "l", mid, b, params.l_seg);
+    } else {
+      circuit.add<sd::Resistor>(id, a, b, params.r_seg);
+    }
+  };
+  for (std::size_t l = 0; l < params.layers; ++l) {
+    for (std::size_t r = 0; r < params.rows; ++r) {
+      for (std::size_t c = 0; c < params.cols; ++c) {
+        if (c + 1 < params.cols) {
+          add_segment(grid.node(l, r, c), grid.node(l, r, c + 1));
+        }
+        if (r + 1 < params.rows) {
+          add_segment(grid.node(l, r, c), grid.node(l, r + 1, c));
+        }
+      }
+    }
+  }
+
+  // Inter-layer vias at every tile.
+  for (std::size_t l = 0; l + 1 < params.layers; ++l) {
+    for (std::size_t r = 0; r < params.rows; ++r) {
+      for (std::size_t c = 0; c < params.cols; ++c) {
+        circuit.add<sd::Resistor>(name + ".v" + std::to_string(l) + "_" +
+                                      std::to_string(r) + "_" +
+                                      std::to_string(c),
+                                  grid.node(l, r, c), grid.node(l + 1, r, c),
+                                  params.r_via);
+      }
+    }
+  }
+
+  // Per-tile decap with ESR on the die layer: T tiles in parallel present
+  // the lumped totals (C/T each, ESR*T each).
+  const auto tiles = static_cast<double>(params.rows * params.cols);
+  for (std::size_t r = 0; r < params.rows; ++r) {
+    for (std::size_t c = 0; c < params.cols; ++c) {
+      const std::string id =
+          name + ".d" + std::to_string(r) + "_" + std::to_string(c);
+      const auto dcap = circuit.node(id);
+      circuit.add<sd::Resistor>(id + "r", grid.node(0, r, c), dcap,
+                                params.r_decap * tiles);
+      circuit.add<sd::Capacitor>(id + "c", dcap, sim::kGroundNode,
+                                 params.c_decap / tiles);
+    }
+  }
+
+  // Package bumps on the top layer: each bump is an L-R branch from the
+  // shared regulator node, scaled so B bumps in parallel equal the lumped
+  // package impedance.
+  const auto vreg = circuit.node(name + ".vreg");
+  grid.regulator = circuit.add<sd::VSource>(
+      name + ".vsrc", vreg, sim::kGroundNode, sd::SourceSpec::dc(params.vcc));
+  const std::size_t top = params.layers - 1;
+  const auto bump_rows = bump_axis(params.rows, params.bump_pitch);
+  const auto bump_cols = bump_axis(params.cols, params.bump_pitch);
+  grid.bump_count = bump_rows.size() * bump_cols.size();
+  const auto bumps = static_cast<double>(grid.bump_count);
+  for (const std::size_t r : bump_rows) {
+    for (const std::size_t c : bump_cols) {
+      const std::string id =
+          name + ".b" + std::to_string(r) + "_" + std::to_string(c);
+      const auto mid = circuit.node(id + "m");
+      circuit.add<sd::Inductor>(id + "l", vreg, mid, params.l_pkg * bumps);
+      circuit.add<sd::Resistor>(id + "r", mid, grid.node(top, r, c),
+                                params.r_pkg * bumps);
+    }
+  }
+  return grid;
 }
 
 }  // namespace softfet::cells

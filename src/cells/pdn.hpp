@@ -1,12 +1,15 @@
-// Lumped power-delivery-network model: ideal regulator behind package
-// R/L feeding an on-die rail with decoupling capacitance.
+// Power-delivery-network models: a lumped equivalent and a mesh grid.
 //
 // The paper adopts PDN parameters from Zhang et al. (ISLPED'13) for its
-// power-gate study; this lumped equivalent reproduces the droop physics
-// (L di/dt + IR + RLC resonance) of that network at block scale.
+// power-gate study; the lumped equivalent reproduces the droop physics
+// (L di/dt + IR + RLC resonance) of that network at block scale, and the
+// mesh grid resolves the same totals spatially so droop localizes around
+// the aggressor tiles (the fig. 10 message at full-die scale).
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "devices/sources.hpp"
 #include "sim/circuit.hpp"
@@ -19,6 +22,10 @@ struct PdnParams {
   double l_pkg = 500e-12;  ///< package + bump inductance [H]
   double c_decap = 100e-12;  ///< on-die decoupling capacitance [F]
   double r_decap = 50e-3;  ///< decap effective series resistance [ohm]
+
+  /// The Zhang et al. ISLPED'13 block-scale PDN adopted by the paper
+  /// (identical to the defaults; the name is the documentation).
+  [[nodiscard]] static PdnParams zhang_islped13() { return PdnParams{}; }
 };
 
 struct Pdn {
@@ -30,5 +37,70 @@ struct Pdn {
 /// Build the PDN into `circuit`; `rail_name` is the on-die rail node name.
 Pdn add_pdn(sim::Circuit& circuit, const std::string& name,
             const std::string& rail_name, const PdnParams& params);
+
+/// Mesh PDN geometry and electrical totals. Package and decap values are
+/// LUMPED TOTALS: the builder divides them across bumps and tiles so any
+/// grid resolution presents the same aggregate impedance as add_pdn with
+/// the matching PdnParams (each of B bumps carries r_pkg*B / l_pkg*B in
+/// parallel; each of T tiles carries c_decap/T with ESR r_decap*T).
+struct PdnGridParams {
+  std::size_t rows = 16;
+  std::size_t cols = 16;
+  std::size_t layers = 1;  ///< metal layers; loads/decap on layer 0
+
+  double vcc = 1.0;
+  double r_pkg = 30e-3;      ///< total package resistance [ohm]
+  double l_pkg = 500e-12;    ///< total package inductance [H]
+  double c_decap = 100e-12;  ///< total on-die decap, spread per tile [F]
+  double r_decap = 50e-3;    ///< total decap ESR (parallel across tiles)
+
+  double r_seg = 50e-3;  ///< per mesh-segment rail resistance [ohm]
+  double l_seg = 0.0;    ///< per-segment inductance; 0 = pure R mesh [H]
+  double r_via = 5e-3;   ///< inter-layer via resistance per tile [ohm]
+
+  /// Package bump every `bump_pitch` tiles in each direction on the top
+  /// layer (centered); a pitch >= the grid span degenerates to one
+  /// center bump per axis.
+  std::size_t bump_pitch = 4;
+
+  /// Grid with the same electrical totals as a lumped PDN, so 1x1x1
+  /// reproduces add_pdn and larger grids only add spatial resolution.
+  [[nodiscard]] static PdnGridParams from_lumped(const PdnParams& lumped,
+                                                 std::size_t rows,
+                                                 std::size_t cols,
+                                                 std::size_t layers = 1);
+};
+
+/// Handle to a built mesh PDN: tile nodes for attaching loads and probes.
+struct PdnGrid {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t layers = 0;
+  std::string name;
+  devices::VSource* regulator = nullptr;
+  std::size_t bump_count = 0;
+
+  /// Rail node of tile (row, col) on `layer` (0 = die layer).
+  [[nodiscard]] sim::NodeId node(std::size_t layer, std::size_t row,
+                                 std::size_t col) const;
+  /// Die-layer rail node of tile (row, col) — where loads attach.
+  [[nodiscard]] sim::NodeId tile(std::size_t row, std::size_t col) const {
+    return node(0, row, col);
+  }
+  /// Waveform signal name of the die-layer rail at (row, col).
+  [[nodiscard]] std::string tile_signal(std::size_t row,
+                                        std::size_t col) const;
+  [[nodiscard]] std::size_t tile_count() const { return rows * cols; }
+
+  std::vector<sim::NodeId> nodes;  ///< layer-major [layer][row][col]
+};
+
+/// Build a rows x cols x layers RC(L) mesh PDN into `circuit`: per-layer
+/// rail segments, inter-layer vias, per-tile decap with ESR on the die
+/// layer, and package bumps (per-bump R-L branch from the regulator) on
+/// the top layer. Unknown count grows as rows*cols*layers (plus branch
+/// currents), which is what makes fill-reducing ordering matter.
+PdnGrid make_pdn_grid(sim::Circuit& circuit, const std::string& name,
+                      const PdnGridParams& params);
 
 }  // namespace softfet::cells

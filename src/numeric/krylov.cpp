@@ -1,0 +1,165 @@
+#include "numeric/krylov.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace softfet::numeric {
+
+namespace {
+
+[[nodiscard]] double dot(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+[[nodiscard]] double norm2(const std::vector<double>& v) {
+  return std::sqrt(dot(v, v));
+}
+
+/// M^-1 v through the cached LU, or identity without a preconditioner.
+[[nodiscard]] std::vector<double> apply_precond(const SparseLu* m,
+                                                const std::vector<double>& v) {
+  return m != nullptr ? m->solve(v) : v;
+}
+
+[[nodiscard]] std::size_t iteration_cap(const KrylovOptions& options,
+                                        std::size_t n) {
+  if (options.max_iterations != 0) return options.max_iterations;
+  return std::max<std::size_t>(n, 200);
+}
+
+[[nodiscard]] bool finite(const std::vector<double>& v) {
+  for (const double value : v) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+KrylovResult conjugate_gradient(const SparseMatrix& a,
+                                const std::vector<double>& b,
+                                std::vector<double>& x, const SparseLu* m,
+                                const KrylovOptions& options) {
+  const std::size_t n = a.size();
+  if (b.size() != n || x.size() != n) {
+    throw Error("conjugate_gradient: size mismatch");
+  }
+  KrylovResult result;
+  const double target = options.rtol * norm2(b) + options.atol;
+
+  std::vector<double> r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  result.residual_norm = norm2(r);
+  if (result.residual_norm <= target) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> z = apply_precond(m, r);
+  std::vector<double> p = z;
+  double rz = dot(r, z);
+
+  const std::size_t cap = iteration_cap(options, n);
+  for (std::size_t iter = 1; iter <= cap; ++iter) {
+    result.iterations = iter;
+    const std::vector<double> ap = a.multiply(p);
+    const double pap = dot(p, ap);
+    if (!(std::fabs(pap) > 0.0) || !std::isfinite(pap)) break;  // breakdown
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    result.residual_norm = norm2(r);
+    if (!std::isfinite(result.residual_norm)) break;
+    if (result.residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    z = apply_precond(m, r);
+    const double rz_next = dot(r, z);
+    if (!std::isfinite(rz_next)) break;
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+KrylovResult bicgstab(const SparseMatrix& a, const std::vector<double>& b,
+                      std::vector<double>& x, const SparseLu* m,
+                      const KrylovOptions& options) {
+  const std::size_t n = a.size();
+  if (b.size() != n || x.size() != n) throw Error("bicgstab: size mismatch");
+  KrylovResult result;
+  const double target = options.rtol * norm2(b) + options.atol;
+
+  std::vector<double> r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  result.residual_norm = norm2(r);
+  if (result.residual_norm <= target) {
+    result.converged = true;
+    return result;
+  }
+
+  const std::vector<double> r_hat = r;  // fixed shadow residual
+  std::vector<double> p(n, 0.0);
+  std::vector<double> v(n, 0.0);
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  const std::size_t cap = iteration_cap(options, n);
+  for (std::size_t iter = 1; iter <= cap; ++iter) {
+    result.iterations = iter;
+    const double rho_next = dot(r_hat, r);
+    if (!(std::fabs(rho_next) > 0.0) || !std::isfinite(rho_next)) break;
+    const double beta = (rho_next / rho) * (alpha / omega);
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+
+    const std::vector<double> p_hat = apply_precond(m, p);
+    v = a.multiply(p_hat);
+    const double rv = dot(r_hat, v);
+    if (!(std::fabs(rv) > 0.0) || !std::isfinite(rv)) break;
+    alpha = rho / rv;
+
+    std::vector<double> s = r;
+    for (std::size_t i = 0; i < n; ++i) s[i] -= alpha * v[i];
+    const double s_norm = norm2(s);
+    if (s_norm <= target) {
+      for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p_hat[i];
+      if (!finite(x)) break;
+      result.residual_norm = s_norm;
+      result.converged = true;
+      return result;
+    }
+
+    const std::vector<double> s_hat = apply_precond(m, s);
+    const std::vector<double> t = a.multiply(s_hat);
+    const double tt = dot(t, t);
+    if (!(tt > 0.0) || !std::isfinite(tt)) break;
+    omega = dot(t, s) / tt;
+    if (!(std::fabs(omega) > 0.0) || !std::isfinite(omega)) break;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p_hat[i] + omega * s_hat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    result.residual_norm = norm2(r);
+    if (!std::isfinite(result.residual_norm) || !finite(x)) break;
+    if (result.residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace softfet::numeric

@@ -1,0 +1,59 @@
+// Preconditioned Krylov solvers: CG for SPD conductance systems and
+// BiCGSTAB for general (unsymmetric) MNA matrices.
+//
+// These are the iterative fallback behind LinearSolver's kIterative/kAuto
+// policies: when direct fill-in explodes, the last cached LU factorization
+// keeps serving as a preconditioner while the matrix values move (Newton
+// iterations, transient steps), and only a failed Krylov solve pays for a
+// fresh factorization. With M = LU of a nearby matrix, convergence is
+// typically a handful of iterations; with M exactly the current matrix it
+// is one.
+//
+// Both solvers are deterministic: fixed operation order, no randomness, no
+// reductions whose order depends on thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/sparse_lu.hpp"
+#include "numeric/sparse_matrix.hpp"
+
+namespace softfet::numeric {
+
+struct KrylovOptions {
+  /// Convergence target: ||b - A x||_2 <= rtol * ||b||_2 + atol.
+  double rtol = 1e-12;
+  double atol = 0.0;
+  /// Iteration cap; 0 selects max(n, 200). Hitting the cap (or a numerical
+  /// breakdown) reports converged == false — the caller decides whether to
+  /// refactor and retry or to solve directly.
+  std::size_t max_iterations = 0;
+};
+
+struct KrylovResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final true-residual estimate
+};
+
+/// Preconditioned conjugate gradients. Correct only for symmetric positive
+/// definite `a` (resistive conductance networks); the preconditioner `m`
+/// (applied as M^-1 v via its solve()) may be any nonsingular cached LU.
+/// `x` carries the initial guess in and the solution out.
+[[nodiscard]] KrylovResult conjugate_gradient(const SparseMatrix& a,
+                                              const std::vector<double>& b,
+                                              std::vector<double>& x,
+                                              const SparseLu* m = nullptr,
+                                              const KrylovOptions& options = {});
+
+/// Preconditioned BiCGSTAB (van der Vorst) for general square systems —
+/// the MNA case, where voltage-source and inductor branch rows break
+/// symmetry. `x` carries the initial guess in and the solution out.
+[[nodiscard]] KrylovResult bicgstab(const SparseMatrix& a,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& x,
+                                    const SparseLu* m = nullptr,
+                                    const KrylovOptions& options = {});
+
+}  // namespace softfet::numeric

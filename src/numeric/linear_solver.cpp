@@ -2,17 +2,67 @@
 
 namespace softfet::numeric {
 
+const char* to_string(SolverPolicy policy) {
+  switch (policy) {
+    case SolverPolicy::kDirect: return "direct";
+    case SolverPolicy::kIterative: return "iterative";
+    case SolverPolicy::kAuto: return "auto";
+  }
+  return "unknown";
+}
+
 std::vector<double> LinearSolver::solve(const SparseMatrix& a,
                                         const std::vector<double>& b) {
-  const bool dense = kind_ == SolverKind::kDense ||
-                     (kind_ == SolverKind::kAuto && a.size() <= kDenseThreshold);
+  const bool dense =
+      config_.kind == SolverKind::kDense ||
+      (config_.kind == SolverKind::kAuto && a.size() <= kDenseThreshold);
   if (dense) {
     a.to_dense_into(dense_);
     dense_lu_.factor(dense_);
+    ++direct_solves_;
     return dense_lu_.solve(b);
   }
+
+  if (iterative_active() && sparse_.valid() && sparse_.size() == a.size()) {
+    // Reuse the last factorization — stale values and all — as the
+    // preconditioner. With M close to A this converges in a few
+    // iterations and skips the refactorization entirely.
+    std::vector<double> x(a.size(), 0.0);
+    KrylovOptions kopt;
+    kopt.rtol = config_.krylov_rtol;
+    kopt.max_iterations = config_.krylov_max_iterations;
+    const KrylovResult kr = bicgstab(a, b, x, &sparse_, kopt);
+    krylov_iterations_ += kr.iterations;
+    if (kr.converged) {
+      ++krylov_solves_;
+      return x;
+    }
+    // The preconditioner drifted too far (or the iteration broke down):
+    // refresh the factors and answer directly.
+    ++krylov_fallbacks_;
+  }
+
   sparse_.factor(a);
+  if (config_.policy == SolverPolicy::kAuto && !auto_iterative_ &&
+      a.size() >= config_.auto_min_unknowns &&
+      sparse_.fill_ratio() > config_.auto_fill_ratio) {
+    auto_iterative_ = true;
+  }
+  ++direct_solves_;
   return sparse_.solve(b);
+}
+
+LinearSolverStats LinearSolver::stats() const noexcept {
+  LinearSolverStats stats;
+  stats.symbolic_analyses = sparse_.analyze_count();
+  stats.refactorizations = sparse_.refactor_count();
+  stats.fill_ratio = sparse_.fill_ratio();
+  stats.reordered = sparse_.reordered();
+  stats.direct_solves = direct_solves_;
+  stats.krylov_solves = krylov_solves_;
+  stats.krylov_iterations = krylov_iterations_;
+  stats.krylov_fallbacks = krylov_fallbacks_;
+  return stats;
 }
 
 }  // namespace softfet::numeric

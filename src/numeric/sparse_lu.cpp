@@ -21,6 +21,21 @@ void SparseLu::analyze(const SparseMatrix& a) {
   ++analyze_count_;
   const std::size_t n = a.size();
 
+  // Fill-reducing pre-permutation. The natural path leaves q_ empty so it
+  // stays bit-for-bit (and allocation-for-allocation) the pre-ordering
+  // code; the AMD path renumbers both rows and columns symmetrically, and
+  // partial pivoting below still permutes rows freely on top of it.
+  const bool reorder =
+      ordering_ == OrderingKind::kAmd ||
+      (ordering_ == OrderingKind::kAuto && n >= kAutoOrderingThreshold);
+  q_.clear();
+  qinv_.clear();
+  if (reorder) {
+    q_ = amd_order(a);
+    qinv_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) qinv_[q_[j]] = j;
+  }
+
   // Right-looking elimination with partial pivoting over map rows. This is
   // the one-time symbolic+numeric pass; fill positions are inserted even
   // when a factor happens to be numerically zero so the recorded pattern is
@@ -28,7 +43,13 @@ void SparseLu::analyze(const SparseMatrix& a) {
   std::vector<std::map<std::size_t, double>> rows(n);
   std::vector<std::size_t> perm(n);
   for (std::size_t i = 0; i < n; ++i) {
-    rows[i] = a.row(i);
+    if (reorder) {
+      for (const auto& [col, value] : a.row(q_[i])) {
+        rows[i].emplace(qinv_[col], value);
+      }
+    } else {
+      rows[i] = a.row(i);
+    }
     perm[i] = i;
   }
   double min_pivot = std::numeric_limits<double>::infinity();
@@ -47,8 +68,10 @@ void SparseLu::analyze(const SparseMatrix& a) {
       }
     }
     if (pivot_row == n || !(pivot_mag > 0.0) || !std::isfinite(pivot_mag)) {
+      const std::size_t original = reorder ? q_[k] : k;
       throw SingularMatrixError("SparseLu: singular matrix at column " +
-                                std::to_string(k), k);
+                                    std::to_string(original),
+                                original);
     }
     min_pivot = std::min(min_pivot, pivot_mag);
     if (pivot_row != k) {
@@ -74,8 +97,13 @@ void SparseLu::analyze(const SparseMatrix& a) {
   // Flatten the factored rows into CSR and record the permuted A pattern so
   // later factor() calls can scatter + eliminate without any node churn.
   n_ = n;
-  perm_ = std::move(perm);
   min_pivot_ = min_pivot;
+  // perm_ maps a factored row straight to its original A row (the pivot
+  // permutation composed with the fill-reducing one).
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm_[i] = reorder ? q_[perm[i]] : perm[i];
+  }
 
   std::size_t nnz = 0;
   for (const auto& row : rows) nnz += row.size();
@@ -96,13 +124,17 @@ void SparseLu::analyze(const SparseMatrix& a) {
 
   std::size_t a_nnz = 0;
   for (std::size_t i = 0; i < n; ++i) a_nnz += a.row(i).size();
+  a_nnz_ = a_nnz;
   a_row_ptr_.assign(n + 1, 0);
   a_cols_.clear();
   a_cols_.reserve(a_nnz);
+  a_scatter_.clear();
+  a_scatter_.reserve(a_nnz);
   for (std::size_t i = 0; i < n; ++i) {
     for (const auto& [col, value] : a.row(perm_[i])) {
       (void)value;
       a_cols_.push_back(col);
+      a_scatter_.push_back(reorder ? qinv_[col] : col);
     }
     a_row_ptr_[i + 1] = a_cols_.size();
   }
@@ -133,7 +165,7 @@ bool SparseLu::try_refactor(const SparseMatrix& a) {
         pattern_ok = false;
         break;
       }
-      work_[col] = value;
+      work_[a_scatter_[slot]] = value;
       ++slot;
     }
     if (!pattern_ok) {
@@ -193,7 +225,11 @@ std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
     }
     x[ii] = acc / vals_[diag_[ii]];
   }
-  return x;
+  if (q_.empty()) return x;
+  // Undo the fill-reducing renumbering: permuted unknown j is original q[j].
+  std::vector<double> out(n);
+  for (std::size_t j = 0; j < n; ++j) out[q_[j]] = x[j];
+  return out;
 }
 
 }  // namespace softfet::numeric

@@ -25,7 +25,7 @@ SweepResult dc_sweep(Circuit& circuit, const std::string& source_name,
   LoadContext ctx;
   // The sweep re-solves the same circuit at every bias point; one solver
   // keeps the factorization structure cached across the whole sweep.
-  numeric::LinearSolver solver(options.solver);
+  numeric::LinearSolver solver(options.solver_config());
   std::vector<double> x(circuit.unknown_count(), 0.0);
 
   for (const double value : values) {

@@ -24,6 +24,11 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
              SolverDiagnostics* diag = nullptr,
              const util::BudgetTimer* budget = nullptr);
 
+/// Copy a LinearSolver's lifetime counters (analyses, refactors, fill
+/// ratio, Krylov work) into the diagnostics' plain mirror fields.
+void fill_solver_stats(SolverDiagnostics& diag,
+                       const numeric::LinearSolver& solver);
+
 /// Collect the full signal-name list: unknown labels then device probes.
 [[nodiscard]] std::vector<std::string> signal_names(const Circuit& circuit);
 

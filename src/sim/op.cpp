@@ -23,6 +23,18 @@ namespace {
 
 namespace detail {
 
+void fill_solver_stats(SolverDiagnostics& diag,
+                       const numeric::LinearSolver& solver) {
+  const numeric::LinearSolverStats stats = solver.stats();
+  diag.symbolic_analyses = stats.symbolic_analyses;
+  diag.refactorizations = stats.refactorizations;
+  diag.fill_ratio = stats.fill_ratio;
+  diag.reordered = stats.reordered;
+  diag.krylov_solves = stats.krylov_solves;
+  diag.krylov_iterations = stats.krylov_iterations;
+  diag.krylov_fallbacks = stats.krylov_fallbacks;
+}
+
 /// Shared by dc_operating_point / dc_sweep / run_transient. `x` carries the
 /// warm start in and the solution out. Returns Newton iterations used.
 int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
@@ -30,7 +42,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
              SolverDiagnostics* diag, const util::BudgetTimer* budget) {
   MnaSystem system(circuit, options, ctx);
   numeric::NewtonOptions nopt = newton_options(options);
-  numeric::LinearSolver local_solver(options.solver);
+  numeric::LinearSolver local_solver(options.solver_config());
   nopt.solver_instance = solver != nullptr ? solver : &local_solver;
   nopt.budget = budget;
   int total_iterations = 0;
@@ -55,6 +67,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
       d.analysis = "dc operating point";
       d.failure = std::string("run budget: ") + util::to_string(stop);
       d.total_iterations = total_iterations;
+      fill_solver_stats(d, *nopt.solver_instance);
       throw BudgetExceededError("dc operating point", stop, std::move(d));
     }
     if (!last.converged) last_x = guess;
@@ -126,6 +139,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
       d.worst_node = system.unknown_label(last.worst_unknown);
       d.worst_device = system.blame_device(last_x, last.worst_unknown);
     }
+    fill_solver_stats(d, *nopt.solver_instance);
     if (diag != nullptr) *diag = d;
     throw ConvergenceError("dc operating point", std::move(d));
   }
@@ -164,7 +178,7 @@ void sample_row_into(const Circuit& circuit, const std::vector<double>& x,
 OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   circuit.prepare();
   LoadContext ctx;
-  numeric::LinearSolver solver(options.solver);
+  numeric::LinearSolver solver(options.solver_config());
   std::vector<double> x(circuit.unknown_count(), 0.0);
   SolverDiagnostics diag;
   diag.analysis = "dc operating point";
@@ -188,6 +202,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   result.x = std::move(x);
   result.labels = circuit.unknown_labels();
   result.iterations = iterations;
+  detail::fill_solver_stats(diag, solver);
   result.diagnostics = std::move(diag);
   return result;
 }

@@ -47,6 +47,26 @@ struct SimOptions {
 
   // --- Linear solver ----------------------------------------------------
   numeric::SolverKind solver = numeric::SolverKind::kAuto;
+  /// Direct vs. preconditioned-iterative strategy. kDirect (the default)
+  /// keeps every result bitwise identical to the historical behavior;
+  /// kIterative answers solves with BiCGSTAB preconditioned by the last
+  /// cached LU and only refactors on convergence failure; kAuto starts
+  /// direct and flips to iterative when an analysis reports explosive
+  /// fill-in (see numeric::LinearSolverConfig).
+  numeric::SolverPolicy solver_policy = numeric::SolverPolicy::kDirect;
+  /// Fill-reducing ordering ahead of the sparse symbolic phase. kAuto
+  /// applies AMD at or above SparseLu::kAutoOrderingThreshold unknowns, so
+  /// small circuits keep their natural order bit-for-bit.
+  numeric::OrderingKind solver_ordering = numeric::OrderingKind::kAuto;
+
+  /// Facade configuration handed to every LinearSolver this run creates.
+  [[nodiscard]] numeric::LinearSolverConfig solver_config() const {
+    numeric::LinearSolverConfig config;
+    config.kind = solver;
+    config.policy = solver_policy;
+    config.ordering = solver_ordering;
+    return config;
+  }
 
   // --- Run budget -------------------------------------------------------
   /// Wall-clock / step / iteration limits plus an optional cancel token.

@@ -122,7 +122,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
   MnaSystem system(circuit, options, ctx);
   // One solver for the whole transient: the MNA pattern is fixed, so every
   // step after the first reuses the symbolic analysis and pivot order.
-  numeric::LinearSolver solver(options.solver);
+  numeric::LinearSolver solver(options.solver_config());
   numeric::NewtonOptions nopt;
   nopt.max_iterations = options.newton_max_iter;
   nopt.reltol = options.reltol;
@@ -180,6 +180,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
       d.worst_node = sys.unknown_label(last.worst_unknown);
       d.worst_device = sys.blame_device(x_at_failure, last.worst_unknown);
     }
+    detail::fill_solver_stats(d, solver);
     return d;
   };
 
@@ -433,6 +434,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
     if (newton.iterations > 25) dt *= 0.7;
   }
 
+  detail::fill_solver_stats(out.diagnostics, solver);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/table.hpp"
 #include "util/units.hpp"
 
 namespace softfet {
@@ -40,6 +41,16 @@ std::string SolverDiagnostics::summary() const {
   if (tried > 0) {
     out += ", " + std::to_string(tried) + " recovery attempt" +
            (tried == 1 ? "" : "s");
+  }
+  if (symbolic_analyses > 0) {
+    out += "; LU: " + std::to_string(symbolic_analyses) + " analyses / " +
+           std::to_string(refactorizations) + " refactors, fill " +
+           util::fmt_g(fill_ratio, 3) + "x" + (reordered ? " (amd)" : "");
+  }
+  if (krylov_solves > 0 || krylov_fallbacks > 0) {
+    out += "; krylov: " + std::to_string(krylov_solves) + " solves / " +
+           std::to_string(krylov_iterations) + " iterations, " +
+           std::to_string(krylov_fallbacks) + " fallbacks";
   }
   return out;
 }

@@ -59,6 +59,18 @@ struct SolverDiagnostics {
   std::vector<RecoveryAttempt> attempts;         ///< ladder rungs tried
   std::size_t attempts_dropped = 0;  ///< attempts beyond the recording cap
 
+  // Linear-solver counters of the run (filled by the analysis drivers from
+  // numeric::LinearSolver::stats(); all zero when the run never reached a
+  // sparse solve). Mirrored as plain fields because util cannot depend on
+  // the numeric layer.
+  std::size_t symbolic_analyses = 0;   ///< full symbolic factorizations
+  std::size_t refactorizations = 0;    ///< cached numeric-only refactors
+  double fill_ratio = 0.0;             ///< nnz(L+U)/nnz(A), last analysis
+  bool reordered = false;              ///< AMD ordering was applied
+  std::size_t krylov_solves = 0;       ///< solves answered iteratively
+  std::size_t krylov_iterations = 0;   ///< cumulative Krylov iterations
+  std::size_t krylov_fallbacks = 0;    ///< Krylov failures -> refactor
+
   /// Record an attempt, bounded so pathological runs cannot grow unbounded.
   void record_attempt(RecoveryAttempt attempt);
 

@@ -50,6 +50,97 @@ TEST(Pdn, CurrentStepCausesDroopAndRingback) {
   EXPECT_NEAR(rail.value(40e-9), 1.0 - 20e-3 * sc::PdnParams{}.r_pkg, 5e-3);
 }
 
+TEST(PdnGrid, OneByOneMatchesLumpedPdn) {
+  // A 1x1x1 grid is electrically the lumped PDN: one bump carries the full
+  // package R/L, one tile the full decap. Node numbering differs, so the
+  // match is numerical, not bitwise.
+  const auto params = sc::PdnParams::zhang_islped13();
+
+  ss::Circuit lumped;
+  const auto pdn = sc::add_pdn(lumped, "pdn", "rail", params);
+  lumped.add<sd::ISource>("Iload", pdn.rail, ss::kGroundNode,
+                          sd::SourceSpec::pulse(0.0, 20e-3, 2e-9, 100e-12,
+                                                100e-12, 1.0));
+  const auto ref = ss::run_transient(lumped, 30e-9);
+
+  ss::Circuit gridded;
+  const auto grid = sc::make_pdn_grid(
+      gridded, "pdn", sc::PdnGridParams::from_lumped(params, 1, 1));
+  EXPECT_EQ(grid.tile_count(), 1u);
+  EXPECT_EQ(grid.bump_count, 1u);
+  gridded.add<sd::ISource>("Iload", grid.tile(0, 0), ss::kGroundNode,
+                           sd::SourceSpec::pulse(0.0, 20e-3, 2e-9, 100e-12,
+                                                 100e-12, 1.0));
+  const auto result = ss::run_transient(gridded, 30e-9);
+
+  const Waveform rail_ref = Waveform::from_tran(ref, pdn.rail_signal);
+  const Waveform rail_grid =
+      Waveform::from_tran(result, grid.tile_signal(0, 0));
+  for (int i = 1; i <= 30; ++i) {
+    const double t = 1e-9 * i;
+    EXPECT_NEAR(rail_grid.value(t), rail_ref.value(t), 1e-4)
+        << "t=" << t;
+  }
+  EXPECT_NEAR(sm::worst_droop(rail_grid, params.vcc),
+              sm::worst_droop(rail_ref, params.vcc), 1e-4);
+}
+
+TEST(PdnGrid, DcIrDropMatchesLumpedTotals) {
+  // Under a DC load the mesh presents r_pkg (all bumps in parallel) plus a
+  // small spreading term; the rail must sit just below vcc - I*r_pkg.
+  const auto params = sc::PdnParams::zhang_islped13();
+  ss::Circuit c;
+  const auto grid = sc::make_pdn_grid(
+      c, "pdn", sc::PdnGridParams::from_lumped(params, 8, 8));
+  c.add<sd::Resistor>("Rload", grid.tile(4, 4), ss::kGroundNode, 100.0);
+  const auto op = ss::dc_operating_point(c);
+  const double v = op.x[grid.tile(4, 4) - 1];
+  const double ir_pkg = params.r_pkg * (params.vcc / 100.0);
+  EXPECT_LT(v, params.vcc - 0.5 * ir_pkg);
+  EXPECT_GT(v, params.vcc - 20.0 * ir_pkg);
+}
+
+TEST(PdnGrid, DroopLocalizesAtTheAggressorTile) {
+  ss::Circuit c;
+  const auto grid = sc::make_pdn_grid(
+      c, "pdn",
+      sc::PdnGridParams::from_lumped(sc::PdnParams::zhang_islped13(), 8, 8));
+  c.add<sd::ISource>("Iload", grid.tile(2, 2), ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 20e-3, 1e-9, 100e-12, 100e-12,
+                                           1.0));
+  const auto result = ss::run_transient(c, 5e-9);
+  const double at_aggressor = sm::worst_droop(
+      Waveform::from_tran(result, grid.tile_signal(2, 2)), 1.0);
+  const double far_corner = sm::worst_droop(
+      Waveform::from_tran(result, grid.tile_signal(7, 7)), 1.0);
+  EXPECT_GT(at_aggressor, far_corner);
+  EXPECT_GT(at_aggressor, 10e-3);  // the step visibly droops the tile
+}
+
+TEST(PdnGrid, MultiLayerMeshSolves) {
+  ss::Circuit c;
+  auto params = sc::PdnGridParams::from_lumped(
+      sc::PdnParams::zhang_islped13(), 4, 4, 2);
+  params.l_seg = 1e-12;  // exercise the series R-L segment variant
+  const auto grid = sc::make_pdn_grid(c, "pdn", params);
+  EXPECT_EQ(grid.nodes.size(), 4u * 4u * 2u);
+  c.add<sd::ISource>("Iload", grid.tile(1, 2), ss::kGroundNode,
+                     sd::SourceSpec::pulse(0.0, 10e-3, 1e-9, 100e-12, 100e-12,
+                                           1.0));
+  const auto result = ss::run_transient(c, 4e-9);
+  const Waveform rail = Waveform::from_tran(result, grid.tile_signal(1, 2));
+  EXPECT_GT(rail.value(0.5e-9), 0.9);  // pre-step rail near vcc
+  EXPECT_GT(sm::worst_droop(rail, 1.0), 1e-3);
+}
+
+TEST(PdnGrid, RejectsDegenerateGeometry) {
+  ss::Circuit c;
+  sc::PdnGridParams params;
+  params.rows = 0;
+  EXPECT_THROW(sc::make_pdn_grid(c, "pdn", params),
+               softfet::InvalidCircuitError);
+}
+
 TEST(PowerGate, DomainStartsAsleepAndWakes) {
   sc::PowerGateSpec spec;
   auto tb = sc::make_power_gate_testbench(spec);
