@@ -1,0 +1,119 @@
+// Simulation-service throughput (google-benchmark): NDJSON request
+// handling, end-to-end job latency through the admission queue and worker
+// pool, and the content-addressed netlist cache's cold-vs-warm split.
+//
+// Run with --benchmark_format=json to diff service overhead across PRs the
+// same way perf_simulator tracks the solver kernels. The interesting
+// numbers: control-request handling is pure protocol overhead (no queue),
+// "ok" jobs measure queue + worker round-trip cost, and the netlist pair
+// isolates what the AST/ordering cache saves on repeated requests.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+using namespace softfet;
+
+/// Response sink that discards lines (the bench measures the service, not
+/// the transport) but keeps a count so the optimizer cannot elide calls.
+service::Sink null_sink(std::atomic<std::size_t>& lines) {
+  return [&lines](const std::string& line) {
+    lines.fetch_add(line.size(), std::memory_order_relaxed);
+  };
+}
+
+[[nodiscard]] std::string job_line(std::uint64_t n, const std::string& type,
+                                   const std::string& extra = {}) {
+  return "{\"id\":\"b" + std::to_string(n) + "\",\"type\":\"" + type + "\"" +
+         extra + "}";
+}
+
+/// RC transient netlist as an escaped JSON fragment; `variant` changes the
+/// content hash (cold cache) while 0 keeps it stable (warm cache).
+[[nodiscard]] std::string netlist_field(std::uint64_t variant) {
+  return ",\"netlist\":\"bench rc " + std::to_string(variant) +
+         "\\nV1 in 0 1\\nR1 in out 1k\\nC1 out 0 1n\\n.tran 1u 5u\\n.end\"";
+}
+
+void BM_ControlRequestPing(benchmark::State& state) {
+  service::Server server(service::ServerConfig{});
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  for (auto _ : state) {
+    server.handle_line(R"({"id":"p","type":"ping"})", sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControlRequestPing);
+
+void BM_TrivialJobRoundTrip(benchmark::State& state) {
+  service::ServerConfig config;
+  config.workers = static_cast<std::size_t>(state.range(0));
+  config.queue_capacity = 4096;
+  service::Server server(config);
+  server.register_handler("noop",
+                          [](const service::Request&, service::JobContext& ctx) {
+                            ctx.finish(service::JsonValue::object());
+                          });
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  std::uint64_t n = 0;
+  // Admit a batch per iteration step, then drain: measures queue + pool +
+  // event emission, amortizing the wait_idle handshake over the batch.
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      server.handle_line(job_line(n++, "noop"), sink);
+    }
+    server.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_TrivialJobRoundTrip)->Arg(1)->Arg(4);
+
+void BM_NetlistJobColdCache(benchmark::State& state) {
+  service::ServerConfig config;
+  config.workers = 1;
+  config.cache_entries = 4;  // every request a fresh netlist: all misses
+  service::Server server(config);
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    server.handle_line(job_line(n, "netlist", netlist_field(n)), sink);
+    server.wait_idle();
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cache_hits"] =
+      static_cast<double>(server.stats().cache.hits);
+}
+BENCHMARK(BM_NetlistJobColdCache)->Unit(benchmark::kMillisecond);
+
+void BM_NetlistJobWarmCache(benchmark::State& state) {
+  service::ServerConfig config;
+  config.workers = 1;
+  service::Server server(config);
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    // Identical netlist text every time: one parse + one AMD analysis, then
+    // pure hits on the shared AST and ordering memo.
+    server.handle_line(job_line(n++, "netlist", netlist_field(0)), sink);
+    server.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cache_hits"] =
+      static_cast<double>(server.stats().cache.hits);
+}
+BENCHMARK(BM_NetlistJobWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

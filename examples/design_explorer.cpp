@@ -6,9 +6,9 @@
 //
 // --resume checkpoints completed grid points (one file per T_PTM slice,
 // "<state.ckpt>.t<i>") with atomic saves; a rerun with the same flag skips
-// them and reproduces the uninterrupted CSV bitwise. Ctrl-C requests a
-// cooperative stop (in-flight points finish, checkpoints flush, exit 130);
-// a second Ctrl-C hard-exits. --timeout bounds each simulation's wall
+// them and reproduces the uninterrupted CSV bitwise. Ctrl-C or SIGTERM
+// requests a cooperative stop (in-flight points finish, checkpoints flush,
+// exit 130/143); a second signal hard-exits. --timeout bounds each wall
 // clock; timed-out points are recorded as failures and skipped in the CSV.
 #include <cstdio>
 #include <fstream>
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  util::install_sigint_cancel();
+  util::install_signal_cancel();
   sim::SimOptions options;
   options.budget.max_wall_seconds = timeout_seconds;
   options.budget.cancel = &util::sigint_cancel_token();
@@ -130,7 +130,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "rerun with --resume %s to continue\n",
                    resume_path.c_str());
     }
-    return e.stop() == util::BudgetStop::kCancel ? 130 : 3;
+    // 128 + signo (130 SIGINT, 143 SIGTERM) after a cooperative drain;
+    // plain budget exhaustion keeps the scripted exit code 3.
+    return e.stop() == util::BudgetStop::kCancel ? util::cancel_exit_code() : 3;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

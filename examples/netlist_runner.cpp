@@ -5,8 +5,9 @@
 //
 // --timeout puts a wall-clock budget on every analysis; a transient that
 // trips it still writes the partial waveform to --csv, prints a one-line
-// diagnostic, and exits with code 3 (130 when stopped by Ctrl-C instead).
-// The first Ctrl-C requests a cooperative stop; a second one hard-exits.
+// diagnostic, and exits with code 3 (130 when stopped by Ctrl-C, 143 by
+// SIGTERM). The first SIGINT/SIGTERM requests a cooperative stop — the
+// partial waveform still flushes — and a second signal hard-exits.
 //
 // Supports .op, .dc and .tran (driven by the netlist's directives), the
 // element cards R C L V I E G S D M P X, .model cards (nmos/pmos/ptm/d/sw),
@@ -46,12 +47,14 @@ namespace {
 using namespace softfet;
 
 // Distinct exit codes so scripts can tell "netlist/convergence problem"
-// from "ran out of budget" from "user interrupted".
+// from "ran out of budget" from "user/service-manager interrupted"
+// (128 + signo: 130 for SIGINT, 143 for SIGTERM).
 constexpr int kExitBudget = 3;
 constexpr int kExitCancel = 130;
 
 [[nodiscard]] int exit_code_for(util::BudgetStop stop) {
-  return stop == util::BudgetStop::kCancel ? kExitCancel : kExitBudget;
+  return stop == util::BudgetStop::kCancel ? util::cancel_exit_code(kExitCancel)
+                                           : kExitBudget;
 }
 
 void write_rows(const std::string& path, const std::string& axis_name,
@@ -112,7 +115,7 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  util::install_sigint_cancel();
+  util::install_signal_cancel();
   sim::SimOptions options;
   options.budget.max_wall_seconds = timeout_seconds;
   options.budget.cancel = &util::sigint_cancel_token();

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "numeric/dense_lu.hpp"
@@ -61,6 +62,10 @@ struct LinearSolverConfig {
   double auto_fill_ratio = 16.0;
   /// …on a system with at least this many unknowns.
   std::size_t auto_min_unknowns = 256;
+  /// Optional shared AMD-permutation memo (see numeric::OrderingCache).
+  /// Null (the default) computes orderings per solver, the historical
+  /// behavior; attaching one never changes results, only latency.
+  std::shared_ptr<OrderingCache> ordering_cache;
 };
 
 /// Counters describing the linear-solve work of one analysis run.
@@ -85,10 +90,17 @@ class LinearSolver {
   static constexpr std::size_t kDenseThreshold = 16;
 
   explicit LinearSolver(SolverKind kind = SolverKind::kAuto)
-      : LinearSolver(LinearSolverConfig{.kind = kind}) {}
+      : LinearSolver(config_for(kind)) {}
+
+  [[nodiscard]] static LinearSolverConfig config_for(SolverKind kind) {
+    LinearSolverConfig config;
+    config.kind = kind;
+    return config;
+  }
 
   explicit LinearSolver(const LinearSolverConfig& config) : config_(config) {
     sparse_.set_ordering(config.ordering);
+    sparse_.set_ordering_cache(config.ordering_cache);
   }
 
   /// Factor `a` (reusing cached structure when the pattern is unchanged)

@@ -31,7 +31,11 @@ void SparseLu::analyze(const SparseMatrix& a) {
   q_.clear();
   qinv_.clear();
   if (reorder) {
-    q_ = amd_order(a);
+    // A shared OrderingCache memoizes AMD across solver instances (the
+    // simulation service reuses it across requests of one netlist). The
+    // cache is keyed on the exact pattern and amd_order is deterministic,
+    // so the hit path yields bitwise-identical factorizations.
+    q_ = ordering_cache_ ? *ordering_cache_->order_for(a) : amd_order(a);
     qinv_.resize(n);
     for (std::size_t j = 0; j < n; ++j) qinv_[q_[j]] = j;
   }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "numeric/ordering.hpp"
@@ -47,6 +48,13 @@ class SparseLu {
     }
   }
   [[nodiscard]] OrderingKind ordering() const noexcept { return ordering_; }
+
+  /// Attach a shared AMD-permutation memo (may be null). Only consulted on
+  /// the reordering path; hits are bitwise identical to computing, so this
+  /// never changes results — only first-factorization latency.
+  void set_ordering_cache(std::shared_ptr<OrderingCache> cache) noexcept {
+    ordering_cache_ = std::move(cache);
+  }
 
   /// Factor `a`. The first call (or a call after the pattern changed, or
   /// after a reused pivot degraded) runs the full symbolic analysis with
@@ -96,6 +104,7 @@ class SparseLu {
   [[nodiscard]] bool try_refactor(const SparseMatrix& a);
 
   OrderingKind ordering_ = OrderingKind::kAuto;
+  std::shared_ptr<OrderingCache> ordering_cache_;
 
   std::size_t n_ = 0;
 

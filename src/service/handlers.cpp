@@ -1,0 +1,283 @@
+// Built-in job handlers of the simulation service: "netlist" runs a
+// SPICE-style netlist embedded in the request (op/dc/tran/ac + measures,
+// waveforms streamed in bounded chunks), "monte_carlo" runs the PTM
+// fabrication-variability study with per-sample progress events and
+// checkpoint/resume through the job's state file. Both produce exactly the
+// numbers the direct library calls produce — the service layer adds
+// streaming and robustness, never different math.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "cells/inverter.hpp"
+#include "core/failure.hpp"
+#include "core/variation.hpp"
+#include "devices/ptm.hpp"
+#include "netlist/elaborate.hpp"
+#include "netlist/measure_eval.hpp"
+#include "netlist/parser.hpp"
+#include "service/server.hpp"
+#include "sim/ac.hpp"
+#include "sim/analyses.hpp"
+#include "util/strings.hpp"
+
+namespace softfet::service {
+
+namespace {
+
+/// Column selection mirroring netlist_runner's --signals filter.
+[[nodiscard]] std::vector<std::string> wanted_signals(const Request& request) {
+  std::vector<std::string> wanted;
+  if (const JsonValue* signals = request.payload.get("signals");
+      signals != nullptr && signals->is_array()) {
+    for (const JsonValue& name : signals->items()) {
+      if (name.is_string()) wanted.push_back(name.as_string());
+    }
+  }
+  return wanted;
+}
+
+/// Stream one axis+table result as `chunk` events of at most
+/// config->chunk_rows rows. Every chunk is self-describing (kind, columns,
+/// row_offset) so clients can reassemble without cross-chunk state; `last`
+/// marks the final chunk.
+void stream_table(JobContext& ctx, const char* kind,
+                  const std::string& axis_name,
+                  const std::vector<double>& axis,
+                  const sim::SignalTable& table,
+                  const std::vector<std::string>& wanted) {
+  std::vector<std::string> columns{axis_name};
+  std::vector<const std::vector<double>*> data;
+  for (const auto& name : table.names()) {
+    bool take = wanted.empty();
+    for (const auto& w : wanted) {
+      if (util::iequals(w, name)) take = true;
+    }
+    if (!take) continue;
+    columns.push_back(name);
+    data.push_back(&table.signal(name));
+  }
+
+  const std::size_t rows = axis.size();
+  const std::size_t chunk_rows =
+      ctx.config != nullptr && ctx.config->chunk_rows > 0
+          ? ctx.config->chunk_rows
+          : 256;
+  for (std::size_t start = 0; start < rows; start += chunk_rows) {
+    const std::size_t stop = std::min(rows, start + chunk_rows);
+    JsonValue fields = JsonValue::object();
+    fields.set("kind", JsonValue::string(kind));
+    JsonValue names = JsonValue::array();
+    for (const auto& column : columns) names.push(JsonValue::string(column));
+    fields.set("columns", std::move(names));
+    fields.set("row_offset", JsonValue::number(static_cast<double>(start)));
+    JsonValue block = JsonValue::array();
+    for (std::size_t row = start; row < stop; ++row) {
+      JsonValue values = JsonValue::array();
+      values.push(JsonValue::number(axis[row]));
+      for (const auto* column : data)
+        values.push(JsonValue::number((*column)[row]));
+      block.push(std::move(values));
+    }
+    fields.set("rows", std::move(block));
+    fields.set("last", JsonValue::boolean(stop == rows));
+    ctx.emit("chunk", std::move(fields));
+  }
+}
+
+}  // namespace
+
+JobHandler netlist_job_handler() {
+  return [](const Request& request, JobContext& ctx) {
+    const JsonValue* netlist = request.payload.get("netlist");
+    if (netlist == nullptr || !netlist->is_string()) {
+      throw Error("netlist job needs a string \"netlist\" field");
+    }
+
+    // Content-addressed AST + ordering memo; a cache-less context (direct
+    // handler use in benches) parses fresh.
+    CompiledNetlist compiled;
+    if (ctx.cache != nullptr) {
+      compiled =
+          ctx.cache->lookup(netlist->as_string(), options_fingerprint(ctx.options));
+    } else {
+      compiled.ast = std::make_shared<const netlist::NetlistAst>(
+          netlist::parse(netlist->as_string()));
+    }
+    ctx.options.ordering_cache = compiled.orderings;
+
+    auto net = netlist::elaborate(*compiled.ast);
+    net.circuit->prepare();
+
+    JsonValue result = JsonValue::object();
+    if (!net.title.empty())
+      result.set("title", JsonValue::string(net.title));
+    result.set("nodes", JsonValue::number(
+                            static_cast<double>(net.circuit->node_count())));
+    result.set("devices",
+               JsonValue::number(
+                   static_cast<double>(net.circuit->devices().size())));
+    result.set("unknowns",
+               JsonValue::number(
+                   static_cast<double>(net.circuit->unknown_count())));
+
+    const std::vector<std::string> wanted = wanted_signals(request);
+
+    if (net.op || (!net.tran && !net.dc && !net.ac)) {
+      const auto op = sim::dc_operating_point(*net.circuit, ctx.options);
+      JsonValue values = JsonValue::object();
+      for (std::size_t i = 0; i < op.labels.size(); ++i) {
+        values.set(op.labels[i], JsonValue::number(op.x[i]));
+      }
+      result.set("op", std::move(values));
+    }
+    if (net.dc) {
+      const auto sweep = sim::dc_sweep(*net.circuit, net.dc->source,
+                                       net.dc->points(), ctx.options);
+      stream_table(ctx, "dc", net.dc->source, sweep.axis, sweep.table, wanted);
+      result.set("dc_points", JsonValue::number(
+                                  static_cast<double>(sweep.axis.size())));
+    }
+    if (net.tran) {
+      sim::SimOptions tran_options = ctx.options;
+      if (net.tran->tstep > 0.0) tran_options.dtmax = net.tran->tstep * 10.0;
+      const auto tran =
+          sim::run_transient(*net.circuit, net.tran->tstop, tran_options);
+      // Stream what we have first — a budget-stopped partial waveform is
+      // still delivered before the structured error goes out.
+      stream_table(ctx, "tran", "time", tran.time, tran.table, wanted);
+      core::require_complete(tran, "netlist transient");
+      JsonValue summary = JsonValue::object();
+      summary.set("tstop", JsonValue::number(net.tran->tstop));
+      summary.set("accepted_steps",
+                  JsonValue::number(static_cast<double>(tran.accepted_steps)));
+      summary.set("rejected_steps",
+                  JsonValue::number(static_cast<double>(tran.rejected_steps)));
+      summary.set("newton_iterations",
+                  JsonValue::number(
+                      static_cast<double>(tran.newton_iterations)));
+      summary.set("ptm_events",
+                  JsonValue::number(static_cast<double>(tran.event_count)));
+      result.set("tran", std::move(summary));
+      if (!net.measures.empty()) {
+        JsonValue measures = JsonValue::object();
+        for (const auto& m : netlist::evaluate_measures(net.measures, tran)) {
+          measures.set(m.name, JsonValue::number(m.value));
+        }
+        result.set("measures", std::move(measures));
+      }
+    }
+    if (net.ac) {
+      const auto freqs = net.ac->frequencies();
+      const auto ac = sim::ac_sweep(*net.circuit, freqs);
+      sim::SignalTable mags;
+      {
+        std::vector<std::string> names;
+        for (const auto& name : ac.names()) names.push_back("mag(" + name + ")");
+        mags = sim::SignalTable(std::move(names));
+        std::vector<std::vector<double>> columns;
+        for (const auto& name : ac.names())
+          columns.push_back(ac.magnitude(name));
+        for (std::size_t row = 0; row < freqs.size(); ++row) {
+          std::vector<double> values;
+          values.reserve(columns.size());
+          for (const auto& column : columns) values.push_back(column[row]);
+          mags.append_row(values);
+        }
+      }
+      stream_table(ctx, "ac", "freq", freqs, mags, {});
+      result.set("ac_points",
+                 JsonValue::number(static_cast<double>(freqs.size())));
+    }
+
+    ctx.finish(std::move(result));
+  };
+}
+
+JobHandler monte_carlo_job_handler() {
+  return [](const Request& request, JobContext& ctx) {
+    const int max_samples =
+        ctx.config != nullptr ? ctx.config->max_samples : 100000;
+    const int samples =
+        static_cast<int>(request.payload.number_or("samples", 32.0));
+    if (samples < 2 || samples > max_samples) {
+      throw Error("monte_carlo \"samples\" must be in [2, " +
+                  std::to_string(max_samples) + "]");
+    }
+
+    cells::InverterTestbenchSpec base;
+    base.vcc = request.payload.number_or("vcc", base.vcc);
+    base.input_transition =
+        request.payload.number_or("input_transition", base.input_transition);
+    base.input_rising = request.payload.bool_or("input_rising", false);
+    base.fanout = request.payload.number_or("fanout", base.fanout);
+    base.dut.ptm = devices::PtmParams{};
+
+    core::MonteCarloSpec mc;
+    mc.samples = samples;
+    mc.seed = static_cast<unsigned>(request.payload.number_or("seed", 1.0));
+    mc.sigma_threshold =
+        request.payload.number_or("sigma_threshold", mc.sigma_threshold);
+    mc.sigma_resistance =
+        request.payload.number_or("sigma_resistance", mc.sigma_resistance);
+    mc.sigma_tptm = request.payload.number_or("sigma_tptm", mc.sigma_tptm);
+    mc.lanes = static_cast<int>(request.payload.number_or("lanes", 0.0));
+    // Parallelism lives at the job level (the server's worker pool);
+    // nested parallel_for would run serially anyway, so be explicit.
+    mc.threads = 1;
+    mc.checkpoint.path = ctx.checkpoint_path;
+    mc.checkpoint.flush_every = static_cast<int>(
+        request.payload.number_or("checkpoint_every", 4.0));
+
+    std::atomic<int> drawn{0};
+    const int stride = std::max(1, samples / 8);
+    mc.per_sample_hook = [&ctx, &drawn, stride, samples](
+                             std::size_t, cells::InverterTestbenchSpec&) {
+      // Counts characterization *starts* (reruns repeat the hook, so this
+      // can exceed `samples` under eviction — it is a liveness signal, not
+      // an exact completion count).
+      const int n = drawn.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n % stride == 0) {
+        JsonValue fields = JsonValue::object();
+        fields.set("samples_started", JsonValue::number(n));
+        fields.set("total", JsonValue::number(samples));
+        ctx.emit("progress", std::move(fields));
+      }
+    };
+
+    const auto stats = core::ptm_monte_carlo(base, mc, ctx.options);
+
+    JsonValue result = JsonValue::object();
+    result.set("samples", JsonValue::number(stats.samples));
+    result.set("failed_samples", JsonValue::number(stats.failed_samples));
+    result.set("imax_mean", JsonValue::number(stats.imax_mean));
+    result.set("imax_std", JsonValue::number(stats.imax_std));
+    result.set("imax_worst", JsonValue::number(stats.imax_worst));
+    result.set("delay_mean", JsonValue::number(stats.delay_mean));
+    result.set("delay_std", JsonValue::number(stats.delay_std));
+    result.set("delay_worst", JsonValue::number(stats.delay_worst));
+    result.set("fraction_below_baseline",
+               JsonValue::number(stats.fraction_below_baseline));
+    if (!stats.failures.empty()) {
+      JsonValue failures = JsonValue::array();
+      const std::size_t shown = std::min<std::size_t>(stats.failures.size(), 8);
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& f = stats.failures[i];
+        JsonValue record = JsonValue::object();
+        record.set("context", JsonValue::string(f.context));
+        record.set("message", JsonValue::string(f.message));
+        record.set("budget_stop",
+                   JsonValue::string(util::to_string(f.budget_stop)));
+        failures.push(std::move(record));
+      }
+      result.set("failures", std::move(failures));
+      result.set("failures_dropped",
+                 JsonValue::number(static_cast<double>(stats.failures.size() -
+                                                       shown)));
+    }
+    ctx.finish(std::move(result));
+  };
+}
+
+}  // namespace softfet::service

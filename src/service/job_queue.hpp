@@ -1,0 +1,94 @@
+// Bounded admission queue with explicit load shedding.
+//
+// The daemon's backpressure story in one class: a fixed-capacity FIFO whose
+// push NEVER blocks and NEVER grows the queue past its bound. When the
+// queue is full the push fails immediately with kOverloaded and the caller
+// emits a structured `rejected` response carrying retry_after_ms — the
+// client backs off, the daemon's memory stays bounded, and a traffic spike
+// degrades into rejections instead of an OOM kill or an unbounded latency
+// tail. Workers block in pop() until a job or shutdown arrives.
+//
+// close() stops admissions while letting workers drain what was already
+// admitted (a drained queue returns nullopt from pop()), which is exactly
+// the SIGTERM semantics: stop accepting, finish or cancel what is in
+// flight, flush, exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace softfet::service {
+
+enum class PushResult {
+  kAdmitted,
+  kOverloaded,  ///< queue at capacity — shed load, tell the client to retry
+  kClosed,      ///< shutting down — no further admissions
+};
+
+template <typename T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Non-blocking admission. kOverloaded/kClosed leave `item` untouched in
+  /// the caller's hands (it still owns the rejection response).
+  [[nodiscard]] PushResult try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kOverloaded;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kAdmitted;
+  }
+
+  /// Block until an item is available or the queue is closed and drained
+  /// (then nullopt — the worker's signal to exit).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop admissions; queued items still drain through pop().
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace softfet::service

@@ -1,0 +1,74 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/budget.hpp"
+#include "util/error.hpp"
+
+namespace softfet::service {
+
+const char* to_string(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kTerminal: return "terminal";
+    case FailureClass::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+FailureClass classify_failure(const std::exception& error) {
+  if (const auto* budget = dynamic_cast<const BudgetExceededError*>(&error)) {
+    return budget->stop() == util::BudgetStop::kCancel
+               ? FailureClass::kCancelled
+               : FailureClass::kTerminal;
+  }
+  if (dynamic_cast<const ConvergenceError*>(&error) != nullptr) {
+    return FailureClass::kTransient;
+  }
+  // ParseError, InvalidCircuitError, plain softfet::Error, std:: errors:
+  // a retry would fail the same way.
+  return FailureClass::kTerminal;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+unsigned backoff_ms(const RetryPolicy& policy, int attempt,
+                    std::uint64_t seed) {
+  if (attempt <= 1) return 0;
+  double backoff = static_cast<double>(policy.base_backoff_ms) *
+                   std::pow(policy.backoff_multiplier, attempt - 2);
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // Deterministic uniform draw in [0, 1): the same (job, attempt) always
+    // sleeps the same time, and distinct jobs decorrelate.
+    const std::uint64_t bits =
+        splitmix64(seed ^ (std::uint64_t{0x9E3779B97F4A7C15} *
+                           static_cast<std::uint64_t>(attempt)));
+    const double u =
+        static_cast<double>(bits >> 11) / 9007199254740992.0;  // 2^53
+    backoff *= 1.0 - jitter * u;
+  }
+  return static_cast<unsigned>(std::lround(backoff));
+}
+
+}  // namespace softfet::service

@@ -1,0 +1,60 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// The daemon retries only failures that a retry can plausibly cure:
+// Newton/convergence trouble, which PR 3's tightened_options() already
+// turns into a markedly more robust (if slower) second attempt. Everything
+// else is terminal — parse and validation errors will fail identically
+// forever, and budget exhaustion/cancellation must not be retried (that
+// doubles the spent wall clock or defeats the cancel; the same rule
+// core::run_isolated applies).
+//
+// Backoff is exponential with full jitter so a burst of jobs poisoned by
+// the same transient condition does not re-converge into a thundering
+// herd. The jitter is deterministic per (job, attempt) — splitmix64 of a
+// seed derived from the job id — because the soak test asserts bounds and
+// reproducibility, and the simulator's bitwise-reproducibility culture
+// extends to its service layer.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <string_view>
+
+namespace softfet::service {
+
+struct RetryPolicy {
+  int max_attempts = 2;            ///< total tries (1 = never retry)
+  unsigned base_backoff_ms = 25;   ///< backoff before attempt 2
+  double backoff_multiplier = 4.0; ///< growth per further attempt
+  unsigned max_backoff_ms = 2000;  ///< cap on the exponential
+  /// Fraction of the computed backoff that is jittered away: the actual
+  /// sleep is uniform in [(1-jitter)*b, b]. 0 = fully deterministic.
+  double jitter = 0.5;
+};
+
+/// How the server must treat a failed attempt.
+enum class FailureClass {
+  kTransient,  ///< retry under tightened options (up to max_attempts)
+  kTerminal,   ///< structured error response, no retry
+  kCancelled,  ///< cooperative cancel — `cancelled` response, no retry
+};
+
+[[nodiscard]] const char* to_string(FailureClass cls);
+
+/// Classify a caught exception. `softfet::BudgetExceededError` maps to
+/// kCancelled when its stop is the cancel token, kTerminal otherwise;
+/// other ConvergenceErrors (including SingularMatrixError) are transient;
+/// ParseError / InvalidCircuitError / anything non-softfet are terminal.
+[[nodiscard]] FailureClass classify_failure(const std::exception& error);
+
+/// Backoff in milliseconds before `attempt` (2-based: the sleep preceding
+/// the second attempt uses attempt = 2). Exponential with the policy's cap
+/// and deterministic full jitter from `seed` (use fnv1a64 of the job id).
+[[nodiscard]] unsigned backoff_ms(const RetryPolicy& policy, int attempt,
+                                  std::uint64_t seed);
+
+/// FNV-1a 64-bit hash (content addressing for cache keys and jitter seeds).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace softfet::service

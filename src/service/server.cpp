@@ -1,0 +1,594 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "core/failure.hpp"
+#include "util/parallel.hpp"
+
+namespace softfet::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Filesystem-safe job-state stem: the id's safe characters (bounded) plus
+/// an FNV hash of the full id so distinct ids never collide on disk.
+[[nodiscard]] std::string sanitize_id(const std::string& id) {
+  std::string safe;
+  for (const char c : id) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '-' || c == '_') safe += c;
+    if (safe.size() >= 40) break;
+  }
+  char hash[20];
+  std::snprintf(hash, sizeof hash, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(id)));
+  if (!safe.empty()) safe += '-';
+  return safe + hash;
+}
+
+/// Journal write: tmp + rename, same-directory. The journal is an intent
+/// record (the authoritative durable state is the Checkpoint, which fsyncs);
+/// a torn journal line merely fails request parsing on resume.
+void write_journal(const std::string& path, const std::string& line) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return;
+    file << line << '\n';
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+void remove_quiet(const std::string& path) {
+  if (path.empty()) return;
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+[[nodiscard]] bool blank_line(const std::string& line) {
+  return line.find_first_not_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_entries, config_.cache_bytes),
+      queue_(config_.queue_capacity) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
+  handlers_["netlist"] = netlist_job_handler();
+  handlers_["monte_carlo"] = monte_carlo_job_handler();
+  if (!config_.state_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(config_.state_dir, ec);
+  }
+  // The worker pool is util::parallel_for run to its natural conclusion on
+  // one carrier thread: `workers` indices over `workers` threads, each body
+  // a pop-until-closed loop, so the pool drains and joins exactly when the
+  // queue is closed and empty.
+  pool_ = std::thread([this] {
+    util::parallel_for(
+        config_.workers, [this](std::size_t) { worker_loop(); },
+        config_.workers);
+  });
+}
+
+Server::~Server() {
+  shutdown(/*cancel_inflight=*/true);
+  if (pool_.joinable()) pool_.join();
+}
+
+void Server::register_handler(std::string type, JobHandler handler) {
+  handlers_[std::move(type)] = std::move(handler);
+}
+
+void Server::reply(const Sink& sink, const JsonValue& value) {
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  sink(value.dump());
+}
+
+void Server::handle_line(const std::string& line, const Sink& sink) {
+  if (blank_line(line)) return;  // NDJSON keepalive
+
+  if (line.size() > config_.max_line_bytes) {
+    ++rejected_invalid_;
+    JsonValue event = make_event("", 0, "rejected");
+    event.set("code", JsonValue::string(kRejectInvalid));
+    event.set("message",
+              JsonValue::string("request line exceeds " +
+                                std::to_string(config_.max_line_bytes) +
+                                " bytes"));
+    reply(sink, event);
+    return;
+  }
+
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ParseError& e) {
+    ++rejected_invalid_;
+    JsonValue event = make_event("", 0, "rejected");
+    event.set("code", JsonValue::string(kRejectInvalid));
+    event.set("message", JsonValue::string(e.what()));
+    event.set("line", JsonValue::number(e.line()));
+    if (e.column() > 0) event.set("column", JsonValue::number(e.column()));
+    reply(sink, event);
+    return;
+  } catch (const std::exception& e) {
+    ++rejected_invalid_;
+    JsonValue event = make_event("", 0, "rejected");
+    event.set("code", JsonValue::string(kRejectInvalid));
+    event.set("message", JsonValue::string(e.what()));
+    reply(sink, event);
+    return;
+  }
+
+  // Control requests: answered synchronously, never queued.
+  if (request.type == "ping") {
+    JsonValue event = make_event(request.id, 0, "result");
+    event.set("pong", JsonValue::boolean(true));
+    reply(sink, event);
+    return;
+  }
+  if (request.type == "stats") {
+    JsonValue event = make_event(request.id, 0, "result");
+    event.set("stats", stats_json());
+    reply(sink, event);
+    return;
+  }
+  if (request.type == "cancel") {
+    const std::string target = request.payload.string_or("job", "");
+    bool found = false;
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      const auto it = active_.find(target);
+      if (it != active_.end()) {
+        it->second->client_cancel.store(true, std::memory_order_release);
+        it->second->cancel.request();
+        found = true;
+      }
+    }
+    JsonValue event = make_event(request.id, 0, "result");
+    event.set("job", JsonValue::string(target));
+    event.set("state", JsonValue::string(found ? "cancelling" : "unknown"));
+    reply(sink, event);
+    return;
+  }
+  if (request.type == "shutdown") {
+    const bool now = request.payload.string_or("mode", "drain") == "now";
+    if (now) stop_now_.store(true, std::memory_order_release);
+    stop_requested_.store(true, std::memory_order_release);
+    JsonValue event = make_event(request.id, 0, "result");
+    event.set("draining", JsonValue::boolean(true));
+    event.set("mode", JsonValue::string(now ? "now" : "drain"));
+    reply(sink, event);
+    return;
+  }
+
+  // Job requests: validate, then admit-or-shed.
+  const auto rejected = [&](const char* code, const std::string& message,
+                            bool overloaded = false) {
+    if (overloaded) {
+      ++rejected_overloaded_;
+    } else {
+      ++rejected_invalid_;
+    }
+    JsonValue event = make_event(request.id, 0, "rejected");
+    event.set("code", JsonValue::string(code));
+    event.set("message", JsonValue::string(message));
+    if (overloaded) {
+      event.set("retry_after_ms", JsonValue::number(config_.retry_after_ms));
+      event.set("queue_depth",
+                JsonValue::number(static_cast<double>(queue_.depth())));
+      event.set("queue_capacity",
+                JsonValue::number(static_cast<double>(queue_.capacity())));
+    }
+    reply(sink, event);
+  };
+
+  const auto handler = handlers_.find(request.type);
+  if (handler == handlers_.end()) {
+    rejected(kRejectInvalid, "unknown request type '" + request.type + "'");
+    return;
+  }
+  if (request.id.empty()) {
+    rejected(kRejectInvalid, "job requests need a non-empty \"id\"");
+    return;
+  }
+  if (const JsonValue* netlist = request.payload.get("netlist");
+      netlist != nullptr && netlist->is_string() &&
+      netlist->as_string().size() > config_.max_netlist_bytes) {
+    rejected(kRejectInvalid,
+             "embedded netlist exceeds " +
+                 std::to_string(config_.max_netlist_bytes) + " bytes");
+    return;
+  }
+
+  const std::lock_guard<std::mutex> admission(admission_mutex_);
+  if (stop_requested_.load(std::memory_order_acquire) || queue_.closed()) {
+    rejected(kRejectShuttingDown, "server is shutting down");
+    return;
+  }
+  // Pre-check the bound under the admission lock: pops only shrink the
+  // queue, so a passing check guarantees the push below admits and the
+  // `accepted` line can be emitted first (lifecycle order).
+  if (queue_.depth() >= queue_.capacity()) {
+    rejected(kRejectOverloaded, "admission queue is full",
+             /*overloaded=*/true);
+    return;
+  }
+
+  {
+    // Duplicate check before the id is moved out of `request`. Inserts are
+    // serialized behind admission_mutex_ (workers only erase), so the
+    // check-then-emplace below cannot race another admission.
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    if (active_.count(request.id) != 0) {
+      rejected(kRejectInvalid,
+               "a job with id '" + request.id + "' is still active");
+      return;
+    }
+  }
+
+  auto job = std::make_shared<JobState>();
+  job->request = std::move(request);
+  job->sink = sink;
+  job->admitted_at = std::chrono::steady_clock::now();
+  job->journal_path = journal_path_for(job->request);
+
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    active_.emplace(job->request.id, job);
+  }
+  // Journal before `accepted`: once the client has seen the admission, a
+  // daemon crash must not lose the job (resume_journaled re-admits it).
+  if (!job->journal_path.empty()) {
+    write_journal(job->journal_path, job->request.raw_line);
+  }
+
+  ++admitted_;
+  JsonValue accepted_fields = JsonValue::object();
+  accepted_fields.set("queue_depth",
+                      JsonValue::number(static_cast<double>(queue_.depth())));
+  emit_event(job, "accepted", std::move(accepted_fields), false);
+
+  if (queue_.try_push(job) != PushResult::kAdmitted) {
+    // Unreachable by construction (bound pre-checked, close serialized
+    // behind the admission lock) — but never strand an accepted job.
+    emit_event(job, "cancelled", JsonValue::object(), true);
+    ++cancelled_;
+    finish_job(job, /*keep_journal=*/false);
+  }
+}
+
+std::size_t Server::resume_journaled(const Sink& sink) {
+  if (config_.state_dir.empty()) return 0;
+  std::vector<fs::path> journals;
+  std::error_code ec;
+  for (fs::directory_iterator it(config_.state_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".req") journals.push_back(it->path());
+  }
+  std::sort(journals.begin(), journals.end());  // deterministic replay order
+  std::size_t count = 0;
+  for (const auto& path : journals) {
+    std::ifstream file(path);
+    std::string line;
+    if (!file || !std::getline(file, line) || blank_line(line)) {
+      remove_quiet(path.string());
+      continue;
+    }
+    const std::size_t before = admitted_.load(std::memory_order_relaxed);
+    handle_line(line, sink);
+    if (admitted_.load(std::memory_order_relaxed) > before) {
+      ++count;
+      ++resumed_;
+    } else {
+      // Rejected on replay (malformed after a torn write, or the queue is
+      // too small) — drop the journal so restarts do not loop on it.
+      remove_quiet(path.string());
+    }
+  }
+  return count;
+}
+
+void Server::shutdown(bool cancel_inflight) {
+  {
+    const std::lock_guard<std::mutex> admission(admission_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+    if (cancel_inflight) stop_now_.store(true, std::memory_order_release);
+    queue_.close();
+  }
+  if (cancel_inflight) {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    for (auto& [id, job] : active_) job->cancel.request();
+  }
+  wait_idle();
+  shut_down_.store(true, std::memory_order_release);
+}
+
+void Server::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    const std::lock_guard<std::mutex> active(active_mutex_);
+    return active_.empty();
+  });
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_overloaded = rejected_overloaded_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.resumed = resumed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    s.active_jobs = running_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+JsonValue Server::stats_json() const {
+  const ServerStats s = stats();
+  const auto num = [](std::size_t v) {
+    return JsonValue::number(static_cast<double>(v));
+  };
+  JsonValue out = JsonValue::object();
+  out.set("admitted", num(s.admitted));
+  out.set("rejected_overloaded", num(s.rejected_overloaded));
+  out.set("rejected_invalid", num(s.rejected_invalid));
+  out.set("completed", num(s.completed));
+  out.set("failed", num(s.failed));
+  out.set("cancelled", num(s.cancelled));
+  out.set("retries", num(s.retries));
+  out.set("resumed", num(s.resumed));
+  out.set("queue_depth", num(s.queue_depth));
+  out.set("queue_capacity", num(queue_.capacity()));
+  out.set("active_jobs", num(s.active_jobs));
+  out.set("workers", num(config_.workers));
+  JsonValue cache = JsonValue::object();
+  cache.set("hits", num(s.cache.hits));
+  cache.set("misses", num(s.cache.misses));
+  cache.set("evictions", num(s.cache.evictions));
+  cache.set("entries", num(s.cache.entries));
+  cache.set("bytes", num(s.cache.bytes));
+  out.set("cache", std::move(cache));
+  return out;
+}
+
+std::string Server::journal_path_for(const Request& request) const {
+  if (config_.state_dir.empty()) return {};
+  return config_.state_dir + "/job-" + sanitize_id(request.id) + ".req";
+}
+
+std::string Server::checkpoint_path_for(const Request& request) const {
+  if (config_.state_dir.empty()) return {};
+  return config_.state_dir + "/job-" + sanitize_id(request.id) + ".ckpt";
+}
+
+void Server::worker_loop() {
+  while (auto job = queue_.pop()) {
+    {
+      const std::lock_guard<std::mutex> lock(idle_mutex_);
+      ++running_;
+    }
+    try {
+      run_job(*job);
+    } catch (...) {
+      // run_job's own catch blocks handle everything a handler can throw;
+      // this is the "never kill the pool" backstop (e.g. a sink that
+      // throws). The job is forcibly finished so no slot leaks.
+      try {
+        emit_terminal_error(*job, Error("job runner failed"));
+      } catch (...) {
+      }
+      finish_job(*job, /*keep_journal=*/false);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(idle_mutex_);
+      --running_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Server::run_job(const JobPtr& job) {
+  const auto handler = handlers_.find(job->request.type);
+  if (handler == handlers_.end()) {
+    emit_terminal_error(job,
+                        Error("no handler for '" + job->request.type + "'"));
+    finish_job(job, /*keep_journal=*/false);
+    return;
+  }
+
+  const auto emit_cancelled = [&](const std::string& reason) {
+    JsonValue fields = JsonValue::object();
+    if (!reason.empty()) fields.set("message", JsonValue::string(reason));
+    emit_event(job, "cancelled", std::move(fields), true);
+    ++cancelled_;
+    // A client cancel is final — drop the job's state. A shutdown cancel
+    // keeps journal + checkpoint so a restarted daemon resumes the job.
+    const bool client = job->client_cancel.load(std::memory_order_acquire);
+    finish_job(job, /*keep_journal=*/!client);
+  };
+
+  if (job->cancel.requested()) {
+    emit_cancelled("cancelled before start");
+    return;
+  }
+
+  double timeout =
+      job->request.payload.number_or("timeout_seconds",
+                                     config_.default_timeout_seconds);
+  if (!(timeout > 0.0)) timeout = config_.default_timeout_seconds;
+  if (config_.max_timeout_seconds > 0.0 && timeout > config_.max_timeout_seconds)
+    timeout = config_.max_timeout_seconds;
+
+  {
+    JsonValue fields = JsonValue::object();
+    fields.set("type", JsonValue::string(job->request.type));
+    fields.set("timeout_seconds", JsonValue::number(timeout));
+    emit_event(job, "started", std::move(fields), false);
+  }
+
+  const std::uint64_t jitter_seed = fnv1a64(job->request.id);
+  std::string last_failure;
+  for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const unsigned delay = backoff_ms(config_.retry, attempt, jitter_seed);
+      ++retries_;
+      JsonValue fields = JsonValue::object();
+      fields.set("attempt", JsonValue::number(attempt));
+      fields.set("backoff_ms", JsonValue::number(delay));
+      fields.set("message", JsonValue::string(last_failure));
+      emit_event(job, "retrying", std::move(fields), false);
+      // Cancellable backoff sleep (5 ms granularity).
+      for (unsigned slept = 0; slept < delay && !job->cancel.requested();
+           slept += 5) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(5u, delay - slept)));
+      }
+      if (job->cancel.requested()) {
+        emit_cancelled("cancelled during retry backoff");
+        return;
+      }
+    }
+
+    JobContext ctx;
+    ctx.options = attempt > 1 ? core::tightened_options(sim::SimOptions{})
+                              : sim::SimOptions{};
+    ctx.options.budget.max_wall_seconds = timeout;
+    ctx.options.budget.cancel = &job->cancel;
+    ctx.config = &config_;
+    ctx.cache = &cache_;
+    ctx.cancel = &job->cancel;
+    ctx.attempt = attempt;
+    ctx.checkpoint_path = checkpoint_path_for(job->request);
+    bool finished = false;
+    ctx.emit = [this, job](const char* event, JsonValue fields) {
+      emit_event(job, event, std::move(fields), false);
+    };
+    ctx.finish = [this, job, &finished](JsonValue fields) {
+      finished = true;
+      emit_event(job, "result", std::move(fields), true);
+    };
+
+    try {
+      handler->second(job->request, ctx);
+      if (!finished) {
+        throw Error("handler for '" + job->request.type +
+                    "' returned without a result");
+      }
+      ++completed_;
+      finish_job(job, /*keep_journal=*/false);
+      return;
+    } catch (const std::exception& e) {
+      last_failure = e.what();
+      const FailureClass cls = classify_failure(e);
+      if (cls == FailureClass::kTransient &&
+          attempt < config_.retry.max_attempts) {
+        continue;
+      }
+      if (cls == FailureClass::kCancelled) {
+        emit_cancelled(last_failure);
+        return;
+      }
+      emit_terminal_error(job, e);
+      finish_job(job, /*keep_journal=*/false);
+      return;
+    } catch (...) {
+      emit_terminal_error(job, Error("unknown exception in handler"));
+      finish_job(job, /*keep_journal=*/false);
+      return;
+    }
+  }
+}
+
+void Server::emit_event(const JobPtr& job, const char* event, JsonValue fields,
+                        bool terminal) {
+  // Sink calls happen under the emit lock: response lines are serialized
+  // process-wide and every job's seq order equals its line order. Sinks
+  // must not call back into the Server.
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  if (job->terminal) return;  // never emit past a terminal event
+  if (terminal) job->terminal = true;
+  JsonValue out = make_event(job->request.id, job->seq++, event);
+  for (const auto& [key, value] : fields.members()) out.set(key, value);
+  job->sink(out.dump());
+}
+
+void Server::emit_terminal_error(const JobPtr& job,
+                                 const std::exception& error) {
+  const char* code = kErrorInternal;
+  JsonValue fields = JsonValue::object();
+  const SolverDiagnostics* diagnostics = nullptr;
+
+  if (const auto* parse = dynamic_cast<const ParseError*>(&error)) {
+    code = kErrorParse;
+    const NetlistErrorPosition pos =
+        map_netlist_error(*parse, job->request.raw_line);
+    fields.set("netlist_line", JsonValue::number(pos.netlist_line));
+    if (pos.netlist_column > 0)
+      fields.set("netlist_column", JsonValue::number(pos.netlist_column));
+    if (pos.request_column.has_value()) {
+      fields.set("request_column",
+                 JsonValue::number(static_cast<double>(*pos.request_column)));
+    }
+  } else if (dynamic_cast<const InvalidCircuitError*>(&error) != nullptr) {
+    code = kErrorInvalidCircuit;
+  } else if (const auto* budget =
+                 dynamic_cast<const BudgetExceededError*>(&error)) {
+    code = kErrorBudget;
+    fields.set("stop", JsonValue::string(util::to_string(budget->stop())));
+    if (budget->has_diagnostics()) diagnostics = &budget->diagnostics();
+  } else if (const auto* conv =
+                 dynamic_cast<const ConvergenceError*>(&error)) {
+    code = kErrorConvergence;
+    if (conv->has_diagnostics()) diagnostics = &conv->diagnostics();
+  }
+
+  JsonValue out = JsonValue::object();
+  out.set("code", JsonValue::string(code));
+  out.set("message", JsonValue::string(error.what()));
+  for (const auto& [key, value] : fields.members()) out.set(key, value);
+  if (diagnostics != nullptr)
+    out.set("diagnostics", diagnostics_to_json(*diagnostics));
+  ++failed_;
+  emit_event(job, "error", std::move(out), true);
+}
+
+void Server::finish_job(const JobPtr& job, bool keep_journal) {
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    active_.erase(job->request.id);
+  }
+  if (!keep_journal) {
+    remove_quiet(job->journal_path);
+    remove_quiet(checkpoint_path_for(job->request));
+  }
+  // The empty idle_mutex_ section pairs with wait_idle's predicate check:
+  // a waiter is either before the check (and sees the erased entry) or
+  // already parked (and this notify wakes it) — never between.
+  { const std::lock_guard<std::mutex> lock(idle_mutex_); }
+  idle_cv_.notify_all();
+}
+
+}  // namespace softfet::service

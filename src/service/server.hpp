@@ -1,0 +1,222 @@
+// The softfet simulation service: a crash-tolerant job server behind the
+// NDJSON protocol (see protocol.hpp).
+//
+// Composition of the robustness layers the library already has, behind one
+// long-lived surface:
+//
+//   admission   bounded JobQueue, explicit `overloaded` shedding with
+//               retry_after_ms — heavy traffic degrades into rejections,
+//               never OOM or unbounded latency;
+//   execution   a util::parallel_for-backed worker pool; every job runs
+//               under its own RunBudget (wall clock) and CancelToken, so a
+//               poisoned job times out or cancels without touching its
+//               neighbors, and every throw — ParseError to std::bad_alloc —
+//               maps to a structured `error` response (a job can never take
+//               the process down);
+//   retries     ConvergenceErrors re-run under core::tightened_options with
+//               exponential backoff + deterministic jitter (retry.hpp);
+//               parse/validation errors and budget exhaustion are terminal;
+//   caching     a content-addressed NetlistCache shares parsed ASTs and AMD
+//               ordering memos across requests of the same netlist,
+//               LRU-bounded, bitwise-neutral;
+//   resilience  admitted jobs journal their request line into state_dir and
+//               Monte-Carlo jobs checkpoint per-sample via util::Checkpoint;
+//               a killed daemon re-admits journaled jobs on restart through
+//               resume_journaled() and finishes them bitwise-identically
+//               (the PR 4 resume contract);
+//   drainage    shutdown(cancel_inflight) stops admissions, optionally
+//               cancels what is running (checkpoints flush), and waits
+//               until every admitted job has produced its terminal
+//               response — the SIGTERM/SIGINT path of the daemon binary.
+//
+// The Server is transport-agnostic: handle_line() takes one request line
+// and a Sink for the response lines; examples/softfet_server.cpp wires it
+// to stdin/stdout and a Unix socket.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/cache.hpp"
+#include "service/job_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/retry.hpp"
+#include "sim/options.hpp"
+#include "util/budget.hpp"
+
+namespace softfet::service {
+
+struct ServerConfig {
+  std::size_t workers = 2;            ///< worker pool width
+  std::size_t queue_capacity = 64;    ///< admission bound (then: overloaded)
+  unsigned retry_after_ms = 250;      ///< advisory backoff in rejections
+  std::size_t max_line_bytes = 4u << 20;     ///< request line hard cap
+  std::size_t max_netlist_bytes = 1u << 20;  ///< embedded netlist cap
+  int max_samples = 100000;                  ///< Monte-Carlo sample cap
+  double default_timeout_seconds = 30.0;     ///< per-job budget default
+  double max_timeout_seconds = 300.0;        ///< per-job budget ceiling
+  std::size_t chunk_rows = 256;       ///< waveform rows per `chunk` event
+  RetryPolicy retry;                  ///< transient-failure retry policy
+  std::string state_dir;              ///< journal/checkpoint dir ("" = off)
+  std::size_t cache_entries = 32;     ///< NetlistCache entry bound
+  std::size_t cache_bytes = 8u << 20; ///< NetlistCache byte bound
+};
+
+/// Point-in-time counters (all lifetime totals except the two gauges).
+struct ServerStats {
+  std::size_t admitted = 0;
+  std::size_t rejected_overloaded = 0;
+  std::size_t rejected_invalid = 0;
+  std::size_t completed = 0;   ///< terminal `result`
+  std::size_t failed = 0;      ///< terminal `error`
+  std::size_t cancelled = 0;   ///< terminal `cancelled`
+  std::size_t retries = 0;     ///< `retrying` events emitted
+  std::size_t resumed = 0;     ///< jobs re-admitted by resume_journaled
+  std::size_t queue_depth = 0;   ///< gauge
+  std::size_t active_jobs = 0;   ///< gauge (popped, not yet terminal)
+  NetlistCacheStats cache;
+};
+
+/// Response-line consumer. Must be callable from worker threads; the
+/// server serializes calls (one line at a time, never interleaved).
+using Sink = std::function<void(const std::string& line)>;
+
+/// Execution context a job handler runs under. `options` is pre-armed with
+/// the per-attempt budget, the job's cancel token and (for netlist jobs)
+/// the cache's ordering memo; handlers stream via emit() and MUST end a
+/// successful run with exactly one finish().
+struct JobContext {
+  sim::SimOptions options;
+  const ServerConfig* config = nullptr;
+  NetlistCache* cache = nullptr;
+  util::CancelToken* cancel = nullptr;
+  int attempt = 1;               ///< 1-based; >1 runs tightened options
+  std::string checkpoint_path;   ///< per-job ("" when state_dir is off)
+  std::function<void(const char* event, JsonValue fields)> emit;
+  std::function<void(JsonValue fields)> finish;
+};
+
+using JobHandler = std::function<void(const Request&, JobContext&)>;
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register (or replace) a job-type handler. The built-ins ("netlist",
+  /// "monte_carlo") are registered by the constructor; tests register
+  /// fault-injection types. Not thread-safe against in-flight handling —
+  /// register before serving.
+  void register_handler(std::string type, JobHandler handler);
+
+  /// Process one NDJSON request line. Control responses and admission
+  /// verdicts reach `sink` before returning; job events follow
+  /// asynchronously from worker threads through the same sink.
+  void handle_line(const std::string& line, const Sink& sink);
+
+  /// Re-admit journaled jobs left by a killed daemon (call after handlers
+  /// are registered, before serving traffic). Monte-Carlo jobs resume from
+  /// their checkpoint bitwise-identically. Returns the number re-admitted.
+  std::size_t resume_journaled(const Sink& sink);
+
+  /// Stop admissions and wait for every admitted job's terminal response.
+  /// cancel_inflight=false drains (jobs run to completion);
+  /// cancel_inflight=true cancels running and queued jobs cooperatively
+  /// (their checkpoints flush; journals survive for a restart's resume).
+  /// Idempotent.
+  void shutdown(bool cancel_inflight);
+
+  /// Block until the queue is empty and no job is running.
+  void wait_idle();
+
+  /// True once a `shutdown` request was received (transports use this to
+  /// exit their read loops, then call shutdown()).
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+  /// The mode the `shutdown` request asked for (true = "now").
+  [[nodiscard]] bool stop_cancels_inflight() const noexcept {
+    return stop_now_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct JobState {
+    Request request;
+    Sink sink;
+    std::uint64_t seq = 0;             ///< guarded by emit_mutex_
+    bool terminal = false;             ///< guarded by emit_mutex_
+    util::CancelToken cancel;
+    std::atomic<bool> client_cancel{false};  ///< cancel request vs shutdown
+    std::string journal_path;          ///< "" when journaling is off
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+  using JobPtr = std::shared_ptr<JobState>;
+
+  void worker_loop();
+  void run_job(const JobPtr& job);
+  void emit_event(const JobPtr& job, const char* event, JsonValue fields,
+                  bool terminal);
+  void emit_terminal_error(const JobPtr& job, const std::exception& error);
+  void finish_job(const JobPtr& job, bool keep_journal);
+  [[nodiscard]] std::string journal_path_for(const Request& request) const;
+  [[nodiscard]] std::string checkpoint_path_for(const Request& request) const;
+  void reply(const Sink& sink, const JsonValue& value);
+  [[nodiscard]] JsonValue stats_json() const;
+
+  ServerConfig config_;
+  NetlistCache cache_;
+  std::map<std::string, JobHandler> handlers_;
+  JobQueue<JobPtr> queue_;
+
+  /// Serializes the admission section (active-map insert, journal write,
+  /// `accepted` emission, queue push) so the capacity pre-check cannot race
+  /// another admission and the `accepted` line always precedes `started`.
+  std::mutex admission_mutex_;
+
+  mutable std::mutex active_mutex_;
+  std::map<std::string, JobPtr> active_;  ///< admitted, not yet terminal
+
+  std::mutex emit_mutex_;  ///< serializes sink writes + seq/terminal state
+
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t running_ = 0;  ///< jobs popped and executing
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stop_now_{false};
+  std::atomic<bool> shut_down_{false};
+
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::size_t> rejected_overloaded_{0};
+  std::atomic<std::size_t> rejected_invalid_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> cancelled_{0};
+  std::atomic<std::size_t> retries_{0};
+  std::atomic<std::size_t> resumed_{0};
+
+  std::thread pool_;  ///< runs util::parallel_for over the worker loops
+};
+
+/// Built-in handlers (exposed for benches and tests that want to invoke
+/// them without a Server).
+[[nodiscard]] JobHandler netlist_job_handler();
+[[nodiscard]] JobHandler monte_carlo_job_handler();
+
+}  // namespace softfet::service

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "numeric/linear_solver.hpp"
 #include "util/budget.hpp"
@@ -58,6 +59,11 @@ struct SimOptions {
   /// applies AMD at or above SparseLu::kAutoOrderingThreshold unknowns, so
   /// small circuits keep their natural order bit-for-bit.
   numeric::OrderingKind solver_ordering = numeric::OrderingKind::kAuto;
+  /// Shared AMD-permutation memo attached to every LinearSolver this run
+  /// creates (null = compute per solver). The simulation service points
+  /// runs of one cached netlist at one OrderingCache so repeat requests
+  /// skip the symbolic ordering work; results are bitwise unchanged.
+  std::shared_ptr<numeric::OrderingCache> ordering_cache;
 
   /// Facade configuration handed to every LinearSolver this run creates.
   [[nodiscard]] numeric::LinearSolverConfig solver_config() const {
@@ -65,6 +71,7 @@ struct SimOptions {
     config.kind = solver;
     config.policy = solver_policy;
     config.ordering = solver_ordering;
+    config.ordering_cache = ordering_cache;
     return config;
   }
 

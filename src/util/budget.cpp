@@ -55,14 +55,17 @@ namespace {
 
 CancelToken g_sigint_token;
 std::atomic<int> g_sigint_count{0};
+std::atomic<int> g_last_signal{0};
 std::atomic<bool> g_sigint_installed{false};
 
-void sigint_handler(int) {
+void cancel_signal_handler(int signo) {
+  g_last_signal.store(signo, std::memory_order_relaxed);
   if (g_sigint_count.fetch_add(1, std::memory_order_relaxed) == 0) {
     g_sigint_token.request();
   } else {
-    // Second Ctrl-C: the user wants out now. _Exit is async-signal-safe.
-    std::_Exit(130);
+    // Second signal (either kind): the controller wants out now. _Exit is
+    // async-signal-safe; 128 + signo is the conventional status.
+    std::_Exit(128 + signo);
   }
 }
 
@@ -70,9 +73,21 @@ void sigint_handler(int) {
 
 CancelToken& sigint_cancel_token() { return g_sigint_token; }
 
-void install_sigint_cancel() {
-  if (g_sigint_installed.exchange(true)) return;
-  std::signal(SIGINT, sigint_handler);
+int last_cancel_signal() noexcept {
+  return g_last_signal.load(std::memory_order_relaxed);
 }
+
+int cancel_exit_code(int fallback) noexcept {
+  const int signo = last_cancel_signal();
+  return signo > 0 ? 128 + signo : fallback;
+}
+
+void install_signal_cancel() {
+  if (g_sigint_installed.exchange(true)) return;
+  std::signal(SIGINT, cancel_signal_handler);
+  std::signal(SIGTERM, cancel_signal_handler);
+}
+
+void install_sigint_cancel() { install_signal_cancel(); }
 
 }  // namespace softfet::util

@@ -97,13 +97,28 @@ class BudgetTimer {
   bool has_deadline_ = false;
 };
 
-/// Process-global token wired to SIGINT by install_sigint_cancel().
+/// Process-global token wired to SIGINT/SIGTERM by install_signal_cancel().
 [[nodiscard]] CancelToken& sigint_cancel_token();
 
-/// Install a SIGINT handler implementing the double-tap protocol: the first
-/// Ctrl-C requests cooperative cancellation through sigint_cancel_token()
-/// (in-flight points finish and checkpoints flush); the second hard-exits
-/// with status 130. Idempotent.
+/// Install SIGINT *and* SIGTERM handlers implementing the double-tap
+/// protocol: the first signal requests cooperative cancellation through
+/// sigint_cancel_token() (in-flight points finish and checkpoints flush);
+/// a second signal of either kind hard-exits with 128 + signo. SIGTERM is
+/// handled identically to SIGINT so service managers (systemd, docker
+/// stop, CI timeouts) get the same checkpoint flush a Ctrl-C does.
+/// Idempotent.
+void install_signal_cancel();
+
+/// Back-compat alias for install_signal_cancel().
 void install_sigint_cancel();
+
+/// The signal number that triggered the cooperative cancel (0 when the
+/// token was never tripped by a signal). Lets drivers exit 130 for SIGINT
+/// vs 143 for SIGTERM after a cooperative drain.
+[[nodiscard]] int last_cancel_signal() noexcept;
+
+/// Conventional exit status for a signal-cancelled run: 128 + signo
+/// (130 SIGINT, 143 SIGTERM), or `fallback` when no signal was involved.
+[[nodiscard]] int cancel_exit_code(int fallback = 130) noexcept;
 
 }  // namespace softfet::util

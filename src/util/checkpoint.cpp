@@ -1,5 +1,9 @@
 #include "util/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -13,6 +17,38 @@ namespace softfet::util {
 namespace {
 
 constexpr const char* kMagic = "softfet-checkpoint v1";
+
+/// fsync a path (file or directory). Directories need it too: rename() only
+/// becomes durable once the containing directory's entry table is written
+/// back, so without this a power cut can lose BOTH the old and new file.
+void fsync_path(const std::string& path, bool required) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (required) throw Error("checkpoint: cannot fsync '" + path + "'");
+    return;  // e.g. a filesystem that refuses O_RDONLY on directories
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) {
+    throw Error("checkpoint: fsync of '" + path + "' failed");
+  }
+}
+
+[[nodiscard]] std::string parent_directory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Per-save unique temp path: two processes (or two Checkpoint objects)
+/// targeting the same file must never write through one shared tmp name —
+/// a rename could otherwise publish the other writer's half-written data.
+[[nodiscard]] std::string unique_tmp_path(const std::string& path) {
+  static std::atomic<unsigned long> counter{0};
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+         "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
 
 [[nodiscard]] char hex_digit(int v) {
   return static_cast<char>(v < 10 ? '0' + v : 'A' + (v - 10));
@@ -174,10 +210,11 @@ void Checkpoint::record(std::size_t index, std::string payload) {
 }
 
 void Checkpoint::save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  // The rename stays under the lock: concurrent saves share the tmp path,
-  // and renaming it while another save is mid-write would publish a torn
-  // file — the one thing this protocol exists to rule out.
+  // Unique per-save tmp name: concurrent writers (two jobs sharing a
+  // checkpoint directory, or two processes racing on one path) each write
+  // their own tmp file, so a rename always publishes a complete file —
+  // last writer wins, but no interleaving can publish a torn one.
+  const std::string tmp = unique_tmp_path(path);
   const std::lock_guard<std::mutex> lock(mutex_);
   {
     std::ofstream file(tmp, std::ios::trunc);
@@ -191,9 +228,17 @@ void Checkpoint::save(const std::string& path) const {
     file.flush();
     if (!file) throw Error("checkpoint: write to '" + tmp + "' failed");
   }
+  // Durability, not just atomicity: the tmp's *contents* must hit the disk
+  // before the rename makes them reachable (else a crash can expose a
+  // zero-length renamed file), and the parent directory entry after it
+  // (else a power cut between rename and directory writeback loses the
+  // resume file entirely).
+  fsync_path(tmp, /*required=*/true);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     throw Error("checkpoint: atomic rename to '" + path + "' failed");
   }
+  fsync_path(parent_directory(path), /*required=*/false);
 }
 
 }  // namespace softfet::util

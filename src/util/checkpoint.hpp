@@ -3,9 +3,12 @@
 // A Checkpoint maps batch indices to opaque single-line payloads. Batch
 // drivers record() a slot when its point completes, save() periodically and
 // on cancellation, and on resume skip every slot the loaded file already
-// holds. Saves are atomic (write to "<path>.tmp", then rename), so a killed
-// process leaves either the previous complete file or the new complete file
-// — never a torn one. The file is line-oriented text:
+// holds. Saves are atomic and durable: each save writes a per-save unique
+// tmp file, fsyncs it, renames it over the target, and fsyncs the parent
+// directory, so a killed process (or a power cut) leaves either the
+// previous complete file or the new complete file — never a torn or lost
+// one. Concurrent writers sharing a directory (or even a path) cannot
+// clobber each other's tmp files. The file is line-oriented text:
 //
 //   softfet-checkpoint v1
 //   tag <escaped batch tag>
@@ -58,7 +61,8 @@ class Checkpoint {
   /// Record a completed slot (thread-safe; last write wins on re-record).
   void record(std::size_t index, std::string payload);
 
-  /// Atomically persist the current state to `path` (tmp + rename).
+  /// Atomically and durably persist the current state to `path` (unique
+  /// tmp + fsync + rename + parent-directory fsync).
   void save(const std::string& path) const;
 
  private:

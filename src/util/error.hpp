@@ -138,16 +138,39 @@ class SingularMatrixError : public ConvergenceError {
   std::size_t column_;
 };
 
-/// Netlist text could not be parsed.
+/// Netlist (or service request) text could not be parsed. `line` is
+/// 1-based; `column` is the 1-based character position when the producer
+/// tracks it (0 = unknown — the netlist tokenizer reports lines only, the
+/// service NDJSON parser reports both).
 class ParseError : public Error {
  public:
   ParseError(const std::string& what, int line)
       : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
 
+  ParseError(const std::string& what, int line, int column)
+      : Error(with_position(what, line, column)),
+        line_(line),
+        column_(column) {}
+
   [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
 
  private:
+  // Built by appends: GCC 12's -Wrestrict misfires on long chains of
+  // std::string operator+ (GCC PR105651), which -Werror would promote.
+  [[nodiscard]] static std::string with_position(const std::string& what,
+                                                 int line, int column) {
+    std::string msg = "line ";
+    msg += std::to_string(line);
+    msg += ':';
+    msg += std::to_string(column);
+    msg += ": ";
+    msg += what;
+    return msg;
+  }
+
   int line_;
+  int column_ = 0;
 };
 
 }  // namespace softfet

@@ -1,0 +1,213 @@
+// NDJSON protocol unit tests: JSON parse/dump round trips, pinpointed
+// parse errors (line/column), request validation, retry classification and
+// backoff bounds, and the mapping of netlist-relative error positions back
+// to columns of the original request line (walking the \n escapes).
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "netlist/parser.hpp"
+#include "service/json.hpp"
+#include "service/retry.hpp"
+#include "util/error.hpp"
+
+namespace ss = softfet::service;
+using softfet::BudgetExceededError;
+using softfet::ConvergenceError;
+using softfet::Error;
+using softfet::ParseError;
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const ss::JsonValue v = ss::json_parse(
+      R"({"a": 1, "b": -2.5e3, "c": "x\ny", "d": [true, false, null], "e": {}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.number_or("a", 0), 1.0);
+  EXPECT_EQ(v.number_or("b", 0), -2500.0);
+  EXPECT_EQ(v.get("c")->as_string(), "x\ny");
+  ASSERT_TRUE(v.get("d")->is_array());
+  EXPECT_EQ(v.get("d")->items().size(), 3u);
+  EXPECT_TRUE(v.get("d")->items()[0].as_bool());
+  EXPECT_TRUE(v.get("d")->items()[2].is_null());
+  EXPECT_TRUE(v.get("e")->is_object());
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(Json, DumpIsDeterministicAndRoundTrips) {
+  ss::JsonValue obj = ss::JsonValue::object();
+  obj.set("z", ss::JsonValue::number(5));          // integral: no fraction
+  obj.set("a", ss::JsonValue::number(0.1));        // %.17g round trip
+  obj.set("s", ss::JsonValue::string("tab\there"));
+  const std::string text = obj.dump();
+  // Insertion order is preserved (z before a), making transcripts stable.
+  EXPECT_LT(text.find("\"z\""), text.find("\"a\""));
+  EXPECT_NE(text.find("\"z\":5,"), std::string::npos) << text;
+  const ss::JsonValue back = ss::json_parse(text);
+  EXPECT_EQ(back.number_or("z", 0), 5.0);
+  EXPECT_EQ(back.number_or("a", 0), 0.1);  // bitwise via %.17g
+  EXPECT_EQ(back.get("s")->as_string(), "tab\there");
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const ss::JsonValue v = ss::json_parse(R"({"s": "µA → pk"})");
+  EXPECT_EQ(v.get("s")->as_string(), "\xC2\xB5" "A \xE2\x86\x92 pk");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  ss::JsonValue obj = ss::JsonValue::object();
+  obj.set("inf", ss::JsonValue::number(INFINITY));
+  obj.set("nan", ss::JsonValue::number(NAN));
+  EXPECT_EQ(obj.dump(), R"({"inf":null,"nan":null})");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)ss::json_parse("{\n  \"a\": }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+  }
+  // Trailing garbage after a complete document is an error, not ignored.
+  EXPECT_THROW((void)ss::json_parse("{} trailing"), ParseError);
+  // Unterminated string.
+  EXPECT_THROW((void)ss::json_parse(R"({"a": "oops})"), ParseError);
+  // Depth bomb: 100 nested arrays exceed the parser's recursion bound.
+  std::string bomb(100, '[');
+  bomb += std::string(100, ']');
+  EXPECT_THROW((void)ss::json_parse(bomb), ParseError);
+}
+
+TEST(Protocol, ParseRequestValidatesIdAndType) {
+  const ss::Request req = ss::parse_request(
+      R"({"id": "j1", "type": "netlist", "netlist": "x"})");
+  EXPECT_EQ(req.id, "j1");
+  EXPECT_EQ(req.type, "netlist");
+  EXPECT_NE(req.payload.get("netlist"), nullptr);
+  EXPECT_FALSE(req.raw_line.empty());
+
+  EXPECT_THROW((void)ss::parse_request(R"({"type": "netlist"})"), Error);
+  EXPECT_THROW((void)ss::parse_request(R"({"id": "x"})"), Error);
+  EXPECT_THROW((void)ss::parse_request(R"({"id": 7, "type": "t"})"), Error);
+  EXPECT_THROW((void)ss::parse_request(R"([1,2,3])"), Error);
+  EXPECT_THROW((void)ss::parse_request("not json"), ParseError);
+}
+
+TEST(Protocol, MakeEventShape) {
+  const ss::JsonValue ev = ss::make_event("job-9", 3, "started");
+  EXPECT_EQ(ev.dump(), R"({"id":"job-9","seq":3,"event":"started"})");
+}
+
+TEST(Protocol, NetlistErrorMapsThroughEscapedNewlines) {
+  // The embedded netlist has its "error" on netlist line 3; the error is
+  // synthesized (rather than produced by the frontend) to pin the mapping
+  // itself.
+  const std::string raw =
+      R"({"id":"j","type":"netlist","netlist":"title\nV1 a 0 1\nR1 a b oops\n.end"})";
+  const ParseError error("element R1 needs a value", /*line=*/3);
+  const ss::NetlistErrorPosition pos = ss::map_netlist_error(error, raw);
+  EXPECT_EQ(pos.netlist_line, 3);
+  EXPECT_EQ(pos.netlist_column, 0);  // the netlist tokenizer tracks lines only
+  ASSERT_TRUE(pos.request_column.has_value());
+  // The mapped 1-based column must point at the 'R' of "R1 a b oops"
+  // inside the raw request line.
+  EXPECT_EQ(raw[*pos.request_column - 1], 'R');
+  EXPECT_EQ(raw.substr(*pos.request_column - 1, 4), "R1 a");
+}
+
+TEST(Protocol, NetlistErrorMappingUsesColumnsWhenAvailable) {
+  const std::string raw =
+      R"({"id":"j","type":"netlist","netlist":"t\nabcdef"})";
+  const ParseError error("bad char", /*line=*/2, /*column=*/3);
+  const ss::NetlistErrorPosition pos = ss::map_netlist_error(error, raw);
+  EXPECT_EQ(pos.netlist_line, 2);
+  EXPECT_EQ(pos.netlist_column, 3);
+  ASSERT_TRUE(pos.request_column.has_value());
+  EXPECT_EQ(raw[*pos.request_column - 1], 'c');  // 3rd char of "abcdef"
+}
+
+TEST(Protocol, NetlistErrorMappingAbsentWithoutNetlistKey) {
+  const ParseError error("nope", 1);
+  const ss::NetlistErrorPosition pos =
+      ss::map_netlist_error(error, R"({"id":"j","type":"x"})");
+  EXPECT_FALSE(pos.request_column.has_value());
+}
+
+TEST(Protocol, RealFrontendErrorMapsIntoRequestLine) {
+  // End to end: a genuinely malformed embedded netlist, the real frontend
+  // error, and the mapping against the exact NDJSON encoding the service
+  // would have received.
+  ss::JsonValue req = ss::JsonValue::object();
+  req.set("id", ss::JsonValue::string("j"));
+  req.set("type", ss::JsonValue::string("netlist"));
+  const std::string netlist = "title line\nV1 in 0 1\n.tran\n.end\n";
+  req.set("netlist", ss::JsonValue::string(netlist));
+  const std::string raw = req.dump();
+  try {
+    (void)softfet::netlist::parse(netlist);
+    FAIL() << "expected the frontend to reject .tran without arguments";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    const ss::NetlistErrorPosition pos = ss::map_netlist_error(e, raw);
+    EXPECT_EQ(pos.netlist_line, 3);
+    ASSERT_TRUE(pos.request_column.has_value());
+    // The mapped column lands inside the escaped netlist string, on the
+    // offending netlist line's first character (the '.' of ".tran").
+    EXPECT_EQ(raw.substr(*pos.request_column - 1, 5), ".tran");
+  }
+}
+
+TEST(Retry, ClassifiesFailures) {
+  EXPECT_EQ(ss::classify_failure(ConvergenceError("newton diverged")),
+            ss::FailureClass::kTransient);
+  EXPECT_EQ(ss::classify_failure(BudgetExceededError(
+                "wall clock", softfet::util::BudgetStop::kWallClock)),
+            ss::FailureClass::kTerminal);
+  EXPECT_EQ(ss::classify_failure(BudgetExceededError(
+                "cancelled", softfet::util::BudgetStop::kCancel)),
+            ss::FailureClass::kCancelled);
+  EXPECT_EQ(ss::classify_failure(ParseError("bad", 1)),
+            ss::FailureClass::kTerminal);
+  EXPECT_EQ(ss::classify_failure(std::runtime_error("bug")),
+            ss::FailureClass::kTerminal);
+}
+
+TEST(Retry, BackoffBoundsAndDeterminism) {
+  ss::RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.backoff_multiplier = 4.0;
+  policy.max_backoff_ms = 1000;
+  policy.jitter = 0.5;
+
+  EXPECT_EQ(ss::backoff_ms(policy, 1, 7), 0u);  // no sleep before attempt 1
+  for (int attempt = 2; attempt <= 5; ++attempt) {
+    const double base =
+        std::min(100.0 * std::pow(4.0, attempt - 2), 1000.0);
+    for (std::uint64_t seed : {1ull, 99ull, 123456789ull}) {
+      const unsigned ms = ss::backoff_ms(policy, attempt, seed);
+      EXPECT_GE(ms, static_cast<unsigned>(base * 0.5) - 1) << attempt;
+      EXPECT_LE(ms, static_cast<unsigned>(base) + 1) << attempt;
+      // Deterministic per (seed, attempt).
+      EXPECT_EQ(ms, ss::backoff_ms(policy, attempt, seed));
+    }
+  }
+  // Distinct seeds decorrelate (not all equal across a few draws).
+  const unsigned a = ss::backoff_ms(policy, 3, 1);
+  const unsigned b = ss::backoff_ms(policy, 3, 2);
+  const unsigned c = ss::backoff_ms(policy, 3, 3);
+  EXPECT_TRUE(a != b || b != c);
+
+  policy.jitter = 0.0;  // fully deterministic: exact exponential
+  EXPECT_EQ(ss::backoff_ms(policy, 2, 42), 100u);
+  EXPECT_EQ(ss::backoff_ms(policy, 3, 42), 400u);
+  EXPECT_EQ(ss::backoff_ms(policy, 4, 42), 1000u);  // capped
+}
+
+TEST(Retry, Fnv1a64MatchesReference) {
+  EXPECT_EQ(ss::fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(ss::fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_NE(ss::fnv1a64("netlist-a"), ss::fnv1a64("netlist-b"));
+}

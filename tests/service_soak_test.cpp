@@ -1,0 +1,528 @@
+// Fault-injected soak harness for the simulation service (ctest label
+// "service-soak").
+//
+// Thousands of queued jobs — healthy, transiently failing, poisoned,
+// malformed, oversized, cancelled, plus real netlist and fault-injected
+// device simulations — flow through one Server from several submitter
+// threads. The harness then audits the full response transcript against the
+// protocol's lifecycle contract: per-job seq numbers contiguous and in
+// arrival order, exactly one terminal event per admitted job, standalone
+// `rejected` for everything never admitted, zero leaked queue slots, and a
+// process that is still healthy afterwards. Separate cases prove the
+// service's answers are bitwise-equal to direct library calls and that a
+// killed daemon resumes journaled Monte-Carlo jobs to bitwise-identical
+// results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cells/inverter.hpp"
+#include "core/variation.hpp"
+#include "devices/capacitor.hpp"
+#include "devices/ptm.hpp"
+#include "devices/resistor.hpp"
+#include "devices/sources.hpp"
+#include "fault_injection.hpp"
+#include "netlist/elaborate.hpp"
+#include "netlist/parser.hpp"
+#include "service/server.hpp"
+#include "sim/analyses.hpp"
+#include "util/error.hpp"
+
+namespace ss = softfet::service;
+namespace fs = std::filesystem;
+using softfet::BudgetExceededError;
+using softfet::ConvergenceError;
+using softfet::util::BudgetStop;
+
+namespace {
+
+/// Thread-safe transcript collector with per-id views.
+class Transcript {
+ public:
+  ss::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(line);
+    };
+  }
+  [[nodiscard]] std::vector<std::string> lines() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+  [[nodiscard]] std::map<std::string, std::vector<ss::JsonValue>> by_id()
+      const {
+    std::map<std::string, std::vector<ss::JsonValue>> out;
+    for (const auto& line : lines()) {
+      ss::JsonValue v = ss::json_parse(line);
+      out[v.string_or("id", "")].push_back(std::move(v));
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<ss::JsonValue> events(const std::string& id) const {
+    std::vector<ss::JsonValue> out;
+    for (const auto& line : lines()) {
+      ss::JsonValue v = ss::json_parse(line);
+      if (v.string_or("id", "") == id) out.push_back(std::move(v));
+    }
+    return out;
+  }
+  [[nodiscard]] std::size_t count(const std::string& id,
+                                  const std::string& event) const {
+    std::size_t n = 0;
+    for (const auto& ev : events(id)) {
+      if (ev.string_or("event", "") == event) ++n;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+[[nodiscard]] bool is_terminal(const std::string& event) {
+  return event == "result" || event == "error" || event == "cancelled";
+}
+
+/// Audit one admitted-or-rejected job transcript against the lifecycle
+/// contract. Returns the terminal event name ("rejected" for non-admitted).
+std::string check_lifecycle(const std::string& id,
+                            const std::vector<ss::JsonValue>& events) {
+  EXPECT_FALSE(events.empty()) << id << " produced no response at all";
+  if (events.empty()) return "missing";
+  const std::string first = events.front().string_or("event", "");
+  if (first == "rejected") {
+    EXPECT_EQ(events.size(), 1u) << id << " got events past its rejection";
+    return "rejected";
+  }
+  EXPECT_EQ(first, "accepted") << id;
+  bool started = false;
+  std::size_t terminals = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].number_or("seq", -1), static_cast<double>(i))
+        << id << " seq gap at position " << i;
+    const std::string event = events[i].string_or("event", "");
+    if (i == 0) continue;
+    if (event == "started") {
+      EXPECT_FALSE(started) << id << " started twice";
+      EXPECT_EQ(terminals, 0u) << id;
+      started = true;
+    } else if (event == "chunk" || event == "progress" ||
+               event == "retrying") {
+      EXPECT_TRUE(started) << id << " streamed before start";
+      EXPECT_EQ(terminals, 0u) << id;
+    } else if (is_terminal(event)) {
+      ++terminals;
+      EXPECT_EQ(i, events.size() - 1)
+          << id << " emitted past its terminal " << event;
+    } else {
+      ADD_FAILURE() << id << " unexpected event '" << event << "'";
+    }
+  }
+  EXPECT_EQ(terminals, 1u) << id << " needs exactly one terminal event";
+  const std::string last = events.back().string_or("event", "");
+  if (last == "result") {
+    EXPECT_TRUE(started) << id;
+  }
+  return last;
+}
+
+/// Small linear RC netlists (note the mandatory SPICE title line) — a few
+/// variants so the content-addressed cache sees both hits and misses.
+[[nodiscard]] std::string rc_netlist(int variant) {
+  return "soak rc " + std::to_string(variant) +
+         "\\nV1 in 0 1\\nR1 in out " + std::to_string(1 + variant) +
+         "k\\nC1 out 0 1n\\n.tran 1u 10u\\n.end";
+}
+
+/// Register the cheap fault-injection handlers the soak mixes in. All of
+/// them are driven by the request payload, so one server serves every mode.
+void register_fault_handlers(ss::Server& server) {
+  server.register_handler("ok", [](const ss::Request& req,
+                                   ss::JobContext& ctx) {
+    ss::JsonValue result = ss::JsonValue::object();
+    result.set("value", ss::JsonValue::number(req.payload.number_or("n", 0)));
+    ctx.finish(std::move(result));
+  });
+  server.register_handler("flaky", [](const ss::Request&, ss::JobContext& ctx) {
+    if (ctx.attempt < 2) throw ConvergenceError("injected transient failure");
+    ctx.finish(ss::JsonValue::object());
+  });
+  server.register_handler("fatal", [](const ss::Request&, ss::JobContext&) {
+    throw ConvergenceError("injected permanent divergence");
+  });
+  server.register_handler("internal", [](const ss::Request&, ss::JobContext&) {
+    throw std::runtime_error("injected handler bug");
+  });
+  server.register_handler("budget", [](const ss::Request&, ss::JobContext&) {
+    throw BudgetExceededError("injected wall-clock exhaustion",
+                              BudgetStop::kWallClock);
+  });
+  server.register_handler(
+      "cancelme", [](const ss::Request&, ss::JobContext& ctx) {
+        // Wait (bounded) for the client's cancel; a cancel that never
+        // arrives — or arrived before the pop — still terminates cleanly.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+        while (!ctx.cancel->requested() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (ctx.cancel->requested()) {
+          throw BudgetExceededError("cancelled", BudgetStop::kCancel);
+        }
+        ctx.finish(ss::JsonValue::object());
+      });
+  server.register_handler(
+      "fault_rc", [](const ss::Request& req, ss::JobContext& ctx) {
+        // A real fault-injected device simulation: NaN residuals sabotage
+        // the Newton solves mid-transient. A bounded fault budget is cured
+        // by the recovery ladder; an unlimited one diverges terminally.
+        namespace sd = softfet::devices;
+        namespace sim = softfet::sim;
+        const int budget = static_cast<int>(req.payload.number_or("fault_budget", 1));
+        sim::Circuit circuit;
+        const auto in = circuit.node("in");
+        const auto out = circuit.node("out");
+        circuit.add<sd::VSource>("Vin", in, sim::kGroundNode,
+                                 sd::SourceSpec::ramp(0.0, 1.0, 100e-12,
+                                                      30e-12));
+        circuit.add<sd::Resistor>("R1", in, out, 1e3);
+        circuit.add<sd::Capacitor>("C1", out, sim::kGroundNode, 1e-15);
+        circuit.add<softfet::testing::FaultDevice>(
+            "FLT1", out, softfet::testing::FaultMode::kNanResidual, 200e-12,
+            1e-9, budget);
+        circuit.prepare();
+        const auto tran = sim::run_transient(circuit, 2e-9, ctx.options);
+        ss::JsonValue result = ss::JsonValue::object();
+        result.set("accepted_steps",
+                   ss::JsonValue::number(
+                       static_cast<double>(tran.accepted_steps)));
+        ctx.finish(std::move(result));
+      });
+}
+
+}  // namespace
+
+TEST(ServiceSoak, ThousandsOfFaultInjectedJobsKeepTheContract) {
+  ss::ServerConfig config;
+  config.workers = 4;
+  config.queue_capacity = 256;
+  config.max_netlist_bytes = 1024;  // small cap so oversized lines are cheap
+  config.retry.max_attempts = 3;
+  config.retry.base_backoff_ms = 1;
+  config.retry.max_backoff_ms = 2;
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+  register_fault_handlers(server);
+
+  Transcript out;
+  const ss::Sink sink = out.sink();
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 700;  // 2100 submissions total
+  std::mutex ids_mutex;
+  std::vector<std::string> job_ids;
+  std::vector<std::string> control_ids;
+  std::atomic<std::size_t> unaddressed_rejections{0};
+
+  const auto submitter = [&](int tid) {
+    std::vector<std::string> my_jobs;
+    std::vector<std::string> my_controls;
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string id =
+          "j" + std::to_string(tid) + "-" + std::to_string(i);
+      const std::string idq = "\"id\":\"" + id + "\"";
+      switch (i % 20) {
+        case 0:  // malformed NDJSON -> standalone rejection with empty id
+          server.handle_line("{\"id\": " + id, sink);
+          ++unaddressed_rejections;
+          continue;
+        case 1:  // blank keepalive -> no response at all
+          server.handle_line("   \t ", sink);
+          continue;
+        case 2: {  // oversized embedded netlist -> rejected invalid
+          server.handle_line("{" + idq + ",\"type\":\"netlist\",\"netlist\":\"" +
+                                 std::string(2000, 'x') + "\"}",
+                             sink);
+          my_jobs.push_back(id);
+          continue;
+        }
+        case 3:  // real netlist simulation through the cache
+          server.handle_line("{" + idq + ",\"type\":\"netlist\",\"netlist\":\"" +
+                                 rc_netlist(i % 3) + "\"}",
+                             sink);
+          my_jobs.push_back(id);
+          continue;
+        case 4: {  // mid-job (or pre-pop) cooperative cancel
+          server.handle_line("{" + idq + ",\"type\":\"cancelme\"}", sink);
+          const std::string ctl =
+              "c" + std::to_string(tid) + "-" + std::to_string(i);
+          server.handle_line("{\"id\":\"" + ctl +
+                                 "\",\"type\":\"cancel\",\"job\":\"" + id +
+                                 "\"}",
+                             sink);
+          my_jobs.push_back(id);
+          my_controls.push_back(ctl);
+          continue;
+        }
+        case 5:
+          server.handle_line("{" + idq + ",\"type\":\"flaky\"}", sink);
+          break;
+        case 6:
+          server.handle_line("{" + idq + ",\"type\":\"fatal\"}", sink);
+          break;
+        case 7:
+          server.handle_line("{" + idq + ",\"type\":\"internal\"}", sink);
+          break;
+        case 8:
+          server.handle_line("{" + idq + ",\"type\":\"budget\"}", sink);
+          break;
+        case 9:  // fault-injected device sim, cured by the recovery ladder
+          server.handle_line(
+              "{" + idq + ",\"type\":\"fault_rc\",\"fault_budget\":1}", sink);
+          break;
+        case 19:
+          if (i % 400 == 19) {  // a few terminally diverging device sims
+            server.handle_line(
+                "{" + idq + ",\"type\":\"fault_rc\",\"fault_budget\":-1}",
+                sink);
+            break;
+          }
+          [[fallthrough]];
+        default:
+          server.handle_line(
+              "{" + idq + ",\"type\":\"ok\",\"n\":" + std::to_string(i) + "}",
+              sink);
+          break;
+      }
+      my_jobs.push_back(id);
+    }
+    const std::lock_guard<std::mutex> lock(ids_mutex);
+    job_ids.insert(job_ids.end(), my_jobs.begin(), my_jobs.end());
+    control_ids.insert(control_ids.end(), my_controls.begin(),
+                       my_controls.end());
+  };
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) submitters.emplace_back(submitter, t);
+  for (auto& t : submitters) t.join();
+  server.wait_idle();
+
+  // Every submitted job reached exactly one ending; tally them.
+  const auto transcript = out.by_id();
+  std::map<std::string, std::size_t> endings;
+  for (const auto& id : job_ids) {
+    const auto it = transcript.find(id);
+    ASSERT_NE(it, transcript.end()) << id << " left no transcript";
+    ++endings[check_lifecycle(id, it->second)];
+  }
+  // Control requests answer exactly once, synchronously.
+  for (const auto& id : control_ids) {
+    const auto it = transcript.find(id);
+    ASSERT_NE(it, transcript.end()) << id;
+    EXPECT_EQ(it->second.size(), 1u) << id;
+    EXPECT_EQ(it->second.front().string_or("event", ""), "result") << id;
+  }
+  // Malformed lines produced their standalone empty-id rejections.
+  const auto anonymous = transcript.find("");
+  ASSERT_NE(anonymous, transcript.end());
+  EXPECT_EQ(anonymous->second.size(), unaddressed_rejections.load());
+  for (const auto& ev : anonymous->second) {
+    EXPECT_EQ(ev.string_or("event", ""), "rejected");
+  }
+
+  // Global accounting: no leaked queue slots, no stuck jobs, counters add
+  // up to the transcript.
+  const ss::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed + stats.cancelled);
+  EXPECT_EQ(stats.admitted,
+            endings["result"] + endings["error"] + endings["cancelled"]);
+  EXPECT_EQ(stats.completed, endings["result"]);
+  EXPECT_EQ(stats.failed, endings["error"]);
+  EXPECT_EQ(stats.cancelled, endings["cancelled"]);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.failed, 0u);       // fatal/internal/budget modes
+  EXPECT_GT(stats.retries, 0u);      // flaky mode
+  EXPECT_GT(stats.rejected_invalid, 0u);
+  EXPECT_GT(stats.cache.hits, 0u);   // repeated RC netlists hit the cache
+  EXPECT_LE(stats.cache.entries, config.cache_entries);
+
+  // The server is still healthy: a fresh job runs clean after the storm.
+  Transcript after;
+  server.handle_line(R"({"id":"after","type":"ok"})", after.sink());
+  server.wait_idle();
+  EXPECT_EQ(after.count("after", "result"), 1u);
+}
+
+TEST(ServiceSoak, NetlistResultsAreBitwiseEqualToDirectCalls) {
+  ss::ServerConfig config;
+  config.workers = 1;
+  config.chunk_rows = 7;  // force multi-chunk reassembly
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+
+  Transcript out;
+  server.handle_line(
+      "{\"id\":\"rc\",\"type\":\"netlist\",\"netlist\":\"" + rc_netlist(0) +
+          "\"}",
+      out.sink());
+  server.wait_idle();
+
+  const auto events = out.events("rc");
+  ASSERT_FALSE(events.empty());
+  ASSERT_EQ(events.back().string_or("event", ""), "result");
+
+  // Reassemble the streamed chunks into columns.
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> data;
+  std::size_t rows_seen = 0;
+  for (const auto& ev : events) {
+    if (ev.string_or("event", "") != "chunk") continue;
+    ASSERT_EQ(ev.string_or("kind", ""), "tran");
+    if (columns.empty()) {
+      for (const auto& name : ev.get("columns")->items()) {
+        columns.push_back(name.as_string());
+        data.emplace_back();
+      }
+    }
+    EXPECT_EQ(ev.number_or("row_offset", -1),
+              static_cast<double>(rows_seen));  // monotone chunk order
+    for (const auto& row : ev.get("rows")->items()) {
+      ASSERT_EQ(row.items().size(), columns.size());
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        data[c].push_back(row.items()[c].as_number());
+      }
+      ++rows_seen;
+    }
+  }
+  ASSERT_GT(rows_seen, 0u);
+  ASSERT_FALSE(columns.empty());
+  EXPECT_EQ(columns.front(), "time");
+
+  // The direct library call under the same options the service arms:
+  // default SimOptions plus dtmax = 10 * tstep (the handler's rule).
+  std::string netlist_text = rc_netlist(0);
+  for (std::size_t nl = netlist_text.find("\\n"); nl != std::string::npos;
+       nl = netlist_text.find("\\n")) {
+    netlist_text.replace(nl, 2, "\n");
+  }
+  const auto ast = softfet::netlist::parse(netlist_text);
+  auto net = softfet::netlist::elaborate(ast);
+  net.circuit->prepare();
+  softfet::sim::SimOptions options;
+  options.dtmax = net.tran->tstep * 10.0;
+  const auto tran =
+      softfet::sim::run_transient(*net.circuit, net.tran->tstop, options);
+
+  ASSERT_EQ(rows_seen, tran.time.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const std::vector<double>& direct =
+        c == 0 ? tran.time : tran.table.signal(columns[c]);
+    for (std::size_t row = 0; row < rows_seen; ++row) {
+      // Bitwise: %.17g JSON numbers round-trip doubles exactly.
+      EXPECT_EQ(data[c][row], direct[row])
+          << columns[c] << " row " << row << " differs from the direct call";
+    }
+  }
+  const ss::JsonValue* summary = events.back().get("tran");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->number_or("accepted_steps", -1),
+            static_cast<double>(tran.accepted_steps));
+}
+
+TEST(ServiceSoak, KilledDaemonResumesMonteCarloBitwise) {
+  const std::string state_dir =
+      (fs::path(::testing::TempDir()) / "softfet-soak-state").string();
+  fs::remove_all(state_dir);
+
+  const char* kJob =
+      R"({"id":"mc1","type":"monte_carlo","samples":12,"seed":9,"lanes":1,)"
+      R"("checkpoint_every":1,"timeout_seconds":240})";
+
+  ss::ServerConfig config;
+  config.workers = 1;
+  config.state_dir = state_dir;
+  config.max_timeout_seconds = 300.0;
+
+  // Phase 1: admit the job, let it make progress, then kill the daemon the
+  // cooperative way a SIGTERM would (cancel in-flight, flush checkpoints,
+  // keep journals).
+  Transcript first;
+  {
+    const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+    server.handle_line(kJob, first.sink());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (first.count("mc1", "progress") == 0 &&
+           first.count("mc1", "result") == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    server.shutdown(/*cancel_inflight=*/true);
+  }
+  ASSERT_EQ(first.count("mc1", "result"), 0u)
+      << "job finished before the kill; nothing left to resume";
+  ASSERT_EQ(first.count("mc1", "cancelled"), 1u);
+  ASSERT_TRUE(fs::exists(state_dir));
+
+  // Phase 2: a fresh daemon over the same state dir re-admits the journaled
+  // job and finishes it from the checkpoint.
+  Transcript second;
+  ss::JsonValue result;
+  {
+    const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+    const std::size_t resumed = server.resume_journaled(second.sink());
+    EXPECT_EQ(resumed, 1u);
+    server.wait_idle();
+    const auto events = second.events("mc1");
+    ASSERT_FALSE(events.empty());
+    result = events.back();
+    EXPECT_EQ(server.stats().resumed, 1u);
+    server.shutdown(/*cancel_inflight=*/false);
+  }
+  ASSERT_EQ(result.string_or("event", ""), "result");
+  // Terminal success removed the job's journal and checkpoint.
+  EXPECT_TRUE(fs::is_empty(state_dir));
+
+  // The direct, uninterrupted library call with the same study parameters.
+  softfet::cells::InverterTestbenchSpec base;
+  base.input_rising = false;
+  base.dut.ptm = softfet::devices::PtmParams{};
+  softfet::core::MonteCarloSpec mc;
+  mc.samples = 12;
+  mc.seed = 9;
+  mc.lanes = 1;
+  mc.threads = 1;
+  const auto direct = softfet::core::ptm_monte_carlo(base, mc, {});
+
+  EXPECT_EQ(result.number_or("samples", -1),
+            static_cast<double>(direct.samples));
+  EXPECT_EQ(result.number_or("failed_samples", -1),
+            static_cast<double>(direct.failed_samples));
+  // Bitwise equality of every statistic: the resumed run must reproduce the
+  // uninterrupted study exactly (%.17g survives the JSON round trip).
+  EXPECT_EQ(result.number_or("imax_mean", -1), direct.imax_mean);
+  EXPECT_EQ(result.number_or("imax_std", -1), direct.imax_std);
+  EXPECT_EQ(result.number_or("imax_worst", -1), direct.imax_worst);
+  EXPECT_EQ(result.number_or("delay_mean", -1), direct.delay_mean);
+  EXPECT_EQ(result.number_or("delay_std", -1), direct.delay_std);
+  EXPECT_EQ(result.number_or("delay_worst", -1), direct.delay_worst);
+  EXPECT_EQ(result.number_or("fraction_below_baseline", -1),
+            direct.fraction_below_baseline);
+
+  fs::remove_all(state_dir);
+}
