@@ -4,11 +4,15 @@
 Usage:
     perf_compare.py BASELINE.json CANDIDATE.json [--max-regression 0.25]
 
-Benchmarks are matched by name; names present in only one file are listed
-but never fail the run (new benchmarks appear, old ones retire). A matched
-benchmark regresses when its candidate real_time exceeds the baseline by
-more than --max-regression (fractional, default 0.25 = 25% slower). Exit
-status is 1 when any matched benchmark regresses, 0 otherwise.
+Benchmarks are matched by name; names present in only one file are warned
+about and skipped, never failed (new benchmarks appear before the baseline
+snapshot catches up, old ones retire). A matched benchmark regresses when
+its candidate real_time exceeds the baseline by more than --max-regression
+(fractional, default 0.25 = 25% slower). Exit status is 1 when any matched
+benchmark regresses, 0 otherwise.
+
+When GITHUB_STEP_SUMMARY is set (GitHub Actions), a markdown table of the
+comparison plus the skipped-benchmark lists is appended to the job summary.
 
 The threshold is deliberately loose: CI runners are noisy shared machines,
 and the point is to catch order-of-magnitude mistakes (a cache accidentally
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -59,6 +64,7 @@ def main() -> int:
         return 1
 
     regressions = []
+    rows = []
     print(f"{'benchmark':46s} {'baseline':>12s} {'candidate':>12s} {'ratio':>8s}")
     for name in matched:
         b, c = base[name], cand[name]
@@ -71,15 +77,47 @@ def main() -> int:
             regressions.append((name, ratio))
             flag = "  <-- REGRESSION"
         unit = b.get("time_unit", "ns")
+        rows.append((name, b["real_time"], c["real_time"], ratio, unit, bool(flag)))
         print(
             f"{name:46s} {b['real_time']:12.1f} {c['real_time']:12.1f} "
             f"{ratio:7.2f}x{flag} ({unit})"
         )
 
+    # A benchmark present in only one snapshot cannot be compared: warn and
+    # skip rather than fail, so a PR that adds benchmarks does not have to
+    # regenerate the committed baseline in the same change.
     for name in only_base:
-        print(f"note: {name} only in baseline (retired?)")
+        print(f"warning: skipping {name}: only in baseline (retired?)")
     for name in only_cand:
-        print(f"note: {name} only in candidate (new)")
+        print(
+            f"warning: skipping {name}: not in baseline (new benchmark; "
+            "will be compared once a baseline snapshot includes it)"
+        )
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("### Benchmark comparison\n\n")
+            handle.write("| benchmark | baseline | candidate | ratio |\n")
+            handle.write("| --- | ---: | ---: | ---: |\n")
+            for name, bt, ct, ratio, unit, bad in rows:
+                mark = " :warning: **REGRESSION**" if bad else ""
+                handle.write(
+                    f"| `{name}` | {bt:.1f} {unit} | {ct:.1f} {unit} | "
+                    f"{ratio:.2f}x{mark} |\n"
+                )
+            if only_cand:
+                handle.write(
+                    "\n**Skipped (new, not in baseline yet):** "
+                    + ", ".join(f"`{n}`" for n in only_cand)
+                    + "\n"
+                )
+            if only_base:
+                handle.write(
+                    "\n**Skipped (only in baseline, retired?):** "
+                    + ", ".join(f"`{n}`" for n in only_base)
+                    + "\n"
+                )
 
     if regressions:
         worst = max(regressions, key=lambda r: r[1])

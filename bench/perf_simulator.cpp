@@ -27,7 +27,9 @@
 #include "numeric/krylov.hpp"
 #include "numeric/ordering.hpp"
 #include "numeric/sparse_lu.hpp"
+#include "numeric/vecmath.hpp"
 #include "sim/analyses.hpp"
+#include "sim/options.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -443,6 +445,107 @@ BENCHMARK(BM_PtmMonteCarloLanes)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Same study under SimOptions::determinism = kRelaxedUlp: batched lanes
+// evaluate device models through the numeric/vecmath SIMD kernels instead
+// of one libm call per device per lane. Results agree with the bitwise
+// engine to the documented ULP bounds (see tests/core_relaxed_equivalence
+// for the oracle); this is the headline number for the relaxed mode.
+void BM_PtmMonteCarloRelaxed(benchmark::State& state) {
+  cells::InverterTestbenchSpec spec;
+  spec.input_transition = 30e-12;
+  spec.input_rising = false;
+  spec.dut.ptm = devices::PtmParams{};
+  core::MonteCarloSpec mc;
+  mc.samples = 64;
+  mc.threads = 1;
+  mc.lanes = static_cast<int>(state.range(0));
+  sim::SimOptions options;
+  options.determinism = sim::Determinism::kRelaxedUlp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ptm_monte_carlo(spec, mc, options));
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(mc.samples),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PtmMonteCarloRelaxed)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Device-model kernel microbenchmarks: the vectorized exponential and the
+// fused softplus+sigmoid (the Soft-FET conduction law's inner pair)
+// against one libm call per element. items_processed = array elements, so
+// the reported items/s compares directly across the four benches.
+void BM_VecmathExp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-80.0, 80.0);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = dist(rng);
+  for (auto _ : state) {
+    numeric::vecmath::exp_v(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VecmathExp)->Arg(1024);
+
+void BM_VecmathExpLibm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-80.0, 80.0);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = dist(rng);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = std::exp(x[i]);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VecmathExpLibm)->Arg(1024);
+
+void BM_VecmathSoftplusSigmoid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-60.0, 60.0);
+  std::vector<double> x(n), sp(n), sg(n);
+  for (auto& v : x) v = dist(rng);
+  for (auto _ : state) {
+    numeric::vecmath::softplus_sigmoid_v(x.data(), sp.data(), sg.data(), n);
+    benchmark::DoNotOptimize(sp.data());
+    benchmark::DoNotOptimize(sg.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VecmathSoftplusSigmoid)->Arg(1024);
+
+void BM_VecmathSoftplusSigmoidLibm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-60.0, 60.0);
+  std::vector<double> x(n), sp(n), sg(n);
+  for (auto& v : x) v = dist(rng);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sp[i] = std::log1p(std::exp(-std::fabs(x[i]))) + std::max(x[i], 0.0);
+      sg[i] = 1.0 / (1.0 + std::exp(-x[i]));
+    }
+    benchmark::DoNotOptimize(sp.data());
+    benchmark::DoNotOptimize(sg.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_VecmathSoftplusSigmoidLibm)->Arg(1024);
 
 // Factor-path breakdown of the SoA batch kernel. The timed loop refills the
 // lane-minor buffer and factors all 8 lanes, mirroring the per-Newton-

@@ -3,6 +3,7 @@
 // so device engineers can pick a material target (paper Section IV).
 //
 //   $ ./design_explorer [out.csv] [--resume state.ckpt] [--timeout seconds]
+//                       [--determinism bitwise|relaxed]
 //
 // --resume checkpoints completed grid points (one file per T_PTM slice,
 // "<state.ckpt>.t<i>") with atomic saves; a rerun with the same flag skips
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   std::string out_path = "design_space.csv";
   std::string resume_path;
   double timeout_seconds = 0.0;
+  sim::Determinism determinism = sim::Determinism::kBitwise;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--resume" && i + 1 < argc) {
@@ -36,12 +38,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       timeout_seconds = *parsed;
+    } else if (arg == "--determinism" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "bitwise") {
+        determinism = sim::Determinism::kBitwise;
+      } else if (mode == "relaxed") {
+        determinism = sim::Determinism::kRelaxedUlp;
+      } else {
+        std::fprintf(stderr,
+                     "--determinism must be 'bitwise' or 'relaxed' (got "
+                     "'%s')\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] != '-') {
       out_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: design_explorer [out.csv] [--resume state.ckpt] "
-                   "[--timeout seconds]\n");
+                   "[--timeout seconds] [--determinism bitwise|relaxed]\n");
       return 2;
     }
   }
@@ -50,6 +65,7 @@ int main(int argc, char** argv) {
   sim::SimOptions options;
   options.budget.max_wall_seconds = timeout_seconds;
   options.budget.cancel = &util::sigint_cancel_token();
+  options.determinism = determinism;
 
   cells::InverterTestbenchSpec base;
   base.vcc = 1.0;

@@ -1,7 +1,7 @@
 // softfet-spice: run a SPICE-style netlist through the softfet simulator.
 //
 //   $ ./netlist_runner circuit.sp [--csv out.csv] [--signals v(out),i(vdd)]
-//                      [--timeout seconds]
+//                      [--timeout seconds] [--determinism bitwise|relaxed]
 //
 // --timeout puts a wall-clock budget on every analysis; a transient that
 // trips it still writes the partial waveform to --csv, prints a one-line
@@ -88,6 +88,7 @@ int run(int argc, char** argv) {
   std::string csv_path;
   std::vector<std::string> signals;
   double timeout_seconds = 0.0;
+  sim::Determinism determinism = sim::Determinism::kBitwise;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv" && i + 1 < argc) {
@@ -101,12 +102,26 @@ int run(int argc, char** argv) {
         return 2;
       }
       timeout_seconds = *parsed;
+    } else if (arg == "--determinism" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "bitwise") {
+        determinism = sim::Determinism::kBitwise;
+      } else if (mode == "relaxed") {
+        determinism = sim::Determinism::kRelaxedUlp;
+      } else {
+        std::fprintf(stderr,
+                     "--determinism must be 'bitwise' or 'relaxed' (got "
+                     "'%s')\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] != '-') {
       netlist_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: netlist_runner <file.sp> [--csv out.csv] "
-                   "[--signals a,b,...] [--timeout seconds]\n");
+                   "[--signals a,b,...] [--timeout seconds] "
+                   "[--determinism bitwise|relaxed]\n");
       return 2;
     }
   }
@@ -119,6 +134,7 @@ int run(int argc, char** argv) {
   sim::SimOptions options;
   options.budget.max_wall_seconds = timeout_seconds;
   options.budget.cancel = &util::sigint_cancel_token();
+  options.determinism = determinism;
 
   auto net = netlist::compile_netlist_file(netlist_path);
   if (!net.title.empty()) std::printf("* %s\n", net.title.c_str());

@@ -9,6 +9,41 @@
 
 namespace softfet::core {
 
+std::string tag_for_mode(std::string tag, sim::Determinism mode) {
+  if (mode == sim::Determinism::kRelaxedUlp) tag += " det=relaxed";
+  return tag;
+}
+
+util::Checkpoint load_checkpoint_for_mode(const std::string& path,
+                                          const std::string& tag,
+                                          sim::Determinism mode,
+                                          std::size_t total) {
+  try {
+    return util::Checkpoint::load_or_create(path, tag_for_mode(tag, mode),
+                                            total);
+  } catch (const Error& e) {
+    // If the mismatch disappears under the other mode's tag, the file is
+    // from the same study but the opposite rounding regime: diagnose the
+    // mode clash instead of the generic "different batch" refusal.
+    const auto other = mode == sim::Determinism::kRelaxedUlp
+                           ? sim::Determinism::kBitwise
+                           : sim::Determinism::kRelaxedUlp;
+    try {
+      (void)util::Checkpoint::load_or_create(path, tag_for_mode(tag, other),
+                                             total);
+    } catch (const Error&) {
+      throw e;  // genuinely a different study
+    }
+    throw Error(
+        "checkpoint '" + path + "' was written under determinism mode '" +
+        sim::to_string(other) + "' but this run uses '" +
+        sim::to_string(mode) +
+        "'; resuming across modes would mix rounding regimes -- rerun with "
+        "determinism=" +
+        sim::to_string(other) + " or delete the file to start over");
+  }
+}
+
 std::string encode_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%a", value);

@@ -14,6 +14,8 @@
 
 #include "core/characterize.hpp"
 #include "core/failure.hpp"
+#include "sim/options.hpp"
+#include "util/checkpoint.hpp"
 
 namespace softfet::core {
 
@@ -25,6 +27,21 @@ struct CheckpointSpec {
 
   [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
 };
+
+/// Append the determinism-mode marker to a checkpoint tag. kBitwise leaves
+/// the tag untouched so every checkpoint written before the mode existed
+/// stays resumable; kRelaxedUlp appends " det=relaxed" so a file is pinned
+/// to the rounding regime that produced it and strict<->relaxed mixing is
+/// structurally impossible.
+[[nodiscard]] std::string tag_for_mode(std::string tag, sim::Determinism mode);
+
+/// util::Checkpoint::load_or_create with determinism-mode tagging: the tag
+/// is suffixed via tag_for_mode(), and a tag mismatch caused purely by the
+/// mode marker is rethrown as a clear "written under a different determinism
+/// mode" error instead of the generic different-batch refusal.
+[[nodiscard]] util::Checkpoint load_checkpoint_for_mode(
+    const std::string& path, const std::string& tag, sim::Determinism mode,
+    std::size_t total);
 
 /// Bitwise-exact double -> token ("%a" hexfloat; round-trips -0.0/inf/nan).
 [[nodiscard]] std::string encode_double(double value);

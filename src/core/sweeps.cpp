@@ -55,8 +55,10 @@ std::vector<DesignSpacePoint> sweep_vimt_vmit(
     for (std::size_t i = 0; i < v_mit.size(); ++i) {
       tag += (i == 0 ? "" : ",") + encode_double(v_mit[i]);
     }
-    checkpoint = util::Checkpoint::load_or_create(checkpoint_spec.path, tag,
-                                                  points.size());
+    // Tag also pins the determinism mode; strict<->relaxed resume is
+    // refused with a mode-specific error (see load_checkpoint_for_mode).
+    checkpoint = load_checkpoint_for_mode(checkpoint_spec.path, tag,
+                                          options.determinism, points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto payload = checkpoint.payload(i);
       if (!payload.has_value()) continue;

@@ -134,8 +134,13 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
         " sig_th=" + encode_double(mc.sigma_threshold) +
         " sig_r=" + encode_double(mc.sigma_resistance) +
         " sig_t=" + encode_double(mc.sigma_tptm);
-    checkpoint = util::Checkpoint::load_or_create(mc.checkpoint.path, tag,
-                                                  sample_count + 1);
+    // The tag additionally pins the determinism mode (relaxed-mode files
+    // carry a " det=relaxed" marker); a strict<->relaxed resume is refused
+    // with a mode-specific error instead of silently mixing rounding
+    // regimes.
+    checkpoint = load_checkpoint_for_mode(mc.checkpoint.path, tag,
+                                          options.determinism,
+                                          sample_count + 1);
     const auto malformed = [&](std::size_t slot, const std::string& payload) {
       return Error("checkpoint '" + mc.checkpoint.path + "': slot " +
                    std::to_string(slot) + " has malformed payload '" +
@@ -295,8 +300,16 @@ MonteCarloStats ptm_monte_carlo(const cells::InverterTestbenchSpec& base,
 
   // Resolve the lane knob: 0 = auto. Budgeted runs (wall-clock/step caps)
   // stay scalar because the batch cannot replicate per-lane truncation.
+  // Auto width is mode-dependent: 8 lanes saturate the bitwise engine
+  // (wider only grows the working set), but the relaxed SIMD device
+  // kernels keep paying past that — 16 lanes measure ~7% faster than 8 on
+  // the inverter study (EXPERIMENTS.md) before the working set wins again.
   constexpr int kAutoLanes = 8;
-  const int lane_knob = mc.lanes == 0 ? kAutoLanes : std::max(mc.lanes, 1);
+  constexpr int kAutoLanesRelaxed = 16;
+  const int auto_lanes = options.determinism == sim::Determinism::kRelaxedUlp
+                             ? kAutoLanesRelaxed
+                             : kAutoLanes;
+  const int lane_knob = mc.lanes == 0 ? auto_lanes : std::max(mc.lanes, 1);
   const bool use_batch =
       lane_knob > 1 && sim::batch_transient_supported(options);
   const auto threads = static_cast<std::size_t>(std::max(mc.threads, 0));

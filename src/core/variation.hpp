@@ -53,7 +53,11 @@ struct MonteCarloSpec {
   /// grouped into K-lane blocks that share one batched factor/solve; a
   /// sample the engine evicts (recovery-ladder trigger, cancel, non-finite
   /// math) transparently reruns on the scalar path. Per-sample results are
-  /// bitwise identical for every setting.
+  /// bitwise identical for every setting under the default
+  /// sim::Determinism::kBitwise mode; under kRelaxedUlp (from the
+  /// SimOptions passed to ptm_monte_carlo) batched lanes use the SIMD
+  /// device kernels, whose results agree with the scalar oracle to the
+  /// documented ULP bounds rather than bitwise.
   int lanes = 0;
   /// Test / instrumentation hook: called with the sample index and the
   /// fully drawn spec just before characterization (fault injection,
@@ -68,7 +72,8 @@ struct MonteCarloSpec {
   /// cancellation, and at the end. A rerun against the same file skips
   /// finished samples and reproduces the uninterrupted statistics bitwise
   /// (payloads are hexfloat-encoded). The file's tag binds it to this
-  /// (seed, samples, sigma_*) study; mismatches are refused.
+  /// (seed, samples, sigma_*) study and to the determinism mode of the
+  /// run; mismatches — including strict<->relaxed resume — are refused.
   CheckpointSpec checkpoint;
 };
 

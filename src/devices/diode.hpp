@@ -20,8 +20,17 @@ class Diode final : public sim::Device {
   void setup(sim::Circuit& circuit) override;
   void load(const std::vector<double>& x, sim::Stamper& stamper,
             const sim::LoadContext& ctx) override;
+  /// Relaxed-determinism batched evaluation with the numeric::vecmath
+  /// capped-exp kernel across all lanes (ULP-level difference vs load()).
+  [[nodiscard]] bool supports_lane_load() const override { return true; }
+  void load_lanes(sim::Device* const* peers, const sim::LaneLoadView* views,
+                  std::size_t m) override;
   void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
                double omega) override;
+
+  /// Argument above which the junction exponential is extended linearly so
+  /// Newton iterates stay finite.
+  static constexpr double kExpCap = 80.0;
 
   /// i(v) and di/dv of the junction alone (exposed for tests).
   static void evaluate(const DiodeParams& params, double v, double& i,

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "devices/common.hpp"
+#include "numeric/vecmath.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -32,6 +33,7 @@ Ptm::Ptm(std::string name, sim::NodeId p, sim::NodeId n,
          const PtmParams& params)
     : Device(std::move(name)), p_(p), n_(n), params_(params) {
   params_.validate();
+  cache_log_resistances();
   const std::string lname = util::to_lower(this->name());
   probe_i_ = "i(" + lname + ")";
   probe_r_ = "r(" + lname + ")";
@@ -52,7 +54,19 @@ double Ptm::resistance_at(const PtmParams& params, double s) {
   return std::exp(log_r);
 }
 
-double Ptm::resistance() const noexcept { return resistance_at(params_, s_); }
+void Ptm::cache_log_resistances() {
+  log_r_ins_ = std::log(params_.r_ins);
+  log_r_met_ = std::log(params_.r_met);
+}
+
+double Ptm::resistance_cached(double s) const {
+  if (params_.law == PtmResistanceLaw::kLinear) {
+    return (1.0 - s) * params_.r_ins + s * params_.r_met;
+  }
+  return std::exp((1.0 - s) * log_r_ins_ + s * log_r_met_);
+}
+
+double Ptm::resistance() const noexcept { return resistance_cached(s_); }
 
 double Ptm::voltage_across(const std::vector<double>& x) const {
   return voltage_of(x, up_) - voltage_of(x, un_);
@@ -68,9 +82,53 @@ void Ptm::load(const std::vector<double>& x, sim::Stamper& stamper,
   const double s_eval = (ctx.mode == sim::AnalysisMode::kTransient)
                             ? projected_phase(ctx.dt)
                             : s_;
-  const double g = 1.0 / resistance_at(params_, s_eval);
+  const double g = 1.0 / resistance_cached(s_eval);
   stamper.add_conductance(up_, un_, g, voltage_of(x, up_),
                           voltage_of(x, un_));
+}
+
+void Ptm::load_lanes(sim::Device* const* peers, const sim::LaneLoadView* views,
+                     std::size_t m) {
+  // The batched path assumes one resistance law across lanes (true for
+  // Monte-Carlo parameter draws); mixed laws fall back to the scalar loop.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (static_cast<const Ptm*>(peers[i])->params_.law != params_.law) {
+      Device::load_lanes(peers, views, m);
+      return;
+    }
+  }
+
+  thread_local std::vector<double> r;
+  r.resize(m);
+  if (params_.law == PtmResistanceLaw::kLinear) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& dev = *static_cast<const Ptm*>(peers[i]);
+      const auto& ctx = *views[i].ctx;
+      const double s_eval = (ctx.mode == sim::AnalysisMode::kTransient)
+                                ? dev.projected_phase(ctx.dt)
+                                : dev.s_;
+      r[i] = (1.0 - s_eval) * dev.params_.r_ins + s_eval * dev.params_.r_met;
+    }
+  } else {
+    thread_local std::vector<double> arg;
+    arg.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& dev = *static_cast<const Ptm*>(peers[i]);
+      const auto& ctx = *views[i].ctx;
+      const double s_eval = (ctx.mode == sim::AnalysisMode::kTransient)
+                                ? dev.projected_phase(ctx.dt)
+                                : dev.s_;
+      arg[i] = (1.0 - s_eval) * dev.log_r_ins_ + s_eval * dev.log_r_met_;
+    }
+    numeric::vecmath::exp_v(arg.data(), r.data(), m);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& dev = *static_cast<const Ptm*>(peers[i]);
+    const auto& x = *views[i].x;
+    views[i].stamper->add_conductance(dev.up_, dev.un_, 1.0 / r[i],
+                                      voltage_of(x, dev.up_),
+                                      voltage_of(x, dev.un_));
+  }
 }
 
 void Ptm::load_ac(const std::vector<double>& /*x_op*/, sim::AcStamper& ac,

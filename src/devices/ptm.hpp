@@ -65,6 +65,12 @@ class Ptm final : public sim::Device {
   void setup(sim::Circuit& circuit) override;
   void load(const std::vector<double>& x, sim::Stamper& stamper,
             const sim::LoadContext& ctx) override;
+  /// Relaxed-determinism batched evaluation. Linear-law lanes are plain
+  /// arithmetic; logarithmic-law lanes share one numeric::vecmath exp sweep
+  /// over the cached log-resistance interpolants.
+  [[nodiscard]] bool supports_lane_load() const override { return true; }
+  void load_lanes(sim::Device* const* peers, const sim::LaneLoadView* views,
+                  std::size_t m) override;
   void load_ac(const std::vector<double>& x_op, sim::AcStamper& ac,
                double omega) override;
   void init_state(const std::vector<double>& x_op) override;
@@ -95,6 +101,7 @@ class Ptm final : public sim::Device {
   void set_params(const PtmParams& params) {
     params.validate();
     params_ = params;
+    cache_log_resistances();
   }
 
   [[nodiscard]] const PtmParams& params() const noexcept { return params_; }
@@ -119,10 +126,17 @@ class Ptm final : public sim::Device {
   /// Phase position after advancing `dt` toward the current target.
   [[nodiscard]] double projected_phase(double dt) const;
   void maybe_flip_target(double v);
+  /// R(s) like resistance_at but using the cached std::log values — the
+  /// same doubles resistance_at computes, so results are bit-identical
+  /// while load() skips two logs per Newton iteration.
+  [[nodiscard]] double resistance_cached(double s) const;
+  void cache_log_resistances();
 
   sim::NodeId p_;
   sim::NodeId n_;
   PtmParams params_;
+  double log_r_ins_ = 0.0;
+  double log_r_met_ = 0.0;
   int up_ = sim::kGround;
   int un_ = sim::kGround;
 

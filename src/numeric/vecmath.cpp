@@ -1,0 +1,131 @@
+// Array forms of the vecmath kernels. Each loop body is the branch-free
+// scalar kernel from vecmath.hpp, so element i is a pure function of input
+// i — the compiler's auto-vectorizer turns these into SIMD pipelines, and
+// results are identical for any lane packing.
+//
+// Dispatch: on x86-64 ELF targets each kernel is multi-versioned
+// (target_clones) into baseline / AVX2 / AVX-512 bodies with a runtime
+// resolver, so one portable binary gets the host's full vector width. The
+// clones are numerically identical to the scalar kernels: they execute the
+// same IEEE-754 operations per element, and the global -ffp-contract=off
+// keeps FMA fusion off in every clone. SIMD changes *throughput*, never
+// results — which is what lets relaxed-mode runs stay deterministic across
+// machines of different vector widths.
+#include "numeric/vecmath.hpp"
+
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
+#define SOFTFET_VECMATH_CLONES \
+  __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
+#else
+#define SOFTFET_VECMATH_CLONES
+#endif
+
+namespace softfet::numeric::vecmath {
+
+SOFTFET_VECMATH_CLONES
+void exp_v(const double* x, double* y, std::size_t n) {
+  const double* __restrict xp = x;
+  double* __restrict yp = y;
+  for (std::size_t i = 0; i < n; ++i) yp[i] = exp_s(xp[i]);
+}
+
+SOFTFET_VECMATH_CLONES
+void expm1_v(const double* x, double* y, std::size_t n) {
+  const double* __restrict xp = x;
+  double* __restrict yp = y;
+  for (std::size_t i = 0; i < n; ++i) yp[i] = expm1_s(xp[i]);
+}
+
+SOFTFET_VECMATH_CLONES
+void log1p_v(const double* x, double* y, std::size_t n) {
+  const double* __restrict xp = x;
+  double* __restrict yp = y;
+  for (std::size_t i = 0; i < n; ++i) yp[i] = log1p_s(xp[i]);
+}
+
+namespace {
+// Block size for the multi-pass composites below: big enough to amortize
+// the per-call dispatch of the primitive kernels, small enough that the
+// scratch stays in L1 (2 x 1 KiB).
+constexpr std::size_t kCompositeBlock = 128;
+}  // namespace
+
+// softplus / softplus+sigmoid are composed as blocked multi-pass sweeps over
+// the primitive kernels instead of one fused loop: GCC's vectorizer balks at
+// the fused body (exp + log1p in one loop exceeds what it will if-convert),
+// while each primitive pass vectorizes cleanly. The composition is the exact
+// operation sequence of softplus_s / softplus_sigmoid_s, so results are
+// bit-identical to the scalar forms.
+SOFTFET_VECMATH_CLONES
+void softplus_v(const double* x, double* y, std::size_t n) {
+  double t[kCompositeBlock];
+  double u[kCompositeBlock];
+  for (std::size_t base = 0; base < n; base += kCompositeBlock) {
+    const std::size_t m =
+        (n - base < kCompositeBlock) ? (n - base) : kCompositeBlock;
+    const double* __restrict xb = x + base;
+    double* __restrict yb = y + base;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ax = (xb[i] < 0.0) ? -xb[i] : xb[i];
+      t[i] = -ax;
+    }
+    exp_v(t, u, m);
+    log1p_v(u, t, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      yb[i] = ((xb[i] > 0.0) ? xb[i] : 0.0) + t[i];
+    }
+  }
+}
+
+SOFTFET_VECMATH_CLONES
+void sigmoid_v(const double* x, double* y, std::size_t n) {
+  const double* __restrict xp = x;
+  double* __restrict yp = y;
+  for (std::size_t i = 0; i < n; ++i) yp[i] = sigmoid_s(xp[i]);
+}
+
+SOFTFET_VECMATH_CLONES
+void softplus_sigmoid_v(const double* x, double* sp, double* sg,
+                        std::size_t n) {
+  double t[kCompositeBlock];
+  double u[kCompositeBlock];
+  for (std::size_t base = 0; base < n; base += kCompositeBlock) {
+    const std::size_t m =
+        (n - base < kCompositeBlock) ? (n - base) : kCompositeBlock;
+    const double* __restrict xb = x + base;
+    double* __restrict spb = sp + base;
+    double* __restrict sgb = sg + base;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ax = (xb[i] < 0.0) ? -xb[i] : xb[i];
+      t[i] = -ax;
+    }
+    exp_v(t, u, m);  // u = e = exp(-|x|), shared by both outputs
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = xb[i];
+      const double denom = 1.0 + u[i];
+      const double pos_half = 1.0 / denom;
+      const double neg_half = u[i] / denom;
+      double g = (xi >= 0.0) ? pos_half : neg_half;
+      g = (xi != xi) ? xi : g;  // repoison, matching softplus_sigmoid_s
+      sgb[i] = g;
+    }
+    log1p_v(u, t, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = xb[i];
+      double p = ((xi > 0.0) ? xi : 0.0) + t[i];
+      p = (xi != xi) ? xi : p;
+      spb[i] = p;
+    }
+  }
+}
+
+SOFTFET_VECMATH_CLONES
+void exp_capped_v(const double* x, double cap, double* e, double* de,
+                  std::size_t n) {
+  const double* __restrict xp = x;
+  double* __restrict ep = e;
+  double* __restrict dep = de;
+  for (std::size_t i = 0; i < n; ++i) exp_capped_s(xp[i], cap, ep[i], dep[i]);
+}
+
+}  // namespace softfet::numeric::vecmath

@@ -1,0 +1,283 @@
+// Branch-free, SIMD-friendly transcendental kernels for batched device
+// evaluation under the relaxed-determinism mode (SimOptions::determinism =
+// kRelaxedUlp).
+//
+// Why these exist: the batched lockstep engine (sim/batch) pins device
+// model math scalar under the bitwise-identity contract — every lane must
+// execute glibc's exact exp/log1p sequence — which caps Monte-Carlo
+// throughput at the ≈2.8x Amdahl ceiling documented in EXPERIMENTS.md.
+// These kernels trade that identity for a documented ULP bound: they are
+// pure polynomial pipelines with no data-dependent branches, so a compiler
+// auto-vectorizes the array forms across lanes, and a given input always
+// produces the same output regardless of lane packing, lane width, or
+// thread count (relaxed mode is still deterministic — it just rounds
+// differently from libm).
+//
+// Structure: the scalar kernels (`exp_s`, ...) are defined inline here and
+// are the single source of truth; the array forms (`exp_v`, ...) in
+// vecmath.cpp are plain loops over them compiled with vectorization-
+// friendly flags. Element i of every array form depends only on element i
+// of the inputs, which is what makes relaxed-mode results independent of
+// how the engine packs lanes.
+//
+// Clamping contract (matches the scalar device guards):
+//  - exp_s clamps to [kExpArgMin, kExpArgMax] and selects 0 / +inf outside,
+//    so no intermediate overflows even for the diode's pre-capped x<=80
+//    range (devices::Diode::kExpCap) and the vswitch's clamp(z, -60, 60).
+//  - softplus_s reproduces mosfet.cpp's overflow-safe softplus asymptote
+//    (x + e^-x above x ~ 30) through the exact identity
+//    softplus(x) = max(x, 0) + log1p(exp(-|x|)) instead of a branch.
+//  - sigmoid_s is the sign-split logistic of mosfet.cpp, as a select.
+//
+// Documented accuracy (asserted by tests/numeric_vecmath_test.cpp against
+// glibc over dense sweeps of the device clamp domains, subnormals, -0.0,
+// and the infinities; NaN propagates):
+//  - exp_s / expm1_s / log1p_s:            <= 4 ULP of the libm result
+//  - softplus_s / sigmoid_s / exp_capped:  <= 8 ULP of the scalar device
+//    formulas they replace (one extra rounding from the composition)
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace softfet::numeric::vecmath {
+
+/// exp() argument clamp: beyond these the true result is +inf / 0 anyway.
+inline constexpr double kExpArgMax = 709.782712893383973096;   // < ln(DBL_MAX)
+inline constexpr double kExpArgMin = -745.133219101941108420;  // > ln(denorm_min)
+
+namespace detail {
+
+// 2^52 * 1.5: adding then subtracting rounds to nearest integer without a
+// float->int conversion (which would be UB for NaN and is a vector stall).
+inline constexpr double kRoundMagic = 6755399441055744.0;
+inline constexpr double kLog2E = 1.44269504088896340736;
+// ln2 split Cody-Waite style so k*kLn2Hi is exact for |k| <= 2^20.
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// 2^k for integer k in [-1074, 1024], as two exactly-representable normal
+/// factors (k split in halves keeps each exponent in range; the second
+/// multiply performs the gradual underflow rounding for subnormal results).
+struct PowTwoSplit {
+  double hi;
+  double lo;
+};
+
+[[nodiscard]] inline PowTwoSplit pow2_split(std::int64_t k) {
+  const std::int64_t k1 = k >> 1;  // floor halve (negative k rounds down)
+  const std::int64_t k2 = k - k1;
+  PowTwoSplit s;
+  s.hi = std::bit_cast<double>(static_cast<std::uint64_t>(k1 + 1023) << 52);
+  s.lo = std::bit_cast<double>(static_cast<std::uint64_t>(k2 + 1023) << 52);
+  return s;
+}
+
+/// Degree-13 Taylor polynomial of e^r on |r| <= ln2/2, Estrin scheme.
+/// Truncation error < 0.03 ULP at the interval ends; the rounding error of
+/// the evaluation dominates the kernel's total error.
+[[nodiscard]] inline double exp_poly(double r) {
+  const double c2 = 1.0 / 2.0;
+  const double c3 = 1.0 / 6.0;
+  const double c4 = 1.0 / 24.0;
+  const double c5 = 1.0 / 120.0;
+  const double c6 = 1.0 / 720.0;
+  const double c7 = 1.0 / 5040.0;
+  const double c8 = 1.0 / 40320.0;
+  const double c9 = 1.0 / 362880.0;
+  const double c10 = 1.0 / 3628800.0;
+  const double c11 = 1.0 / 39916800.0;
+  const double c12 = 1.0 / 479001600.0;
+  const double c13 = 1.0 / 6227020800.0;
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  const double r8 = r4 * r4;
+  const double q0 = (1.0 + r) + r2 * (c2 + r * c3);
+  const double q1 = (c4 + r * c5) + r2 * (c6 + r * c7);
+  const double q2 = (c8 + r * c9) + r2 * (c10 + r * c11);
+  const double q3 = c12 + r * c13;
+  return (q0 + r4 * q1) + r8 * (q2 + r4 * q3);
+}
+
+/// fdlibm log() kernel: R(z) for z = s^2, s = f/(2+f), 1+f in [0.75, 1.5);
+/// log(1+f) = f - (hfsq - s*(hfsq + R)), hfsq = f^2/2.
+[[nodiscard]] inline double log_poly(double z) {
+  const double lg1 = 6.666666666666735130e-01;
+  const double lg2 = 3.999999999940941908e-01;
+  const double lg3 = 2.857142874366239149e-01;
+  const double lg4 = 2.222219843214978396e-01;
+  const double lg5 = 1.818357216161805012e-01;
+  const double lg6 = 1.531383769920937332e-01;
+  const double lg7 = 1.479819860511658591e-01;
+  const double z2 = z * z;
+  return z * ((lg1 + z * lg2) +
+              z2 * ((lg3 + z * lg4) + z2 * ((lg5 + z * lg6) + z2 * lg7)));
+}
+
+}  // namespace detail
+
+/// Branch-free exp. NaN propagates; x > kExpArgMax -> +inf; x < kExpArgMin
+/// -> 0. Documented bound: <= 4 ULP vs glibc exp.
+[[nodiscard]] inline double exp_s(double x) {
+  // NaN fails both compares and passes through the polynomial as NaN.
+  const double cx = (x > kExpArgMax) ? kExpArgMax
+                                     : ((x < kExpArgMin) ? kExpArgMin : x);
+  const double kd = cx * detail::kLog2E + detail::kRoundMagic;
+  const auto k = static_cast<std::int64_t>(
+      static_cast<std::int32_t>(std::bit_cast<std::uint64_t>(kd)));
+  const double kdr = kd - detail::kRoundMagic;
+  const double r = (cx - kdr * detail::kLn2Hi) - kdr * detail::kLn2Lo;
+  const detail::PowTwoSplit scale = detail::pow2_split(k);
+  double y = (detail::exp_poly(r) * scale.hi) * scale.lo;
+  y = (x > kExpArgMax) ? std::numeric_limits<double>::infinity() : y;
+  y = (x < kExpArgMin) ? 0.0 : y;
+  return y;
+}
+
+/// Branch-free log1p. Domain behaviour matches libm: log1p(-1) = -inf,
+/// x < -1 -> NaN, +inf -> +inf, +-0 -> +-0, NaN propagates. Documented
+/// bound: <= 4 ULP vs glibc log1p.
+[[nodiscard]] inline double log1p_s(double x) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double u_raw = 1.0 + x;
+  // Keep the decomposition in the normal range even for u near 0 (x -> -1):
+  // scale subnormal u up by 2^54 and fold the shift into k.
+  const bool tiny = u_raw < std::numeric_limits<double>::min();
+  // The rescale multiply is evaluated unconditionally (and selected away)
+  // so the loop stays branch-free under the vectorizer's if-conversion.
+  const double u_scaled = u_raw * 0x1p54;
+  const double u = tiny ? u_scaled : u_raw;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(u);
+  // Exponent split biased at sqrt(2)/2 (musl log style) so the mantissa
+  // lands in [sqrt(2)/2, sqrt(2)) — the design range of the fdlibm
+  // polynomial below (|s| <= 0.1716).
+  const std::int64_t k_raw =
+      static_cast<std::int64_t>(bits - 0x3fe6a09e00000000ULL) >> 52;
+  const double m =
+      std::bit_cast<double>(bits - (static_cast<std::uint64_t>(k_raw) << 52));
+  const double k = static_cast<double>(k_raw - (tiny ? 54 : 0));
+  // Low-order correction: the bits of x lost when forming 1 + x. For
+  // |x| < 1 this is exact Sterbenz arithmetic; for huge u it recovers the
+  // rounding error of u itself. The divide runs unconditionally on a
+  // substituted-safe denominator (a divide under a condition would be real
+  // control flow the vectorizer cannot if-convert); only the result is
+  // selected away for the non-finite / non-positive edge cases.
+  const bool c_ok = (u_raw > 0.0) && (u_raw < inf);
+  const double c_den = c_ok ? u_raw : 1.0;
+  const double c_q = (x - (u_raw - 1.0)) / c_den;
+  const double c = c_ok ? c_q : 0.0;
+
+  const double f = m - 1.0;
+  const double hfsq = 0.5 * f * f;
+  const double s = f / (2.0 + f);
+  const double big_r = detail::log_poly(s * s);
+  double y = k * detail::kLn2Hi -
+             ((hfsq - (s * (hfsq + big_r) + (k * detail::kLn2Lo + c))) - f);
+  y = (u_raw == 0.0) ? -inf : y;                    // x == -1
+  y = (u_raw < 0.0) ? std::numeric_limits<double>::quiet_NaN() : y;  // x < -1
+  y = (x == inf) ? inf : y;
+  y = (x != x) ? x : y;   // NaN in, NaN out (the c-select above masked it)
+  y = (x == 0.0) ? x : y; // preserve the sign of +-0
+  return y;
+}
+
+/// Branch-free expm1 via a small-|x| Taylor path and exp_s(x) - 1 outside,
+/// fused by a select (both sides are always finite to compute). Documented
+/// bound: <= 4 ULP vs glibc expm1.
+[[nodiscard]] inline double expm1_s(double x) {
+  // Small path: degree-15 Taylor of e^x - 1 on |x| <= 0.5 (truncation
+  // < 0.01 ULP there). Evaluated in Horner-on-x^2 Estrin style.
+  const double c2 = 1.0 / 2.0;
+  const double c3 = 1.0 / 6.0;
+  const double c4 = 1.0 / 24.0;
+  const double c5 = 1.0 / 120.0;
+  const double c6 = 1.0 / 720.0;
+  const double c7 = 1.0 / 5040.0;
+  const double c8 = 1.0 / 40320.0;
+  const double c9 = 1.0 / 362880.0;
+  const double c10 = 1.0 / 3628800.0;
+  const double c11 = 1.0 / 39916800.0;
+  const double c12 = 1.0 / 479001600.0;
+  const double c13 = 1.0 / 6227020800.0;
+  const double c14 = 1.0 / 87178291200.0;
+  const double c15 = 1.0 / 1307674368000.0;
+  const double x2 = x * x;
+  const double x4 = x2 * x2;
+  const double x8 = x4 * x4;
+  const double q0 = c2 + x * c3 + x2 * (c4 + x * c5);
+  const double q1 = (c6 + x * c7) + x2 * (c8 + x * c9);
+  const double q2 = (c10 + x * c11) + x2 * (c12 + x * c13);
+  const double q3 = c14 + x * c15;
+  const double small = x + x2 * ((q0 + x4 * q1) + x8 * (q2 + x4 * q3));
+  const double big = exp_s(x) - 1.0;
+  // |x| < 0.5 comparison is false for NaN -> big path -> NaN propagates.
+  const double ax = (x < 0.0) ? -x : x;
+  const double y = (ax < 0.5) ? small : big;
+  return (x == 0.0) ? x : y;  // preserve the sign of +-0 like libm
+}
+
+/// Overflow-safe softplus ln(1 + e^x) == max(x, 0) + log1p(e^-|x|),
+/// branch-free. Matches mosfet.cpp's guarded softplus to <= 8 ULP
+/// (including its x > 30 asymptote x + e^-x, which differs from the exact
+/// value by < 1e-27 relative there).
+[[nodiscard]] inline double softplus_s(double x) {
+  const double ax = (x < 0.0) ? -x : x;        // NaN stays NaN
+  const double pos = (x > 0.0) ? x : 0.0;      // NaN -> 0, repoisoned below
+  return pos + log1p_s(exp_s(-ax));
+}
+
+/// Branch-free logistic 1/(1 + e^-x), the sign-split form of mosfet.cpp.
+/// <= 8 ULP of the scalar formula; NaN propagates.
+[[nodiscard]] inline double sigmoid_s(double x) {
+  const double ax = (x < 0.0) ? -x : x;
+  const double e = exp_s(-ax);            // in (0, 1]
+  const double denom = 1.0 + e;
+  // x >= 0: 1/(1+e^-x); x < 0: e^x/(1+e^x). NaN picks either - both NaN.
+  return (x >= 0.0) ? 1.0 / denom : e / denom;
+}
+
+/// Fused softplus + sigmoid sharing one exp and one log1p — the EKV model
+/// needs both of the same argument, and this halves the transcendental
+/// work of the mosfet hot path.
+inline void softplus_sigmoid_s(double x, double& sp, double& sg) {
+  const double ax = (x < 0.0) ? -x : x;
+  const double e = exp_s(-ax);
+  const double pos = (x > 0.0) ? x : 0.0;
+  const double l = log1p_s(e);
+  sp = pos + l;
+  sg = (x >= 0.0) ? 1.0 / (1.0 + e) : e / (1.0 + e);
+  // Repoison: pos/l are partially non-NaN for NaN x via the selects above.
+  sp = (x != x) ? x : sp;
+  sg = (x != x) ? x : sg;
+}
+
+/// Diode-style capped exponential: e(x) = exp(x) for x <= cap, linearly
+/// extended exp(cap)*(1 + (x - cap)) above; de is its derivative (== the
+/// clamped exp in both regions). Matches devices/diode.cpp exp_safe /
+/// exp_safe_deriv including their NaN behaviour (e NaN, de finite).
+inline void exp_capped_s(double x, double cap, double& e, double& de) {
+  const double cx = (x <= cap) ? x : cap;   // NaN -> cap, like the scalar guard
+  const double e0 = exp_s(cx);
+  de = e0;
+  e = (x <= cap) ? e0 : e0 * (1.0 + (x - cap));
+}
+
+// --- Array forms (vecmath.cpp): element i depends only on input i. -------
+// Input and output arrays must not alias (the implementations carry
+// __restrict so the auto-vectorizer can skip runtime overlap checks).
+
+void exp_v(const double* x, double* y, std::size_t n);
+void expm1_v(const double* x, double* y, std::size_t n);
+void log1p_v(const double* x, double* y, std::size_t n);
+void softplus_v(const double* x, double* y, std::size_t n);
+void sigmoid_v(const double* x, double* y, std::size_t n);
+/// sp[i] = softplus(x[i]), sg[i] = sigmoid(x[i]) from one shared exp/log1p.
+void softplus_sigmoid_v(const double* x, double* sp, double* sg,
+                        std::size_t n);
+/// e[i]/de[i] = capped exponential and derivative (diode contract above).
+void exp_capped_v(const double* x, double cap, double* e, double* de,
+                  std::size_t n);
+
+}  // namespace softfet::numeric::vecmath

@@ -20,6 +20,7 @@
 #include "service/server.hpp"
 #include "sim/ac.hpp"
 #include "sim/analyses.hpp"
+#include "sim/options.hpp"
 #include "util/strings.hpp"
 
 namespace softfet::service {
@@ -84,6 +85,26 @@ void stream_table(JobContext& ctx, const char* kind,
     fields.set("last", JsonValue::boolean(stop == rows));
     ctx.emit("chunk", std::move(fields));
   }
+}
+
+/// Optional "determinism" request field: "bitwise" (default) or "relaxed".
+/// Unknown values are refused with a structured error before any work runs.
+void apply_determinism(const Request& request, sim::SimOptions& options) {
+  const JsonValue* mode = request.payload.get("determinism");
+  if (mode == nullptr) return;
+  if (mode->is_string()) {
+    const std::string& name = mode->as_string();
+    if (name == "bitwise") {
+      options.determinism = sim::Determinism::kBitwise;
+      return;
+    }
+    if (name == "relaxed") {
+      options.determinism = sim::Determinism::kRelaxedUlp;
+      return;
+    }
+  }
+  throw Error(
+      "\"determinism\" must be \"bitwise\" or \"relaxed\"");
 }
 
 }  // namespace
@@ -223,6 +244,7 @@ JobHandler monte_carlo_job_handler() {
         request.payload.number_or("sigma_resistance", mc.sigma_resistance);
     mc.sigma_tptm = request.payload.number_or("sigma_tptm", mc.sigma_tptm);
     mc.lanes = static_cast<int>(request.payload.number_or("lanes", 0.0));
+    apply_determinism(request, ctx.options);
     // Parallelism lives at the job level (the server's worker pool);
     // nested parallel_for would run serially anyway, so be explicit.
     mc.threads = 1;
@@ -249,6 +271,8 @@ JobHandler monte_carlo_job_handler() {
     const auto stats = core::ptm_monte_carlo(base, mc, ctx.options);
 
     JsonValue result = JsonValue::object();
+    result.set("determinism",
+               JsonValue::string(sim::to_string(ctx.options.determinism)));
     result.set("samples", JsonValue::number(stats.samples));
     result.set("failed_samples", JsonValue::number(stats.failed_samples));
     result.set("imax_mean", JsonValue::number(stats.imax_mean));

@@ -35,6 +35,7 @@ JsonValue diagnostics_to_json(const SolverDiagnostics& d) {
   JsonValue out = JsonValue::object();
   out.set("summary", JsonValue::string(d.summary()));
   out.set("analysis", JsonValue::string(d.analysis));
+  out.set("determinism", JsonValue::string(d.determinism));
   out.set("failure", JsonValue::string(d.failure));
   out.set("time", JsonValue::number(d.time));
   out.set("last_dt", JsonValue::number(d.last_dt));

@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <typeinfo>
 
 #include "numeric/batch_lu.hpp"
 #include "numeric/linear_solver.hpp"
@@ -115,6 +117,12 @@ struct Lane {
   std::size_t slot = 0;      // batch slot this round (when in_round)
   bool in_round = false;
   LanePhase phase = LanePhase::kSolving;
+
+  /// Stamp sink of the load in flight. Opened by begin_iteration and
+  /// released by finish_load so the relaxed device-major phase can stamp
+  /// into every staged lane between the two. (unique_ptr because Stamper
+  /// pins references and Lane must stay movable.)
+  std::unique_ptr<Stamper> stamper;
 };
 
 class BatchEngine {
@@ -134,6 +142,7 @@ class BatchEngine {
 
   void run() {
     for (Lane& lane : lanes_) init_lane(lane);
+    build_lane_plan();
     if (n_ > 0) {
       lu_.configure(n_, lanes_.size());
       b_.assign(n_ * lanes_.size(), 0.0);
@@ -142,7 +151,9 @@ class BatchEngine {
     }
 
     std::vector<Lane*> round;
+    std::vector<Lane*> staged;
     round.reserve(lanes_.size());
+    staged.reserve(lanes_.size());
     while (true) {
       round.clear();
       // Zero every lane column at once (cheaper than per-lane strided
@@ -152,15 +163,39 @@ class BatchEngine {
       // and measured slower: it turns every accumulate into a scattered
       // read-modify-write in the middle of the device-model code.)
       std::fill(lu_.values(), lu_.values() + n_ * n_ * lanes_.size(), 0.0);
-      for (Lane& lane : lanes_) {
-        if (lane.phase != LanePhase::kSolving) continue;
-        lane.slot = round.size();
-        if (prepare_iteration(lane)) {
-          scatter(lane);
-          lane.in_round = true;
-          round.push_back(&lane);
-        } else {
+      if (!lane_plan_ok_) {
+        // Bitwise contract (or no uniform device plan): the scalar-math
+        // lane loop, untouched.
+        for (Lane& lane : lanes_) {
+          if (lane.phase != LanePhase::kSolving) continue;
+          lane.slot = round.size();
+          if (prepare_iteration(lane)) {
+            scatter(lane);
+            lane.in_round = true;
+            round.push_back(&lane);
+          } else {
+            lane.in_round = false;
+          }
+        }
+      } else {
+        // Relaxed contract: open every live lane's load, evaluate the
+        // devices column-major across all of them (SIMD across lanes),
+        // then close out each load.
+        staged.clear();
+        for (Lane& lane : lanes_) {
+          if (lane.phase != LanePhase::kSolving) continue;
           lane.in_round = false;
+          if (begin_iteration(lane)) staged.push_back(&lane);
+        }
+        load_round(staged);
+        for (Lane* lane : staged) {
+          if (lane->phase != LanePhase::kSolving || !lane->stamper) continue;
+          lane->slot = round.size();
+          if (finish_load(*lane)) {
+            scatter(*lane);
+            lane->in_round = true;
+            round.push_back(lane);
+          }
         }
       }
       bool any_active = false;
@@ -204,6 +239,7 @@ class BatchEngine {
   void init_lane(Lane& lane) {
     TranResult& out = lane.out->tran;
     out.diagnostics.analysis = "transient";
+    out.diagnostics.determinism = to_string(options_.determinism);
     try {
       if (!(lane.tstop > 0.0)) {
         // run_transient throws Error here; the scalar rerun reproduces it.
@@ -301,11 +337,9 @@ class BatchEngine {
     lane.solve_iterations = 0;
   }
 
-  /// Front half of one Newton iteration (newton.cpp's loop head through the
-  /// RHS build). Returns true when the lane joined this round's batch
-  /// solve; false when the iteration was fully handled here (failure paths
-  /// and evictions — the lane may have already begun its next step).
-  bool prepare_iteration(Lane& lane) {
+  /// Newton-iteration loop head (budget check, counters) through opening
+  /// the lane's stamp sink. Returns false when the lane was evicted.
+  bool begin_iteration(Lane& lane) {
     TranResult& out = lane.out->tran;
     if (budget_timer_.check_now() != util::BudgetStop::kNone) {
       // solve_newton reports kBudgetExhausted; run_transient truncates.
@@ -317,21 +351,21 @@ class BatchEngine {
 
     lane.flat.begin_load();
     std::fill(lane.residual.begin(), lane.residual.end(), 0.0);
-    Stamper stamper(lane.flat, lane.residual);
-    try {
-      for (const auto& device : lane.circuit->devices()) {
-        device->load(lane.x_new, stamper, lane.ctx);
-      }
-    } catch (const Error& e) {
-      evict(lane, std::string("device load: ") + e.what());
-      return false;
-    }
+    lane.stamper = std::make_unique<Stamper>(lane.flat, lane.residual);
+    return true;
+  }
+
+  /// Tail of the RHS build after the device loads: gmin shunts, tape
+  /// check, finite check. Returns true when the lane should join the
+  /// round's batch solve.
+  bool finish_load(Lane& lane) {
     // gmin shunts in MnaSystem::load order (devices first, then shunts).
     for (std::size_t i = 0; i < lane.voltage_unknowns; ++i) {
       const int unknown = static_cast<int>(i);
-      stamper.add_residual(unknown, options_.gmin * lane.x_new[i]);
-      stamper.add_jacobian(unknown, unknown, options_.gmin);
+      lane.stamper->add_residual(unknown, options_.gmin * lane.x_new[i]);
+      lane.stamper->add_jacobian(unknown, unknown, options_.gmin);
     }
+    lane.stamper.reset();
     if (!lane.flat.end_load()) {
       evict(lane, "stamp pattern changed mid-run");
       return false;
@@ -341,6 +375,105 @@ class BatchEngine {
       return false;
     }
     return true;
+  }
+
+  /// Front half of one Newton iteration (newton.cpp's loop head through the
+  /// RHS build), scalar device math. Returns true when the lane joined this
+  /// round's batch solve; false when the iteration was fully handled here
+  /// (failure paths and evictions — the lane may have already begun its
+  /// next step).
+  bool prepare_iteration(Lane& lane) {
+    if (!begin_iteration(lane)) return false;
+    try {
+      for (const auto& device : lane.circuit->devices()) {
+        device->load(lane.x_new, *lane.stamper, lane.ctx);
+      }
+    } catch (const Error& e) {
+      lane.stamper.reset();
+      evict(lane, std::string("device load: ") + e.what());
+      return false;
+    }
+    return finish_load(lane);
+  }
+
+  /// Decide, once per run, whether the relaxed device-major load phase can
+  /// drive the lanes: every live lane must expose the same device sequence
+  /// (count and dynamic type per position — Monte-Carlo lanes are clones,
+  /// so this holds). Columns whose type implements load_lanes run batched;
+  /// the rest fall back to per-lane scalar loads inside load_round.
+  void build_lane_plan() {
+    lane_plan_ok_ = false;
+    if (options_.determinism != Determinism::kRelaxedUlp) return;
+    const Lane* first = nullptr;
+    for (const Lane& lane : lanes_) {
+      if (lane.phase == LanePhase::kSolving) {
+        first = &lane;
+        break;
+      }
+    }
+    if (first == nullptr) return;
+    const auto& ref = first->circuit->devices();
+    for (const Lane& lane : lanes_) {
+      if (lane.phase != LanePhase::kSolving) continue;
+      if (lane.circuit->devices().size() != ref.size()) return;
+    }
+    column_batched_.assign(ref.size(), 0);
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+      bool batched = ref[j]->supports_lane_load();
+      if (batched) {
+        const std::type_info& type = typeid(*ref[j]);
+        for (const Lane& lane : lanes_) {
+          if (lane.phase != LanePhase::kSolving) continue;
+          if (typeid(*lane.circuit->devices()[j]) != type) {
+            batched = false;
+            break;
+          }
+        }
+      }
+      column_batched_[j] = batched ? 1 : 0;
+    }
+    lane_plan_ok_ = true;
+  }
+
+  /// Device-major load phase of one relaxed round: column j of every
+  /// staged lane is evaluated together — batched through load_lanes when
+  /// the column supports it, per-lane scalar otherwise.
+  void load_round(std::vector<Lane*>& staged) {
+    if (staged.empty()) return;
+    for (std::size_t j = 0; j < column_batched_.size(); ++j) {
+      live_.clear();
+      peers_.clear();
+      views_.clear();
+      for (Lane* lane : staged) {
+        if (lane->phase != LanePhase::kSolving || !lane->stamper) continue;
+        live_.push_back(lane);
+        peers_.push_back(lane->circuit->devices()[j].get());
+        views_.push_back({&lane->x_new, lane->stamper.get(), &lane->ctx});
+      }
+      if (live_.empty()) return;
+      if (column_batched_[j] != 0) {
+        try {
+          peers_[0]->load_lanes(peers_.data(), views_.data(), peers_.size());
+        } catch (const Error& e) {
+          // A batched evaluation cannot attribute the throw to one lane;
+          // hand every staged lane back to the scalar engine.
+          for (Lane* lane : live_) {
+            lane->stamper.reset();
+            evict(*lane, std::string("device load (batched): ") + e.what());
+          }
+          return;
+        }
+      } else {
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+          try {
+            peers_[i]->load(*views_[i].x, *views_[i].stamper, *views_[i].ctx);
+          } catch (const Error& e) {
+            live_[i]->stamper.reset();
+            evict(*live_[i], std::string("device load: ") + e.what());
+          }
+        }
+      }
+    }
   }
 
   /// Copy a staged load (flat values buffer) into the lane's SoA column
@@ -522,6 +655,13 @@ class BatchEngine {
   std::vector<double> b_;
   std::vector<double> dx_soa_;
   std::vector<std::uint8_t> ok_;
+
+  // Relaxed device-major plan (build_lane_plan) and per-round scratch.
+  bool lane_plan_ok_ = false;
+  std::vector<std::uint8_t> column_batched_;
+  std::vector<Lane*> live_;
+  std::vector<Device*> peers_;
+  std::vector<LaneLoadView> views_;
 };
 
 }  // namespace

@@ -65,6 +65,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
       SolverDiagnostics d;
       if (diag != nullptr) d = *diag;
       d.analysis = "dc operating point";
+      d.determinism = to_string(options.determinism);
       d.failure = std::string("run budget: ") + util::to_string(stop);
       d.total_iterations = total_iterations;
       fill_solver_stats(d, *nopt.solver_instance);
@@ -129,6 +130,7 @@ int solve_dc(Circuit& circuit, const SimOptions& options, LoadContext& ctx,
     SolverDiagnostics d;
     if (diag != nullptr) d = *diag;
     d.analysis = "dc operating point";
+    d.determinism = to_string(options.determinism);
     d.failure = std::string("all homotopies failed (last: ") +
                 numeric::to_string(last.failure) + ")";
     d.iterations = last.iterations;
@@ -182,6 +184,7 @@ OpResult dc_operating_point(Circuit& circuit, const SimOptions& options) {
   std::vector<double> x(circuit.unknown_count(), 0.0);
   SolverDiagnostics diag;
   diag.analysis = "dc operating point";
+  diag.determinism = to_string(options.determinism);
   const util::BudgetTimer budget(options.budget);
   const int iterations =
       detail::solve_dc(circuit, options, ctx, x, &solver, &diag, &budget);

@@ -9,6 +9,26 @@
 
 namespace softfet::sim {
 
+/// Floating-point reproducibility contract of a run.
+enum class Determinism {
+  /// Every result is bit-for-bit identical to the scalar reference engine.
+  /// Batched lanes may share factor/solve structure but device model math
+  /// stays scalar, capping the batched speedup (the documented ≈2.8×
+  /// Amdahl ceiling of EXPERIMENTS.md).
+  kBitwise,
+  /// Device models may evaluate across lanes with the SIMD vecmath kernels
+  /// (numeric/vecmath.hpp). Results agree with the scalar engine only to
+  /// the kernels' documented ULP bounds — still deterministic for a given
+  /// binary and lane-independent (the kernels are elementwise), but not
+  /// bitwise-equal to kBitwise runs. Checkpoints are tagged with the mode
+  /// so resumes never silently mix rounding regimes.
+  kRelaxedUlp,
+};
+
+[[nodiscard]] constexpr const char* to_string(Determinism mode) noexcept {
+  return mode == Determinism::kRelaxedUlp ? "relaxed" : "bitwise";
+}
+
 struct SimOptions {
   // --- Newton convergence ---------------------------------------------
   double reltol = 1e-3;    ///< relative dx tolerance
@@ -74,6 +94,14 @@ struct SimOptions {
     config.ordering_cache = ordering_cache;
     return config;
   }
+
+  // --- Reproducibility --------------------------------------------------
+  /// Floating-point contract (see Determinism above). kBitwise keeps every
+  /// analysis bit-for-bit equal to the scalar reference engine; kRelaxedUlp
+  /// lets the batched Monte-Carlo engine evaluate device models across
+  /// lanes with SIMD kernels, trading ULP-level agreement for throughput
+  /// beyond the bitwise Amdahl ceiling.
+  Determinism determinism = Determinism::kBitwise;
 
   // --- Run budget -------------------------------------------------------
   /// Wall-clock / step / iteration limits plus an optional cancel token.

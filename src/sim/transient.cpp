@@ -95,6 +95,7 @@ TranResult run_transient(Circuit& circuit, double tstop,
 
   TranResult out;
   out.diagnostics.analysis = "transient";
+  out.diagnostics.determinism = to_string(options.determinism);
   out.table = SignalTable(detail::signal_names(circuit));
 
   // Operating point at t = 0 (also initializes device state).

@@ -71,6 +71,11 @@ struct SolverDiagnostics {
   std::size_t krylov_iterations = 0;   ///< cumulative Krylov iterations
   std::size_t krylov_fallbacks = 0;    ///< Krylov failures -> refactor
 
+  /// Active determinism contract of the run ("bitwise" or "relaxed"),
+  /// echoed by the analysis drivers. Plain string because util cannot
+  /// depend on the sim layer's enum.
+  std::string determinism = "bitwise";
+
   /// Record an attempt, bounded so pathological runs cannot grow unbounded.
   void record_attempt(RecoveryAttempt attempt);
 

@@ -463,3 +463,38 @@ TEST(Server, ShutdownRejectsNewWorkAndDrains) {
   EXPECT_EQ(late[0].string_or("code", ""), ss::kRejectShuttingDown);
   EXPECT_EQ(out.event_chain("j1"), "accepted started result");
 }
+
+TEST(Server, MonteCarloDeterminismFieldSelectsModeAndRejectsUnknown) {
+  Collector out;
+  const auto owned = std::make_unique<ss::Server>(test_config());
+  ss::Server& server = *owned;
+
+  server.handle_line(
+      R"({"id":"mb","type":"monte_carlo","samples":4,"lanes":1})", out.sink());
+  server.handle_line(
+      R"({"id":"mr","type":"monte_carlo","samples":4,"lanes":1,)"
+      R"("determinism":"relaxed"})",
+      out.sink());
+  server.handle_line(
+      R"({"id":"mx","type":"monte_carlo","samples":4,)"
+      R"("determinism":"fast-and-loose"})",
+      out.sink());
+  server.wait_idle();
+
+  // Default and explicit modes are echoed in the result payload.
+  const auto bitwise = out.events("mb");
+  ASSERT_FALSE(bitwise.empty());
+  EXPECT_EQ(bitwise.back().string_or("event", ""), "result");
+  EXPECT_EQ(bitwise.back().string_or("determinism", ""), "bitwise");
+  const auto relaxed = out.events("mr");
+  ASSERT_FALSE(relaxed.empty());
+  EXPECT_EQ(relaxed.back().string_or("event", ""), "result");
+  EXPECT_EQ(relaxed.back().string_or("determinism", ""), "relaxed");
+
+  // An unknown mode is a structured error naming the field, not a crash.
+  const auto bad = out.events("mx");
+  ASSERT_FALSE(bad.empty());
+  EXPECT_EQ(bad.back().string_or("event", ""), "error");
+  EXPECT_NE(bad.back().string_or("message", "").find("determinism"),
+            std::string::npos);
+}

@@ -1,0 +1,184 @@
+// Tolerance-based equivalence oracle for relaxed-determinism runs.
+//
+// Under SimOptions::determinism = kRelaxedUlp the batched engine evaluates
+// device models through the numeric/vecmath SIMD kernels, whose results
+// differ from libm by a documented ULP bound. Those perturbations flow
+// through Newton into the local-truncation-error step controller, so a
+// relaxed run may take slightly different time steps than the scalar
+// bitwise engine — trajectories are compared on a common time basis
+// (linear interpolation onto the reference axis, amplitude-relative
+// tolerance) rather than memcmp'd, and aggregate statistics are compared
+// with relative tolerances. Survivor/failure *counts* stay exact: relaxed
+// mode may round differently, but it must not change which samples
+// converge.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/variation.hpp"
+#include "sim/analyses.hpp"
+
+namespace softfet::testing {
+
+/// ULP distance between two doubles via the ordered-integer map (monotone
+/// per sign, adjacent floats differ by 1; +0 and -0 coincide). NaN vs NaN
+/// is 0; NaN vs non-NaN is the maximum.
+[[nodiscard]] inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b))
+               ? 0
+               : std::numeric_limits<std::uint64_t>::max();
+  }
+  const auto ordered = [](double x) {
+    auto bits = static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(x));
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+  };
+  const std::int64_t ia = ordered(a);
+  const std::int64_t ib = ordered(b);
+  return ia > ib
+             ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+             : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+/// Linear interpolation of (times, values) at t; clamps outside the span.
+[[nodiscard]] inline double interp_at(const std::vector<double>& times,
+                                      const std::vector<double>& values,
+                                      double t) {
+  if (times.empty()) return 0.0;
+  if (t <= times.front()) return values.front();
+  if (t >= times.back()) return values.back();
+  const auto it = std::lower_bound(times.begin(), times.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times[hi] - times[lo];
+  const double w = span > 0.0 ? (t - times[lo]) / span : 0.0;
+  return values[lo] + w * (values[hi] - values[lo]);
+}
+
+/// Max deviation of signal `b` (on time axis tb) from `a` (on ta), sampled
+/// at a's points, normalized by a's peak amplitude, with a ±time_tol
+/// matching window: a point passes if the reference graph attains its
+/// value anywhere within the window. Pointwise relative error is
+/// meaningless at zero crossings, and ULP-level perturbations legitimately
+/// shift the PTM threshold events (hence the ps-wide current spikes) by
+/// femtoseconds, which a rigid pointwise compare misreads as percent-level
+/// amplitude error.
+[[nodiscard]] inline double max_amplitude_relative_deviation(
+    const std::vector<double>& ta, const std::vector<double>& va,
+    const std::vector<double>& tb, const std::vector<double>& vb,
+    double time_tol) {
+  double amplitude = 0.0;
+  for (const double v : va) amplitude = std::max(amplitude, std::fabs(v));
+  if (amplitude == 0.0) amplitude = 1.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    // Range of the reference over [t - tol, t + tol]: the interpolated
+    // window endpoints plus every sample point strictly inside.
+    double lo = interp_at(tb, vb, ta[i] - time_tol);
+    double hi = lo;
+    const double mid = interp_at(tb, vb, ta[i]);
+    const double end = interp_at(tb, vb, ta[i] + time_tol);
+    lo = std::min({lo, mid, end});
+    hi = std::max({hi, mid, end});
+    auto it = std::lower_bound(tb.begin(), tb.end(), ta[i] - time_tol);
+    for (; it != tb.end() && *it <= ta[i] + time_tol; ++it) {
+      const double v = vb[static_cast<std::size_t>(it - tb.begin())];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double dev = va[i] < lo ? lo - va[i] : (va[i] > hi ? va[i] - hi : 0.0);
+    worst = std::max(worst, dev / amplitude);
+  }
+  return worst;
+}
+
+/// Trapezoidal integral of a sampled signal (and of its magnitude, for the
+/// normalization scale).
+struct SignalIntegral {
+  double net = 0.0;
+  double abs = 0.0;
+};
+[[nodiscard]] inline SignalIntegral trapezoid(const std::vector<double>& t,
+                                              const std::vector<double>& v) {
+  SignalIntegral out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const double dt = t[i + 1] - t[i];
+    out.net += 0.5 * (v[i] + v[i + 1]) * dt;
+    out.abs += 0.5 * (std::fabs(v[i]) + std::fabs(v[i + 1])) * dt;
+  }
+  return out;
+}
+
+/// Trajectory oracle for relaxed runs. Voltages are continuous and must
+/// match within `rtol` of their peak amplitude (with the ±time_tol
+/// event-shift window). Current signals are ps-wide spikes whose sampled
+/// peak depends on where the adaptive grid lands on the spike, so their
+/// windowed amplitude budget is `spike_rtol` — but their net charge
+/// (trapezoidal integral, immune to sampling phase) must match within
+/// `rtol` of the absolute-integral scale, which is what pins the physics.
+/// Step counters are NOT compared — relaxed runs may legitimately take
+/// different steps.
+inline void expect_tran_close(const sim::TranResult& got,
+                              const sim::TranResult& want, double rtol,
+                              double spike_rtol, double time_tol) {
+  ASSERT_FALSE(got.truncated);
+  ASSERT_FALSE(want.truncated);
+  ASSERT_FALSE(got.time.empty());
+  ASSERT_FALSE(want.time.empty());
+  EXPECT_EQ(got.table.names(), want.table.names());
+  EXPECT_NEAR(got.time.back(), want.time.back(),
+              rtol * std::max(got.time.back(), want.time.back()));
+  for (const auto& name : want.table.names()) {
+    const bool is_current = name.rfind("i(", 0) == 0;
+    const double dev = max_amplitude_relative_deviation(
+        want.time, want.table.signal(name), got.time, got.table.signal(name),
+        time_tol);
+    EXPECT_LE(dev, is_current ? spike_rtol : rtol)
+        << "signal " << name << ": amplitude-relative deviation " << dev
+        << " with time window " << time_tol;
+    const SignalIntegral ia = trapezoid(got.time, got.table.signal(name));
+    const SignalIntegral ib = trapezoid(want.time, want.table.signal(name));
+    const double scale =
+        std::max(ib.abs, std::numeric_limits<double>::min());
+    // 10x budget: the trapezoid rule itself carries O(dt^2 * curvature)
+    // quadrature error that differs between the two adaptive grids on
+    // sharp spikes (observed ~5e-3 on the nmos shoot-through charge).
+    EXPECT_LE(std::fabs(ia.net - ib.net) / scale, 10.0 * rtol)
+        << "signal " << name << ": integral " << ia.net << " vs " << ib.net;
+  }
+}
+
+/// Statistics oracle: survivor and failure counts exact; means/spreads
+/// within `rtol` relative; the baseline-beat fraction within the quantum
+/// one flipped sample would cause (a sample whose I_MAX sits ULPs from the
+/// baseline may legitimately land on either side).
+inline void expect_stats_close(const core::MonteCarloStats& got,
+                               const core::MonteCarloStats& want,
+                               double rtol) {
+  ASSERT_EQ(got.samples, want.samples);
+  EXPECT_EQ(got.failed_samples, want.failed_samples);
+  const auto close = [&](double a, double b, const char* what) {
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    EXPECT_LE(std::fabs(a - b), rtol * scale)
+        << what << ": " << a << " vs " << b;
+  };
+  close(got.imax_mean, want.imax_mean, "imax_mean");
+  close(got.imax_std, want.imax_std, "imax_std");
+  close(got.imax_worst, want.imax_worst, "imax_worst");
+  close(got.delay_mean, want.delay_mean, "delay_mean");
+  close(got.delay_std, want.delay_std, "delay_std");
+  close(got.delay_worst, want.delay_worst, "delay_worst");
+  const int survivors = want.samples - want.failed_samples;
+  EXPECT_NEAR(got.fraction_below_baseline, want.fraction_below_baseline,
+              survivors > 0 ? 1.0 / survivors + 1e-12 : 1e-12);
+}
+
+}  // namespace softfet::testing
