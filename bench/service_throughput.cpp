@@ -114,6 +114,65 @@ void BM_NetlistJobWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_NetlistJobWarmCache)->Unit(benchmark::kMillisecond);
 
+// --- Process isolation overhead -------------------------------------------
+// The same round trips with jobs shipped to forked sandbox workers over
+// the frame pipes. The delta against the thread-mode twins above IS the
+// isolation tax (fork amortized away by worker reuse; what remains is two
+// frame serializations plus a pipe round trip per event). The acceptance
+// bar: healthy-path throughput regresses < 25% vs thread mode.
+
+[[nodiscard]] service::ServerConfig process_config(std::size_t workers) {
+  service::ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = 4096;
+  config.isolation = service::IsolationMode::kProcess;
+  return config;
+}
+
+void BM_TrivialJobRoundTripProcess(benchmark::State& state) {
+  service::Server server(
+      process_config(static_cast<std::size_t>(state.range(0))));
+  server.register_handler("noop",
+                          [](const service::Request&, service::JobContext& ctx) {
+                            ctx.finish(service::JsonValue::object());
+                          });
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  std::uint64_t n = 0;
+  // Pre-fork the workers outside the timed region so the measurement is
+  // the steady-state dispatch cost, not the one-time spawn.
+  server.handle_line(job_line(n++, "noop"), sink);
+  server.wait_idle();
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      server.handle_line(job_line(n++, "noop"), sink);
+    }
+    server.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_TrivialJobRoundTripProcess)->Arg(1)->Arg(4);
+
+void BM_NetlistJobWarmProcess(benchmark::State& state) {
+  service::Server server(process_config(1));
+  std::atomic<std::size_t> lines{0};
+  const service::Sink sink = null_sink(lines);
+  std::uint64_t n = 0;
+  server.handle_line(job_line(n++, "netlist", netlist_field(0)), sink);
+  server.wait_idle();
+  for (auto _ : state) {
+    // Identical netlist text every time, like BM_NetlistJobWarmCache — but
+    // the worker process owns the cache, so this also measures chunked
+    // waveform frames crossing the pipe.
+    server.handle_line(job_line(n++, "netlist", netlist_field(0)), sink);
+    server.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetlistJobWarmProcess)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -18,6 +18,7 @@
 
 #include "core/softfet.hpp"
 #include "util/budget.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
 #include "util/units.hpp"
 
@@ -51,12 +52,16 @@ int main(int argc, char** argv) {
                      mode.c_str());
         return 2;
       }
+    } else if (arg == "--version") {
+      std::printf("%s\n", util::build_info_line().c_str());
+      return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       out_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: design_explorer [out.csv] [--resume state.ckpt] "
-                   "[--timeout seconds] [--determinism bitwise|relaxed]\n");
+                   "[--timeout seconds] [--determinism bitwise|relaxed] "
+                   "[--version]\n");
       return 2;
     }
   }

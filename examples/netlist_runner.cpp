@@ -37,6 +37,7 @@
 #include "sim/ac.hpp"
 #include "sim/analyses.hpp"
 #include "util/budget.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -115,13 +116,16 @@ int run(int argc, char** argv) {
                      mode.c_str());
         return 2;
       }
+    } else if (arg == "--version") {
+      std::printf("%s\n", util::build_info_line().c_str());
+      return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       netlist_path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: netlist_runner <file.sp> [--csv out.csv] "
                    "[--signals a,b,...] [--timeout seconds] "
-                   "[--determinism bitwise|relaxed]\n");
+                   "[--determinism bitwise|relaxed] [--version]\n");
       return 2;
     }
   }

@@ -3,7 +3,8 @@
 //   $ ./softfet_server [--socket /path/daemon.sock] [--workers N]
 //                      [--queue-depth N] [--state-dir DIR]
 //                      [--cache-entries N] [--default-timeout seconds]
-//                      [--retry-attempts N] [--once]
+//                      [--retry-attempts N] [--isolation thread|process]
+//                      [--worker-memory bytes] [--once] [--version]
 //
 // Requests arrive one JSON object per line on stdin and (when --socket is
 // given) on a Unix domain socket; responses leave the same way. Job lines
@@ -27,6 +28,13 @@
 // them bitwise-identically. SIGTERM and SIGINT both drain: stop admissions,
 // cancel in-flight jobs cooperatively (checkpoints flush), emit their
 // `cancelled` responses, exit 143/130.
+//
+// --isolation process forks sandboxed worker processes (rlimits, crash
+// handler, heartbeats; see src/service/supervisor.hpp): a SIGSEGV, OOM, or
+// infinite loop in a job kills a disposable worker, the job terminates
+// with a `worker_crashed` error carrying crash forensics, and the daemon
+// keeps serving. The ops runbook in README.md documents exit codes, signal
+// semantics, the --state-dir layout, and the crash-report schema.
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -46,6 +54,7 @@
 
 #include "service/server.hpp"
 #include "util/budget.hpp"
+#include "util/build_info.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -196,14 +205,32 @@ int run(int argc, char** argv) {
     } else if (arg == "--retry-attempts") {
       opt.config.retry.max_attempts = static_cast<int>(
           std::strtol(need_value("--retry-attempts"), nullptr, 10));
+    } else if (arg == "--isolation") {
+      const std::string mode = need_value("--isolation");
+      if (mode == "thread") {
+        opt.config.isolation = service::IsolationMode::kThread;
+      } else if (mode == "process") {
+        opt.config.isolation = service::IsolationMode::kProcess;
+      } else {
+        std::fprintf(stderr, "--isolation must be 'thread' or 'process'\n");
+        return 2;
+      }
+    } else if (arg == "--worker-memory") {
+      opt.config.worker_memory_bytes = static_cast<std::size_t>(
+          std::strtoull(need_value("--worker-memory"), nullptr, 10));
     } else if (arg == "--once") {
       opt.once = true;
+    } else if (arg == "--version") {
+      std::printf("%s\n", util::build_info_line().c_str());
+      return 0;
     } else {
       std::fprintf(
           stderr,
           "usage: softfet_server [--socket path] [--workers N] "
           "[--queue-depth N] [--state-dir dir] [--cache-entries N] "
-          "[--default-timeout seconds] [--retry-attempts N] [--once]\n");
+          "[--default-timeout seconds] [--retry-attempts N] "
+          "[--isolation thread|process] [--worker-memory bytes] "
+          "[--once] [--version]\n");
       return 2;
     }
   }
@@ -216,6 +243,28 @@ int run(int argc, char** argv) {
   service::Server server(opt.config);
   auto out = std::make_shared<StdoutSink>();
   const service::Sink sink = [out](const std::string& line) { (*out)(line); };
+
+  // Hello line: first NDJSON line out, so clients (and crash forensics
+  // consumers) can attribute the session to a build before any response.
+  {
+    const util::BuildInfo& b = util::build_info();
+    service::JsonValue hello = service::JsonValue::object();
+    hello.set("event", service::JsonValue::string("hello"));
+    hello.set("server", service::JsonValue::string("softfet_server"));
+    hello.set("version", service::JsonValue::string(b.project_version));
+    hello.set("git_sha", service::JsonValue::string(b.git_sha));
+    hello.set("compiler", service::JsonValue::string(b.compiler));
+    hello.set("build_type", service::JsonValue::string(b.build_type));
+    hello.set("sanitizer", service::JsonValue::string(b.sanitizer));
+    hello.set("isolation",
+              service::JsonValue::string(
+                  opt.config.isolation == service::IsolationMode::kProcess
+                      ? "process"
+                      : "thread"));
+    hello.set("pid",
+              service::JsonValue::number(static_cast<double>(::getpid())));
+    sink(hello.dump());
+  }
 
   const std::size_t resumed = server.resume_journaled(sink);
   if (resumed > 0) {

@@ -55,6 +55,12 @@ inline constexpr const char* kErrorInvalidCircuit = "invalid_circuit";
 inline constexpr const char* kErrorConvergence = "convergence";
 inline constexpr const char* kErrorBudget = "budget_exhausted";
 inline constexpr const char* kErrorInternal = "internal";
+/// Process isolation: the worker process died (signal, nonzero exit,
+/// missed heartbeats, or blown job deadline). The event's `crash` object
+/// carries the forensics: reason, wait status, and — when the worker's
+/// crash handler got to run — signal, faulting stage, job id, work hash,
+/// last emitted seq, and the build stamp.
+inline constexpr const char* kErrorWorkerCrashed = "worker_crashed";
 
 /// Response skeleton: {"id":…,"seq":N,"event":…}.
 [[nodiscard]] JsonValue make_event(const std::string& id, std::uint64_t seq,

@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "core/failure.hpp"
+#include "service/supervisor.hpp"
+#include "util/build_info.hpp"
 #include "util/parallel.hpp"
+#include "util/subprocess.hpp"
 
 namespace softfet::service {
 
@@ -74,13 +77,31 @@ Server::Server(ServerConfig config)
     std::error_code ec;
     fs::create_directories(config_.state_dir, ec);
   }
+  if (config_.isolation == IsolationMode::kProcess) {
+    SupervisorConfig sup;
+    sup.slots = config_.workers;
+    sup.heartbeat_interval_seconds = config_.heartbeat_interval_seconds;
+    sup.heartbeat_timeout_seconds = config_.heartbeat_timeout_seconds;
+    sup.hang_grace_seconds = config_.hang_grace_seconds;
+    sup.worker_memory_bytes = config_.worker_memory_bytes;
+    sup.rlimit_cpu = config_.rlimit_cpu;
+    sup.crash_dir = config_.state_dir;
+    sup.build = util::build_info_line();
+    sup.server_config = &config_;
+    sup.handlers = &handlers_;
+    // Workers fork lazily, per slot, on first dispatch — after the caller
+    // has registered its handlers (the forked image must hold the final
+    // handler map).
+    supervisor_ = std::make_unique<Supervisor>(std::move(sup));
+  }
   // The worker pool is util::parallel_for run to its natural conclusion on
   // one carrier thread: `workers` indices over `workers` threads, each body
   // a pop-until-closed loop, so the pool drains and joins exactly when the
-  // queue is closed and empty.
+  // queue is closed and empty. The index doubles as the thread's exclusive
+  // supervisor slot in process mode.
   pool_ = std::thread([this] {
     util::parallel_for(
-        config_.workers, [this](std::size_t) { worker_loop(); },
+        config_.workers, [this](std::size_t slot) { worker_loop(slot); },
         config_.workers);
   });
 }
@@ -189,7 +210,7 @@ void Server::handle_line(const std::string& line, const Sink& sink) {
     event.set("code", JsonValue::string(code));
     event.set("message", JsonValue::string(message));
     if (overloaded) {
-      event.set("retry_after_ms", JsonValue::number(config_.retry_after_ms));
+      event.set("retry_after_ms", JsonValue::number(dynamic_retry_after_ms()));
       event.set("queue_depth",
                 JsonValue::number(static_cast<double>(queue_.depth())));
       event.set("queue_capacity",
@@ -290,6 +311,18 @@ std::size_t Server::resume_journaled(const Sink& sink) {
       remove_quiet(path.string());
       continue;
     }
+    // Torn-tail hardening: a daemon killed mid-write can leave a journal
+    // whose line is a truncated prefix of the request (no rename barrier
+    // survives every filesystem). Validate before replaying: a line that
+    // no longer parses is dropped silently — recovery proceeds with the
+    // remaining journals instead of emitting a spurious anonymous
+    // `rejected` for a job no client is waiting on.
+    try {
+      (void)parse_request(line);
+    } catch (...) {
+      remove_quiet(path.string());
+      continue;
+    }
     const std::size_t before = admitted_.load(std::memory_order_relaxed);
     handle_line(line, sink);
     if (admitted_.load(std::memory_order_relaxed) > before) {
@@ -316,6 +349,9 @@ void Server::shutdown(bool cancel_inflight) {
     for (auto& [id, job] : active_) job->cancel.request();
   }
   wait_idle();
+  // Workers are idle now (queue closed and drained), so the supervisor can
+  // EOF its worker processes without racing an in-flight dispatch.
+  if (supervisor_) supervisor_->shutdown();
   shut_down_.store(true, std::memory_order_release);
 }
 
@@ -342,6 +378,14 @@ ServerStats Server::stats() const {
     const std::lock_guard<std::mutex> lock(idle_mutex_);
     s.active_jobs = running_;
   }
+  s.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  if (supervisor_) {
+    const SupervisorStats sup = supervisor_->stats();
+    s.workers_spawned = sup.spawned;
+    s.workers_respawned = sup.respawned;
+    s.heartbeat_kills = sup.heartbeat_kills;
+    s.deadline_kills = sup.deadline_kills;
+  }
   s.cache = cache_.stats();
   return s;
 }
@@ -364,6 +408,29 @@ JsonValue Server::stats_json() const {
   out.set("queue_capacity", num(queue_.capacity()));
   out.set("active_jobs", num(s.active_jobs));
   out.set("workers", num(config_.workers));
+  out.set("isolation",
+          JsonValue::string(config_.isolation == IsolationMode::kProcess
+                                ? "process"
+                                : "thread"));
+  if (config_.isolation == IsolationMode::kProcess) {
+    JsonValue iso = JsonValue::object();
+    iso.set("worker_crashes", num(s.worker_crashes));
+    iso.set("workers_spawned", num(s.workers_spawned));
+    iso.set("workers_respawned", num(s.workers_respawned));
+    iso.set("heartbeat_kills", num(s.heartbeat_kills));
+    iso.set("deadline_kills", num(s.deadline_kills));
+    out.set("isolation_stats", std::move(iso));
+  }
+  {
+    const util::BuildInfo& b = util::build_info();
+    JsonValue build = JsonValue::object();
+    build.set("version", JsonValue::string(b.project_version));
+    build.set("git_sha", JsonValue::string(b.git_sha));
+    build.set("compiler", JsonValue::string(b.compiler));
+    build.set("build_type", JsonValue::string(b.build_type));
+    build.set("sanitizer", JsonValue::string(b.sanitizer));
+    out.set("build", std::move(build));
+  }
   JsonValue cache = JsonValue::object();
   cache.set("hits", num(s.cache.hits));
   cache.set("misses", num(s.cache.misses));
@@ -384,14 +451,14 @@ std::string Server::checkpoint_path_for(const Request& request) const {
   return config_.state_dir + "/job-" + sanitize_id(request.id) + ".ckpt";
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(std::size_t slot) {
   while (auto job = queue_.pop()) {
     {
       const std::lock_guard<std::mutex> lock(idle_mutex_);
       ++running_;
     }
     try {
-      run_job(*job);
+      run_job(*job, slot);
     } catch (...) {
       // run_job's own catch blocks handle everything a handler can throw;
       // this is the "never kill the pool" backstop (e.g. a sink that
@@ -410,7 +477,102 @@ void Server::worker_loop() {
   }
 }
 
-void Server::run_job(const JobPtr& job) {
+AttemptOutcome run_handler_attempt(const JobHandler& handler,
+                                   const Request& request,
+                                   const AttemptContext& actx) {
+  AttemptOutcome out;
+  JobContext ctx;
+  ctx.options = actx.attempt > 1 ? core::tightened_options(sim::SimOptions{})
+                                 : sim::SimOptions{};
+  ctx.options.budget.max_wall_seconds = actx.timeout_seconds;
+  ctx.options.budget.cancel = actx.cancel;
+  ctx.config = actx.config;
+  ctx.cache = actx.cache;
+  ctx.cancel = actx.cancel;
+  ctx.attempt = actx.attempt;
+  ctx.checkpoint_path = actx.checkpoint_path;
+  bool finished = false;
+  ctx.emit = [&](const char* event, JsonValue fields) {
+    if (finished) return;  // terminal latch: nothing streams past finish()
+    if (actx.emit) actx.emit(event, std::move(fields));
+  };
+  ctx.finish = [&](JsonValue fields) {
+    if (finished) return;
+    finished = true;
+    out.result_fields = std::move(fields);
+  };
+
+  try {
+    handler(request, ctx);
+    if (!finished) {
+      throw Error("handler for '" + request.type +
+                  "' returned without a result");
+    }
+    out.kind = AttemptOutcome::Kind::kFinished;
+  } catch (const std::exception& e) {
+    if (finished) {
+      // The handler delivered its result and then threw; the result wins
+      // (the old terminal latch dropped the late error the same way).
+      out.kind = AttemptOutcome::Kind::kFinished;
+      return out;
+    }
+    out.message = e.what();
+    out.failure_class = classify_failure(e);
+    if (out.failure_class == FailureClass::kCancelled) {
+      out.kind = AttemptOutcome::Kind::kCancelled;
+    } else {
+      out.kind = AttemptOutcome::Kind::kError;
+      out.error_fields = error_event_fields(e, request.raw_line);
+    }
+  } catch (...) {
+    const Error error("unknown exception in handler");
+    out.kind = AttemptOutcome::Kind::kError;
+    out.failure_class = FailureClass::kTerminal;
+    out.message = error.what();
+    out.error_fields = error_event_fields(error, request.raw_line);
+  }
+  return out;
+}
+
+namespace {
+
+/// `error` event fields for a dead worker: code worker_crashed plus the
+/// crash forensics object (supervisor-side reason/status merged with the
+/// worker's own last-gasp record when it managed to write one).
+[[nodiscard]] JsonValue crash_error_fields(const IsolatedVerdict& verdict) {
+  JsonValue out = JsonValue::object();
+  out.set("code", JsonValue::string(kErrorWorkerCrashed));
+  out.set("message", JsonValue::string(verdict.message));
+  JsonValue crash = JsonValue::object();
+  crash.set("reason", JsonValue::string(verdict.crash.reason));
+  crash.set("status", JsonValue::string(verdict.crash.status.describe()));
+  if (verdict.crash.status.signaled) {
+    crash.set("signal", JsonValue::number(verdict.crash.status.term_signal));
+    crash.set("signal_name",
+              JsonValue::string(
+                  util::signal_name(verdict.crash.status.term_signal)));
+  } else if (verdict.crash.status.exited) {
+    crash.set("exit_code",
+              JsonValue::number(verdict.crash.status.exit_code));
+  }
+  if (verdict.crash.last_gasp.is_object()) {
+    // The last gasp's own signal/signal_name take precedence: for an
+    // SIGXCPU-then-rekill or an abort the faulting signal is what the
+    // handler recorded, not what finally reaped the process.
+    for (const auto& [key, value] : verdict.crash.last_gasp.members()) {
+      crash.set(key, value);
+    }
+  }
+  if (!verdict.crash.report_path.empty()) {
+    crash.set("report_path", JsonValue::string(verdict.crash.report_path));
+  }
+  out.set("crash", std::move(crash));
+  return out;
+}
+
+}  // namespace
+
+void Server::run_job(const JobPtr& job, std::size_t slot) {
   const auto handler = handlers_.find(job->request.type);
   if (handler == handlers_.end()) {
     emit_terminal_error(job,
@@ -472,52 +634,88 @@ void Server::run_job(const JobPtr& job) {
       }
     }
 
-    JobContext ctx;
-    ctx.options = attempt > 1 ? core::tightened_options(sim::SimOptions{})
-                              : sim::SimOptions{};
-    ctx.options.budget.max_wall_seconds = timeout;
-    ctx.options.budget.cancel = &job->cancel;
-    ctx.config = &config_;
-    ctx.cache = &cache_;
-    ctx.cancel = &job->cancel;
-    ctx.attempt = attempt;
-    ctx.checkpoint_path = checkpoint_path_for(job->request);
-    bool finished = false;
-    ctx.emit = [this, job](const char* event, JsonValue fields) {
-      emit_event(job, event, std::move(fields), false);
-    };
-    ctx.finish = [this, job, &finished](JsonValue fields) {
-      finished = true;
-      emit_event(job, "result", std::move(fields), true);
-    };
+    // One attempt, in this thread or in the slot's worker process; both
+    // paths classify into the same verdict shape, so the retry policy and
+    // the emitted event stream are isolation-independent.
+    IsolatedVerdict verdict;
+    if (supervisor_) {
+      WorkerJob wjob;
+      wjob.id = job->request.id;
+      wjob.request_line = job->request.raw_line;
+      wjob.attempt = attempt;
+      wjob.timeout_seconds = timeout;
+      wjob.checkpoint_path = checkpoint_path_for(job->request);
+      if (!config_.state_dir.empty()) {
+        wjob.crash_archive_path = config_.state_dir + "/crash-" +
+                                  sanitize_id(job->request.id) + ".json";
+      }
+      verdict = supervisor_->run_job(
+          slot, wjob,
+          [this, job](const char* event, const std::string& fields_json) {
+            emit_event_raw(job, event, fields_json);
+          },
+          job->cancel);
+    } else {
+      AttemptContext actx;
+      actx.config = &config_;
+      actx.cache = &cache_;
+      actx.cancel = &job->cancel;
+      actx.attempt = attempt;
+      actx.timeout_seconds = timeout;
+      actx.checkpoint_path = checkpoint_path_for(job->request);
+      actx.emit = [this, job](const char* event, JsonValue fields) {
+        emit_event(job, event, std::move(fields), false);
+      };
+      AttemptOutcome out =
+          run_handler_attempt(handler->second, job->request, actx);
+      switch (out.kind) {
+        case AttemptOutcome::Kind::kFinished:
+          verdict.kind = IsolatedVerdict::Kind::kResult;
+          verdict.fields = std::move(out.result_fields);
+          break;
+        case AttemptOutcome::Kind::kCancelled:
+          verdict.kind = IsolatedVerdict::Kind::kCancelled;
+          verdict.failure_class = out.failure_class;
+          verdict.message = out.message;
+          break;
+        case AttemptOutcome::Kind::kError:
+          verdict.kind = IsolatedVerdict::Kind::kError;
+          verdict.failure_class = out.failure_class;
+          verdict.message = out.message;
+          verdict.fields = std::move(out.error_fields);
+          break;
+      }
+    }
 
-    try {
-      handler->second(job->request, ctx);
-      if (!finished) {
-        throw Error("handler for '" + job->request.type +
-                    "' returned without a result");
-      }
-      ++completed_;
-      finish_job(job, /*keep_journal=*/false);
-      return;
-    } catch (const std::exception& e) {
-      last_failure = e.what();
-      const FailureClass cls = classify_failure(e);
-      if (cls == FailureClass::kTransient &&
-          attempt < config_.retry.max_attempts) {
-        continue;
-      }
-      if (cls == FailureClass::kCancelled) {
-        emit_cancelled(last_failure);
+    switch (verdict.kind) {
+      case IsolatedVerdict::Kind::kResult:
+        emit_event(job, "result", std::move(verdict.fields), true);
+        ++completed_;
+        finish_job(job, /*keep_journal=*/false);
         return;
-      }
-      emit_terminal_error(job, e);
-      finish_job(job, /*keep_journal=*/false);
-      return;
-    } catch (...) {
-      emit_terminal_error(job, Error("unknown exception in handler"));
-      finish_job(job, /*keep_journal=*/false);
-      return;
+      case IsolatedVerdict::Kind::kCancelled:
+        emit_cancelled(verdict.message);
+        return;
+      case IsolatedVerdict::Kind::kError:
+        if (verdict.failure_class == FailureClass::kTransient &&
+            attempt < config_.retry.max_attempts) {
+          last_failure = verdict.message;
+          continue;
+        }
+        ++failed_;
+        emit_event(job, "error", std::move(verdict.fields), true);
+        finish_job(job, /*keep_journal=*/false);
+        return;
+      case IsolatedVerdict::Kind::kCrashed:
+        ++worker_crashes_;
+        if (config_.retry_crashed && attempt < config_.retry.max_attempts) {
+          last_failure = verdict.message;
+          continue;
+        }
+        ++failed_;
+        emit_event(job, "error", crash_error_fields(verdict), true);
+        finish_job(job, /*keep_journal=*/false);
+        return;
     }
   }
 }
@@ -535,16 +733,31 @@ void Server::emit_event(const JobPtr& job, const char* event, JsonValue fields,
   job->sink(out.dump());
 }
 
-void Server::emit_terminal_error(const JobPtr& job,
-                                 const std::exception& error) {
+void Server::emit_event_raw(const JobPtr& job, const char* event,
+                            const std::string& fields_json) {
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  if (job->terminal) return;  // never emit past a terminal event
+  std::string line = make_event(job->request.id, job->seq++, event).dump();
+  // Splice the worker's pre-serialized fields members into the event
+  // object. The worker dumped them with this process's own canonical
+  // serializer, so the line is byte-identical to the parse-merge-dump the
+  // thread path does — without parsing multi-KB chunk payloads twice.
+  if (fields_json.size() > 2 && fields_json.front() == '{') {
+    line.back() = ',';
+    line.append(fields_json, 1, fields_json.size() - 1);
+  }
+  job->sink(line);
+}
+
+JsonValue error_event_fields(const std::exception& error,
+                             const std::string& raw_line) {
   const char* code = kErrorInternal;
   JsonValue fields = JsonValue::object();
   const SolverDiagnostics* diagnostics = nullptr;
 
   if (const auto* parse = dynamic_cast<const ParseError*>(&error)) {
     code = kErrorParse;
-    const NetlistErrorPosition pos =
-        map_netlist_error(*parse, job->request.raw_line);
+    const NetlistErrorPosition pos = map_netlist_error(*parse, raw_line);
     fields.set("netlist_line", JsonValue::number(pos.netlist_line));
     if (pos.netlist_column > 0)
       fields.set("netlist_column", JsonValue::number(pos.netlist_column));
@@ -571,11 +784,52 @@ void Server::emit_terminal_error(const JobPtr& job,
   for (const auto& [key, value] : fields.members()) out.set(key, value);
   if (diagnostics != nullptr)
     out.set("diagnostics", diagnostics_to_json(*diagnostics));
+  return out;
+}
+
+void Server::emit_terminal_error(const JobPtr& job,
+                                 const std::exception& error) {
   ++failed_;
-  emit_event(job, "error", std::move(out), true);
+  emit_event(job, "error", error_event_fields(error, job->request.raw_line),
+             true);
+}
+
+void Server::record_latency(const JobPtr& job) {
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - job->admitted_at)
+          .count();
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ms_[latency_count_ % kLatencyWindow] = ms;
+  ++latency_count_;
+}
+
+unsigned Server::dynamic_retry_after_ms() const {
+  // The static floor is the configured hint; on top of it, estimate how
+  // long the backlog actually takes to drain: queue_depth jobs at the mean
+  // recent latency, spread over the worker pool. A client backing off by
+  // the hint should find a queue slot free with high probability instead
+  // of bouncing off `overloaded` again.
+  double mean = 0.0;
+  std::size_t n = 0;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    n = std::min(latency_count_, kLatencyWindow);
+    for (std::size_t i = 0; i < n; ++i) mean += latency_ms_[i];
+  }
+  if (n == 0) return config_.retry_after_ms;
+  mean /= static_cast<double>(n);
+  const double depth = static_cast<double>(queue_.depth());
+  const double workers = static_cast<double>(std::max<std::size_t>(
+      1, config_.workers));
+  const double hint = depth * mean / workers;
+  const double floor = static_cast<double>(config_.retry_after_ms);
+  constexpr double kCeilingMs = 60000.0;  // never tell clients "go away"
+  return static_cast<unsigned>(std::clamp(hint, floor, kCeilingMs));
 }
 
 void Server::finish_job(const JobPtr& job, bool keep_journal) {
+  record_latency(job);
   {
     const std::lock_guard<std::mutex> lock(active_mutex_);
     active_.erase(job->request.id);

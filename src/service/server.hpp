@@ -54,6 +54,20 @@
 
 namespace softfet::service {
 
+class Supervisor;
+
+/// Where job handlers execute.
+///
+/// kThread (default): handlers run on the server's worker threads. Cheap
+/// and sufficient when handlers are trusted to fail only via exceptions.
+///
+/// kProcess: each worker thread drives a forked, sandboxed worker process
+/// (service/supervisor.hpp) and ships jobs to it over pipes. A SIGSEGV, an
+/// OOM, or a non-terminating loop in a handler kills that worker — never
+/// the daemon — and surfaces as a structured `worker_crashed` error with
+/// the worker's last-gasp forensics attached.
+enum class IsolationMode { kThread, kProcess };
+
 struct ServerConfig {
   std::size_t workers = 2;            ///< worker pool width
   std::size_t queue_capacity = 64;    ///< admission bound (then: overloaded)
@@ -68,6 +82,18 @@ struct ServerConfig {
   std::string state_dir;              ///< journal/checkpoint dir ("" = off)
   std::size_t cache_entries = 32;     ///< NetlistCache entry bound
   std::size_t cache_bytes = 8u << 20; ///< NetlistCache byte bound
+
+  IsolationMode isolation = IsolationMode::kThread;
+  /// Process-isolation knobs (ignored in thread mode).
+  double heartbeat_interval_seconds = 0.1;  ///< worker heartbeat cadence
+  double heartbeat_timeout_seconds = 2.0;   ///< silence before SIGKILL
+  double hang_grace_seconds = 2.0;    ///< slack past the job timeout
+  std::size_t worker_memory_bytes = 0;  ///< RLIMIT_AS per worker (0 = off)
+  bool rlimit_cpu = true;             ///< arm RLIMIT_CPU per job
+  /// Re-run a job whose worker crashed (fresh worker, tightened options,
+  /// same retry budget as transient failures). Off by default: a crash is
+  /// usually deterministic and retrying doubles the blast radius.
+  bool retry_crashed = false;
 };
 
 /// Point-in-time counters (all lifetime totals except the two gauges).
@@ -82,6 +108,11 @@ struct ServerStats {
   std::size_t resumed = 0;     ///< jobs re-admitted by resume_journaled
   std::size_t queue_depth = 0;   ///< gauge
   std::size_t active_jobs = 0;   ///< gauge (popped, not yet terminal)
+  std::size_t worker_crashes = 0;     ///< process mode: attempts lost to worker death
+  std::size_t workers_spawned = 0;    ///< process mode: fork() successes
+  std::size_t workers_respawned = 0;  ///< process mode: replacement forks
+  std::size_t heartbeat_kills = 0;    ///< workers killed for silence
+  std::size_t deadline_kills = 0;     ///< workers killed past job deadline
   NetlistCacheStats cache;
 };
 
@@ -105,6 +136,49 @@ struct JobContext {
 };
 
 using JobHandler = std::function<void(const Request&, JobContext&)>;
+
+/// Outcome of one handler attempt, independent of where it ran. The shared
+/// attempt layer below is the single implementation both execution modes
+/// use: thread mode calls it on a worker thread; process mode calls it
+/// inside the forked worker and ships the outcome back over the pipe — so
+/// retry classification, error shaping, and the emit/finish contract stay
+/// byte-for-byte identical across isolation modes.
+struct AttemptOutcome {
+  enum class Kind { kFinished, kError, kCancelled };
+  Kind kind = Kind::kError;
+  FailureClass failure_class = FailureClass::kTerminal;
+  std::string message;
+  JsonValue result_fields;  ///< kFinished: the handler's finish() payload
+  JsonValue error_fields;   ///< kError: full `error` event fields
+};
+
+/// What one attempt needs from its surroundings (a strict subset of the
+/// Server so a forked worker can build it from the job frame alone).
+struct AttemptContext {
+  const ServerConfig* config = nullptr;
+  NetlistCache* cache = nullptr;
+  util::CancelToken* cancel = nullptr;
+  int attempt = 1;
+  double timeout_seconds = 0.0;
+  std::string checkpoint_path;
+  /// Non-terminal event pass-through (chunk/progress). Events arriving
+  /// after the handler's finish() are dropped, matching the server's
+  /// terminal latch.
+  std::function<void(const char* event, JsonValue fields)> emit;
+};
+
+/// Run one handler attempt to a classified outcome. Never throws: every
+/// exception is folded into kError/kCancelled with the same structured
+/// fields Server::emit_terminal_error used to produce.
+[[nodiscard]] AttemptOutcome run_handler_attempt(const JobHandler& handler,
+                                                 const Request& request,
+                                                 const AttemptContext& ctx);
+
+/// The structured fields of an `error` event for a caught exception:
+/// code, message, error-specific extras (netlist positions, budget stop),
+/// and solver diagnostics when the error carries them.
+[[nodiscard]] JsonValue error_event_fields(const std::exception& error,
+                                           const std::string& raw_line);
 
 class Server {
  public:
@@ -154,6 +228,9 @@ class Server {
   [[nodiscard]] const ServerConfig& config() const noexcept {
     return config_;
   }
+  /// The process-isolation supervisor (nullptr in thread mode). Exposed
+  /// for lifecycle tests: worker pids, crash/kill counters.
+  [[nodiscard]] Supervisor* supervisor() noexcept { return supervisor_.get(); }
 
  private:
   struct JobState {
@@ -168,10 +245,17 @@ class Server {
   };
   using JobPtr = std::shared_ptr<JobState>;
 
-  void worker_loop();
-  void run_job(const JobPtr& job);
+  void worker_loop(std::size_t slot);
+  void run_job(const JobPtr& job, std::size_t slot);
   void emit_event(const JobPtr& job, const char* event, JsonValue fields,
                   bool terminal);
+  /// Non-terminal event whose fields are already serialized (a worker
+  /// frame): splices the JSON object's members into the response line,
+  /// byte-identical to emit_event but without re-parsing the fields.
+  void emit_event_raw(const JobPtr& job, const char* event,
+                      const std::string& fields_json);
+  void record_latency(const JobPtr& job);
+  [[nodiscard]] unsigned dynamic_retry_after_ms() const;
   void emit_terminal_error(const JobPtr& job, const std::exception& error);
   void finish_job(const JobPtr& job, bool keep_journal);
   [[nodiscard]] std::string journal_path_for(const Request& request) const;
@@ -210,6 +294,20 @@ class Server {
   std::atomic<std::size_t> cancelled_{0};
   std::atomic<std::size_t> retries_{0};
   std::atomic<std::size_t> resumed_{0};
+  std::atomic<std::size_t> worker_crashes_{0};
+
+  /// Last-N terminal-job latencies (ms), feeding the retry_after_ms hint
+  /// in `overloaded` rejections: hint = queue_depth × mean latency /
+  /// workers, floored at config.retry_after_ms. Guarded by latency_mutex_.
+  mutable std::mutex latency_mutex_;
+  static constexpr std::size_t kLatencyWindow = 32;
+  double latency_ms_[kLatencyWindow] = {};
+  std::size_t latency_count_ = 0;  ///< total recorded (ring index derives)
+
+  /// Process-isolation worker pool (null in thread mode). Worker thread i
+  /// exclusively drives supervisor slot i, so job dispatch needs no
+  /// cross-thread slot locking.
+  std::unique_ptr<Supervisor> supervisor_;
 
   std::thread pool_;  ///< runs util::parallel_for over the worker loops
 };

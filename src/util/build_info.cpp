@@ -1,0 +1,55 @@
+#include "util/build_info.hpp"
+
+namespace softfet::util {
+namespace {
+
+#ifndef SOFTFET_VERSION
+#define SOFTFET_VERSION "unknown"
+#endif
+#ifndef SOFTFET_GIT_SHA
+#define SOFTFET_GIT_SHA "unknown"
+#endif
+#ifndef SOFTFET_BUILD_TYPE
+#define SOFTFET_BUILD_TYPE "unknown"
+#endif
+#ifndef SOFTFET_SAN
+#define SOFTFET_SAN "none"
+#endif
+
+const char* compiler_string() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return "g++ " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      SOFTFET_VERSION, SOFTFET_GIT_SHA, compiler_string(),
+      SOFTFET_BUILD_TYPE, SOFTFET_SAN,
+  };
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& b = build_info();
+  std::string out = "softfet ";
+  out += b.project_version;
+  out += " (git ";
+  out += b.git_sha;
+  out += ", ";
+  out += b.compiler;
+  out += ", ";
+  out += b.build_type;
+  out += ", sanitizer=";
+  out += b.sanitizer;
+  out += ")";
+  return out;
+}
+
+}  // namespace softfet::util

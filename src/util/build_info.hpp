@@ -1,0 +1,29 @@
+// Build provenance for binaries, the service hello, and crash reports.
+//
+// Crash forensics are only actionable when they are attributable to a
+// build: a last-gasp record saying "SIGSEGV in handler:netlist" means a
+// different thing on a sanitizer build than on a Release binary three
+// commits later. The CMake configure step stamps the git SHA, build type,
+// and sanitizer flags into compile definitions; this module exposes them
+// as data (for the service's stats/hello JSON) and as a one-line string
+// (for --version output and the crash handler's `build` field).
+#pragma once
+
+#include <string>
+
+namespace softfet::util {
+
+struct BuildInfo {
+  const char* project_version;  ///< CMake project VERSION
+  const char* git_sha;          ///< short commit SHA, "unknown" outside git
+  const char* compiler;         ///< compiler id + version string
+  const char* build_type;       ///< CMAKE_BUILD_TYPE
+  const char* sanitizer;        ///< "none", "asan-ubsan", or "tsan"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// "softfet 1.0.0 (git abc123def456, g++ 13.2.0, Release, sanitizer=none)"
+[[nodiscard]] std::string build_info_line();
+
+}  // namespace softfet::util

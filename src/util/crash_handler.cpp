@@ -1,0 +1,169 @@
+#include "util/crash_handler.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <signal.h>
+#include <unistd.h>
+
+namespace softfet::util {
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGILL,
+                                 SIGFPE,  SIGABRT, SIGXCPU};
+
+// All handler inputs live in fixed static storage, written only by the
+// (single-threaded) job loop and read by the handler. Copies are sanitized
+// at set time so the handler can emit them into JSON without escaping.
+constexpr std::size_t kFieldBytes = 128;
+char g_build[kFieldBytes] = "unknown";
+char g_stage[kFieldBytes] = "startup";
+char g_job[kFieldBytes] = "";
+std::atomic<std::uint64_t> g_work_hash{0};
+std::atomic<std::uint64_t> g_last_seq{0};
+std::atomic<int> g_fd{-1};
+
+// 64 KiB alternate stack: enough for the handler's fixed buffers even when
+// the fault is a stack overflow on the main stack.
+alignas(16) char g_altstack[64 * 1024];
+
+void sanitize_copy(char* dst, const char* src) {
+  std::size_t o = 0;
+  if (src != nullptr) {
+    for (std::size_t i = 0; src[i] != '\0' && o + 1 < kFieldBytes; ++i) {
+      const auto c = static_cast<unsigned char>(src[i]);
+      if (c == '"' || c == '\\' || c < 0x20) continue;
+      dst[o++] = static_cast<char>(c);
+    }
+  }
+  // NUL-pad the tail so a handler interrupting this copy mid-way always
+  // sees a terminated string.
+  for (; o < kFieldBytes; ++o) dst[o] = '\0';
+}
+
+// --- async-signal-safe emit helpers (no libc formatting) ---
+
+struct GaspBuffer {
+  char data[1024];
+  std::size_t len = 0;
+
+  void put(char c) {
+    if (len < sizeof(data)) data[len++] = c;
+  }
+  void puts(const char* s) {
+    for (std::size_t i = 0; s[i] != '\0'; ++i) put(s[i]);
+  }
+  void put_u64(std::uint64_t v) {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + (v % 10));
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(tmp[--n]);
+  }
+  void put_hex64(std::uint64_t v) {
+    const char* digits = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      put(digits[(v >> shift) & 0xf]);
+    }
+  }
+};
+
+const char* safe_signal_name(int signo) {
+  // Duplicated from subprocess.cpp's signal_name on purpose: that one
+  // falls back to snprintf, which is not async-signal-safe.
+  switch (signo) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    case SIGXCPU: return "SIGXCPU";
+    default: return "SIG?";
+  }
+}
+
+void crash_signal_handler(int signo) {
+  const int fd = g_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    GaspBuffer b;
+    b.puts("{\"signal\":");
+    b.put_u64(static_cast<std::uint64_t>(signo));
+    b.puts(",\"signal_name\":\"");
+    b.puts(safe_signal_name(signo));
+    b.puts("\",\"stage\":\"");
+    b.puts(g_stage);
+    b.puts("\",\"job\":\"");
+    b.puts(g_job);
+    b.puts("\",\"work_hash\":\"");
+    b.put_hex64(g_work_hash.load(std::memory_order_relaxed));
+    b.puts("\",\"last_seq\":");
+    b.put_u64(g_last_seq.load(std::memory_order_relaxed));
+    b.puts(",\"build\":\"");
+    b.puts(g_build);
+    b.puts("\"}\n");
+
+    // The crash file is pre-opened O_TRUNC by the supervisor before each
+    // spawn; rewind so a report from a long-lived worker lands at offset 0
+    // even if something else moved the fd.
+    (void)::lseek(fd, 0, SEEK_SET);
+    std::size_t off = 0;
+    while (off < b.len) {
+      const ssize_t wrote = ::write(fd, b.data + off, b.len - off);
+      if (wrote <= 0) break;
+      off += static_cast<std::size_t>(wrote);
+    }
+    (void)::fsync(fd);
+  }
+
+  // Restore default disposition and re-raise so the parent's waitpid()
+  // status reports the true fatal signal (not exit-with-code).
+  ::signal(signo, SIG_DFL);
+  (void)::raise(signo);
+}
+
+}  // namespace
+
+void install_crash_handler(int fd, const char* build) {
+  sanitize_copy(g_build, build);
+  g_fd.store(fd, std::memory_order_relaxed);
+
+  stack_t ss{};
+  ss.ss_sp = g_altstack;
+  ss.ss_size = sizeof(g_altstack);
+  ss.ss_flags = 0;
+  (void)::sigaltstack(&ss, nullptr);
+
+  struct sigaction sa {};
+  sa.sa_handler = crash_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_ONSTACK;
+  for (const int signo : kFatalSignals) {
+    (void)::sigaction(signo, &sa, nullptr);
+  }
+}
+
+void crash_set_stage(const char* stage) {
+  sanitize_copy(g_stage, stage == nullptr ? "" : stage);
+}
+
+void crash_set_job(const char* job_id, std::uint64_t work_hash) {
+  sanitize_copy(g_job, job_id == nullptr ? "" : job_id);
+  g_work_hash.store(work_hash, std::memory_order_relaxed);
+  g_last_seq.store(0, std::memory_order_relaxed);
+}
+
+void crash_set_last_seq(std::uint64_t seq) {
+  g_last_seq.store(seq, std::memory_order_relaxed);
+}
+
+void crash_clear_job() {
+  sanitize_copy(g_job, "");
+  g_work_hash.store(0, std::memory_order_relaxed);
+  g_last_seq.store(0, std::memory_order_relaxed);
+  crash_set_stage("idle");
+}
+
+}  // namespace softfet::util

@@ -1,0 +1,51 @@
+// Async-signal-safe crash handler for worker processes.
+//
+// A process-isolated worker can die from a SIGSEGV in a device model, a
+// SIGABRT from a failed assert, or a SIGXCPU from the supervisor's CPU
+// rlimit. The parent only sees a wait status; without help it cannot tell
+// *where* the worker was when it died. install_crash_handler() arms a
+// handler for the fatal signals that writes one JSON "last gasp" line —
+// signal, faulting stage, active job id, netlist/work hash, last emitted
+// progress seq, build stamp — to a pre-opened fd, then restores the
+// default disposition and re-raises so the wait status stays truthful.
+//
+// Everything in the handler path is async-signal-safe: the JSON line is
+// assembled with hand-rolled append/itoa into a static buffer (no malloc,
+// no snprintf, no iostreams) and emitted with write()+fsync(). The mutable
+// context (stage/job/seq) is published through lock-free, pre-sanitized
+// static buffers — the setters below strip characters that would break the
+// JSON so the handler can splice them in verbatim.
+//
+// The context setters are NOT thread-safe against each other: a worker
+// process runs jobs on a single thread, which is the only writer. The
+// handler may interrupt a setter mid-copy; buffers are NUL-padded so the
+// worst case is a truncated (never malformed) field.
+#pragma once
+
+#include <cstdint>
+
+namespace softfet::util {
+
+/// Arm the handler on SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, SIGXCPU.
+/// `fd` must stay open for the process lifetime (pre-opened crash file).
+/// `build` is a short build identifier embedded in every report; copied.
+/// Installs an alternate signal stack so stack-overflow SIGSEGVs are
+/// still reportable. Safe to call again to re-point fd/build.
+void install_crash_handler(int fd, const char* build);
+
+/// Label the stage the worker is about to enter ("parse", "handler:netlist",
+/// "idle", ...). Copied and sanitized; nullptr clears.
+void crash_set_stage(const char* stage);
+
+/// Record the active job id and a content hash of the work (netlist/spec
+/// fingerprint) so a crash is attributable to its input.
+void crash_set_job(const char* job_id, std::uint64_t work_hash);
+
+/// Record the seq of the last event the worker emitted for the active job,
+/// so forensics show how far the job got.
+void crash_set_last_seq(std::uint64_t seq);
+
+/// Forget job context (between jobs).
+void crash_clear_job();
+
+}  // namespace softfet::util

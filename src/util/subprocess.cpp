@@ -1,0 +1,207 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace softfet::util {
+
+std::string ExitStatus::describe() const {
+  if (exited) return "exit " + std::to_string(exit_code);
+  if (signaled) {
+    return std::string("killed by ") + signal_name(term_signal) + " (" +
+           std::to_string(term_signal) + ")";
+  }
+  return "unknown status";
+}
+
+const char* signal_name(int signo) {
+  switch (signo) {
+    case SIGHUP: return "SIGHUP";
+    case SIGINT: return "SIGINT";
+    case SIGQUIT: return "SIGQUIT";
+    case SIGILL: return "SIGILL";
+    case SIGTRAP: return "SIGTRAP";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGUSR1: return "SIGUSR1";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGUSR2: return "SIGUSR2";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGALRM: return "SIGALRM";
+    case SIGTERM: return "SIGTERM";
+    case SIGCHLD: return "SIGCHLD";
+    case SIGCONT: return "SIGCONT";
+    case SIGSTOP: return "SIGSTOP";
+    case SIGTSTP: return "SIGTSTP";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    case SIGSYS: return "SIGSYS";
+    default: break;
+  }
+  // Static so the pointer stays valid; sized for "SIG" + int digits. Only
+  // reached for exotic real-time signals, so the shared buffer is fine.
+  static thread_local char unknown[16];
+  std::snprintf(unknown, sizeof(unknown), "SIG%d", signo);
+  return unknown;
+}
+
+pid_t spawn_child(const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child. Never return into the caller's stack, never run atexit
+    // handlers or flush the parent's stdio buffers: _exit only.
+    int rc = 127;
+    try {
+      rc = body();
+    } catch (...) {
+      rc = 126;
+    }
+    ::_exit(rc);
+  }
+  return pid;
+}
+
+std::optional<ExitStatus> wait_child(pid_t pid, bool block) {
+  int status = 0;
+  for (;;) {
+    const pid_t got = ::waitpid(pid, &status, block ? 0 : WNOHANG);
+    if (got == pid) break;
+    if (got == 0) return std::nullopt;  // still running (WNOHANG)
+    if (got < 0 && errno == EINTR) continue;
+    return std::nullopt;  // ECHILD: already reaped or not ours
+  }
+  ExitStatus out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(status);
+  }
+  return out;
+}
+
+void kill_child(pid_t pid, int signo) {
+  if (pid > 0) (void)::kill(pid, signo);
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (fd < 0 || payload.size() > kMaxFrameBytes) return false;
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(n & 0xff),
+      static_cast<unsigned char>((n >> 8) & 0xff),
+      static_cast<unsigned char>((n >> 16) & 0xff),
+      static_cast<unsigned char>((n >> 24) & 0xff),
+  };
+  // Frame = header + payload in one buffer so that concurrent writers on a
+  // shared pipe (not used today, but cheap insurance) cannot interleave a
+  // header with another frame's payload when the whole frame fits in
+  // PIPE_BUF. Larger frames fall back to plain sequential writes.
+  std::string frame;
+  frame.reserve(sizeof(header) + payload.size());
+  frame.append(reinterpret_cast<const char*>(header), sizeof(header));
+  frame.append(payload.data(), payload.size());
+
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t wrote = ::write(fd, frame.data() + off, frame.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool FrameReader::complete_frame(std::string& out) {
+  if (buffer_.size() < 4) return false;
+  const auto b = [this](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (n > kMaxFrameBytes) return false;  // caller checks cap separately
+  if (buffer_.size() < 4u + n) return false;
+  out.assign(buffer_, 4, n);
+  buffer_.erase(0, 4u + n);
+  return true;
+}
+
+FrameRead FrameReader::poll_frame(int timeout_ms, std::string& out) {
+  if (fd_ < 0) return FrameRead::kError;
+  for (;;) {
+    if (buffer_.size() >= 4) {
+      const auto b = [this](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buffer_[i]));
+      };
+      const std::uint32_t n = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+      if (n > kMaxFrameBytes) return FrameRead::kError;
+    }
+    if (complete_frame(out)) return FrameRead::kFrame;
+
+    struct pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return FrameRead::kError;
+    }
+    if (ready == 0) return FrameRead::kTimeout;
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return FrameRead::kError;
+
+    char chunk[4096];
+    const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return FrameRead::kError;
+    }
+    if (got == 0) return FrameRead::kEof;
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+    // Progress was made: loop again, re-check for a complete frame, and if
+    // still incomplete grant a fresh poll window rather than charging the
+    // bytes already received against the timeout.
+  }
+}
+
+void limit_address_space(std::size_t bytes) {
+  if (bytes == 0) return;
+  struct rlimit lim {};
+  lim.rlim_cur = static_cast<rlim_t>(bytes);
+  lim.rlim_max = static_cast<rlim_t>(bytes);
+  (void)::setrlimit(RLIMIT_AS, &lim);
+}
+
+double cpu_seconds_used() {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  const auto tv = [](const struct timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+void limit_cpu_seconds_from_now(double seconds) {
+  if (seconds <= 0.0) return;
+  const double deadline = cpu_seconds_used() + seconds;
+  struct rlimit lim {};
+  lim.rlim_cur = static_cast<rlim_t>(std::ceil(deadline)) + 1;
+  lim.rlim_max = RLIM_INFINITY;  // keep raisable for the next job
+  (void)::setrlimit(RLIMIT_CPU, &lim);
+}
+
+}  // namespace softfet::util

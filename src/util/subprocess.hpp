@@ -1,0 +1,119 @@
+// Minimal POSIX subprocess toolkit for process-isolated workers.
+//
+// The service's supervisor (service/supervisor.hpp) forks sandboxed worker
+// processes and ships jobs over pipes; this header holds the low-level,
+// service-agnostic half of that: fork/reap/kill with decoded exit statuses,
+// a length-prefixed frame protocol over file descriptors, and the rlimit
+// helpers that bound a worker's address space and CPU time.
+//
+// Frame protocol: every message is a 4-byte little-endian length followed
+// by that many payload bytes. Length prefixing (rather than newline
+// delimiting) keeps the protocol binary-safe and makes a torn write
+// detectable: a reader that hits EOF mid-frame knows the peer died
+// mid-message instead of silently truncating it. Frames are capped at
+// kMaxFrameBytes so a corrupted length prefix cannot trigger an unbounded
+// allocation.
+//
+// fork() without exec() from a threaded parent is deliberate: workers need
+// the full simulation library and the registered job handlers, and glibc
+// guarantees malloc consistency across fork. The child must only touch
+// fresh objects (never the parent's mutex-guarded state) and must leave
+// via _exit(), both of which the supervisor's worker main enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include <sys/types.h>
+
+namespace softfet::util {
+
+/// Decoded waitpid() status.
+struct ExitStatus {
+  bool exited = false;    ///< terminated via exit()/_exit()
+  int exit_code = 0;      ///< valid when `exited`
+  bool signaled = false;  ///< terminated by a signal
+  int term_signal = 0;    ///< valid when `signaled`
+
+  [[nodiscard]] bool clean() const noexcept { return exited && exit_code == 0; }
+  /// "exit 3" / "killed by SIGSEGV (11)" — for logs and crash forensics.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// "SIGSEGV" for 11 etc.; "SIG<n>" for unknown numbers. Never nullptr.
+[[nodiscard]] const char* signal_name(int signo);
+
+/// fork() and run `body` in the child; the child terminates via
+/// _exit(body()) and never returns into the caller's stack. Returns the
+/// child pid, or -1 when fork() failed.
+[[nodiscard]] pid_t spawn_child(const std::function<int()>& body);
+
+/// Reap `pid`. Blocking form waits; non-blocking returns nullopt while the
+/// child is still running. Also nullopt when `pid` is not a child (already
+/// reaped).
+[[nodiscard]] std::optional<ExitStatus> wait_child(pid_t pid, bool block);
+
+/// kill() wrapper that tolerates an already-dead pid.
+void kill_child(pid_t pid, int signo);
+
+/// Hard cap on one frame's payload (a corrupt length prefix must not turn
+/// into a multi-gigabyte allocation). Generous: the service already caps
+/// request lines at ~4 MiB and streams waveforms in bounded chunks.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Write one length-prefixed frame, retrying EINTR and partial writes.
+/// Returns false on any unrecoverable error (EPIPE when the peer died —
+/// callers must have SIGPIPE ignored or blocked).
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+enum class FrameRead {
+  kFrame,    ///< one complete frame delivered
+  kTimeout,  ///< no complete frame within the poll window
+  kEof,      ///< peer closed (possibly mid-frame — the peer died)
+  kError,    ///< fd error or an over-cap/corrupt length prefix
+};
+
+/// Buffered frame reader over a pipe fd. poll_frame() returns as soon as a
+/// complete frame is buffered, waiting at most `timeout_ms` for *progress*
+/// (each poll window restarts after any bytes arrive, so a slowly streamed
+/// large frame is not misreported as a timeout).
+class FrameReader {
+ public:
+  explicit FrameReader(int fd = -1) : fd_(fd) {}
+
+  /// Point at a new fd (drops any buffered partial frame).
+  void reset(int fd) {
+    fd_ = fd;
+    buffer_.clear();
+  }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  [[nodiscard]] FrameRead poll_frame(int timeout_ms, std::string& out);
+
+ private:
+  [[nodiscard]] bool complete_frame(std::string& out);
+
+  int fd_;
+  std::string buffer_;
+};
+
+/// Cap the process's address space (RLIMIT_AS, soft and hard). Allocation
+/// beyond the cap fails with ENOMEM — std::bad_alloc — instead of inviting
+/// the OOM killer. No-op when bytes == 0.
+void limit_address_space(std::size_t bytes);
+
+/// CPU seconds (user + system) this process has consumed so far.
+[[nodiscard]] double cpu_seconds_used();
+
+/// Arm a CPU-time watchdog `seconds` from the *current* usage: the soft
+/// RLIMIT_CPU is set to ceil(used + seconds) while the hard limit stays
+/// unlimited, so the limit can be re-armed per job on a reused worker.
+/// Exceeding it delivers SIGXCPU (fatal by default; the crash handler
+/// turns it into a last-gasp record). No-op when seconds <= 0.
+void limit_cpu_seconds_from_now(double seconds);
+
+}  // namespace softfet::util

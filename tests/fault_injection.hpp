@@ -10,6 +10,19 @@
 //  - kEventStorm:   reports a discrete event every `storm_dt`, forcing the
 //                   engine through a dense burst of step cuts.
 //
+// Hard faults — the process-isolation soak's ammunition. These do NOT
+// throw; they take the whole process down (or hang it), which is exactly
+// what a sandboxed worker must contain and a threaded server cannot:
+//
+//  - kCrashAbort:     calls std::abort() (SIGABRT),
+//  - kCrashNullDeref: writes through a null pointer (SIGSEGV),
+//  - kAllocBomb:      allocates and touches memory until the allocator
+//                     gives out — run ONLY under an RLIMIT_AS sandbox,
+//                     where it degrades to std::bad_alloc / OOM-kill of
+//                     the worker instead of the host,
+//  - kInfiniteLoop:   spins forever on a volatile counter (never yields,
+//                     never checks the cancel token).
+//
 // `fault_budget` counts sabotaged solves (one Newton solve fails per
 // injection, because non-finite stamps abort the very first iteration);
 // after the budget is spent the device turns harmless again. That makes the
@@ -20,6 +33,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
@@ -35,7 +50,51 @@ enum class FaultMode {
   kNanJacobian,
   kSingularRow,
   kEventStorm,
+  kCrashAbort,
+  kCrashNullDeref,
+  kAllocBomb,
+  kInfiniteLoop,
 };
+
+namespace detail {
+
+/// Out-of-line null write so the optimizer cannot prove UB and elide it.
+/// Both qualifiers matter: the volatile *pointer* forces the read of p,
+/// and the volatile *pointee* makes the store itself an observable access
+/// (GCC at -O2 happily deletes a plain store through a just-read null
+/// pointer — UB grants it that). → SIGSEGV.
+[[gnu::noinline]] inline void null_deref() {
+  volatile int* volatile p = nullptr;
+  *p = 42;
+}
+
+/// Allocate-and-touch until the allocator fails. Touching every page
+/// defeats overcommit: the address space (or physical memory) is genuinely
+/// consumed, so under RLIMIT_AS this throws std::bad_alloc at the cap —
+/// or, when nothing catches in time, ends in worker death by OOM. The
+/// hoard is released before rethrowing so a worker that survives via the
+/// exception path is not left wedged against its own rlimit.
+[[gnu::noinline]] inline void alloc_bomb() {
+  std::vector<char*> hoard;
+  constexpr std::size_t kChunk = 16u << 20;
+  try {
+    for (;;) {
+      char* chunk = new char[kChunk];
+      for (std::size_t i = 0; i < kChunk; i += 4096) chunk[i] = 1;
+      hoard.push_back(chunk);
+    }
+  } catch (...) {
+    for (char* chunk : hoard) delete[] chunk;
+    throw;
+  }
+}
+
+[[gnu::noinline]] inline void infinite_loop() {
+  volatile std::uint64_t spin = 0;
+  for (;;) spin = spin + 1;
+}
+
+}  // namespace detail
 
 class FaultDevice final : public sim::Device {
  public:
@@ -92,6 +151,30 @@ class FaultDevice final : public sim::Device {
         break;
       case FaultMode::kEventStorm:
         break;  // sabotage happens via event_time, not stamps
+      case FaultMode::kCrashAbort:
+        if (armed) {
+          ++injected_;
+          std::abort();
+        }
+        break;
+      case FaultMode::kCrashNullDeref:
+        if (armed) {
+          ++injected_;
+          detail::null_deref();
+        }
+        break;
+      case FaultMode::kAllocBomb:
+        if (armed) {
+          ++injected_;
+          detail::alloc_bomb();
+        }
+        break;
+      case FaultMode::kInfiniteLoop:
+        if (armed) {
+          ++injected_;
+          detail::infinite_loop();
+        }
+        break;
     }
   }
 

@@ -211,3 +211,106 @@ TEST(Retry, Fnv1a64MatchesReference) {
   EXPECT_EQ(ss::fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
   EXPECT_NE(ss::fnv1a64("netlist-a"), ss::fnv1a64("netlist-b"));
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic retry_after_ms: the overload hint scales with queue depth and
+// the mean of recent job latencies (DESIGN.md §5g) instead of parroting a
+// constant. Needs a live Server, but stays protocol-level: only the
+// `rejected` event's advertised hint is under test.
+// ---------------------------------------------------------------------------
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+
+namespace {
+
+/// Minimal thread-safe line collector for the hint tests.
+class HintCollector {
+ public:
+  ss::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(line);
+    };
+  }
+  [[nodiscard]] std::vector<ss::JsonValue> events(const std::string& id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ss::JsonValue> out;
+    for (const auto& line : lines_) {
+      ss::JsonValue v = ss::json_parse(line);
+      if (v.string_or("id", "") == id) out.push_back(std::move(v));
+    }
+    return out;
+  }
+  /// Blocks (bounded) until `id` has seen `event`.
+  [[nodiscard]] bool await(const std::string& id, const std::string& event,
+                           int timeout_ms = 10000) const {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const auto& ev : events(id)) {
+        if (ev.string_or("event", "") == event) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+TEST(Protocol, RetryAfterHintTracksQueueDepthAndLatency) {
+  ss::ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.retry_after_ms = 1;  // the configured floor
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+  server.register_handler("slow", [](const ss::Request&, ss::JobContext& ctx) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    ctx.finish(ss::JsonValue::object());
+  });
+
+  HintCollector out;
+  const ss::Sink sink = out.sink();
+
+  // No latency history yet: the server has nothing honest to extrapolate
+  // from, so an overload rejection advertises exactly the floor.
+  server.handle_line(R"({"id":"a0","type":"slow"})", sink);
+  ASSERT_TRUE(out.await("a0", "started"));  // worker busy, queue empty
+  server.handle_line(R"({"id":"a1","type":"slow"})", sink);  // fills queue
+  server.handle_line(R"({"id":"a2","type":"slow"})", sink);  // sheds
+  {
+    const auto rejected = out.events("a2");
+    ASSERT_EQ(rejected.size(), 1u);
+    ASSERT_EQ(rejected.front().string_or("event", ""), "rejected");
+    EXPECT_EQ(rejected.front().number_or("retry_after_ms", -1), 1.0);
+  }
+  server.wait_idle();  // a0 and a1 complete: two ~120 ms latency samples
+
+  // With history, the hint grows to depth x mean latency / workers: one
+  // queued job at a ~120 ms mean must advertise roughly that long a wait,
+  // not the 1 ms floor.
+  server.handle_line(R"({"id":"b0","type":"slow"})", sink);
+  ASSERT_TRUE(out.await("b0", "started"));
+  server.handle_line(R"({"id":"b1","type":"slow"})", sink);  // fills queue
+  server.handle_line(R"({"id":"b2","type":"slow"})", sink);  // sheds
+  {
+    const auto rejected = out.events("b2");
+    ASSERT_EQ(rejected.size(), 1u);
+    ASSERT_EQ(rejected.front().string_or("event", ""), "rejected");
+    const double hint = rejected.front().number_or("retry_after_ms", -1);
+    EXPECT_GE(hint, 50.0);     // well above the floor: latency-derived
+    EXPECT_LE(hint, 60000.0);  // and inside the advertised ceiling
+  }
+  server.wait_idle();
+}

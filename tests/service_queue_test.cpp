@@ -9,6 +9,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -497,4 +499,61 @@ TEST(Server, MonteCarloDeterminismFieldSelectsModeAndRejectsUnknown) {
   EXPECT_EQ(bad.back().string_or("event", ""), "error");
   EXPECT_NE(bad.back().string_or("message", "").find("determinism"),
             std::string::npos);
+}
+
+TEST(Server, TornJournalTailsAreDroppedSilentlyAtEveryOffset) {
+  // A daemon killed mid-journal-write can leave a *prefix* of the request
+  // line on disk (no rename barrier survives every filesystem). Recovery
+  // must drop such a journal silently — no spurious anonymous `rejected`
+  // for a job no client is waiting on — and still resume every intact
+  // neighbor. Truncating at every byte offset proves no prefix length is
+  // special-cased.
+  namespace fs = std::filesystem;
+  const fs::path state_dir =
+      fs::path(::testing::TempDir()) / "softfet-torn-journal";
+  const std::string keep_a = R"({"id":"keep-a","type":"echo","n":1})";
+  const std::string keep_b = R"({"id":"keep-b","type":"echo","n":2})";
+  const std::string torn = R"({"id":"torn","type":"echo","n":3})";
+
+  for (std::size_t cut = 0; cut < torn.size(); ++cut) {
+    fs::remove_all(state_dir);
+    fs::create_directories(state_dir);
+    const auto plant = [&](const char* name, const std::string& content,
+                           bool newline) {
+      std::ofstream file(state_dir / name, std::ios::binary);
+      file << content;
+      if (newline) file << '\n';
+    };
+    plant("job-keep-a.req", keep_a, true);
+    plant("job-keep-b.req", keep_b, true);
+    plant("job-torn.req", torn.substr(0, cut), false);  // torn tail
+
+    ss::ServerConfig config = test_config();
+    config.state_dir = state_dir.string();
+    const auto owned = std::make_unique<ss::Server>(config);
+    ss::Server& server = *owned;
+    server.register_handler("echo", [](const ss::Request& req,
+                                       ss::JobContext& ctx) {
+      ss::JsonValue result = ss::JsonValue::object();
+      result.set("n", ss::JsonValue::number(req.payload.number_or("n", -1)));
+      ctx.finish(std::move(result));
+    });
+
+    Collector out;
+    const std::size_t resumed = server.resume_journaled(out.sink());
+    EXPECT_EQ(resumed, 2u) << "cut=" << cut;
+    server.wait_idle();
+
+    EXPECT_EQ(out.event_chain("keep-a"), "accepted started result")
+        << "cut=" << cut;
+    EXPECT_EQ(out.event_chain("keep-b"), "accepted started result")
+        << "cut=" << cut;
+    // The torn journal vanished without a trace: no events under its id,
+    // no anonymous rejection, and the file itself is gone so the next
+    // restart does not trip over it either.
+    EXPECT_TRUE(out.events("torn").empty()) << "cut=" << cut;
+    EXPECT_TRUE(out.events("").empty()) << "cut=" << cut;
+    EXPECT_FALSE(fs::exists(state_dir / "job-torn.req")) << "cut=" << cut;
+  }
+  fs::remove_all(state_dir);
 }

@@ -16,14 +16,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstddef>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "cells/inverter.hpp"
 #include "core/variation.hpp"
@@ -35,6 +40,7 @@
 #include "netlist/elaborate.hpp"
 #include "netlist/parser.hpp"
 #include "service/server.hpp"
+#include "service/supervisor.hpp"
 #include "sim/analyses.hpp"
 #include "util/error.hpp"
 
@@ -212,6 +218,96 @@ void register_fault_handlers(ss::Server& server) {
       });
 }
 
+/// Process-isolation config with test-speed heartbeats. Hard-fault cases
+/// (ServiceHardFault.*) run ONLY under this mode: in thread mode a single
+/// SIGSEGV would take the whole test binary down.
+[[nodiscard]] ss::ServerConfig process_config(std::size_t workers) {
+  ss::ServerConfig config;
+  config.workers = workers;
+  config.isolation = ss::IsolationMode::kProcess;
+  config.heartbeat_interval_seconds = 0.05;
+  config.heartbeat_timeout_seconds = 1.0;
+  config.hang_grace_seconds = 0.4;
+  config.retry.base_backoff_ms = 1;
+  config.retry.max_backoff_ms = 2;
+  return config;
+}
+
+/// RLIMIT_AS cap for sandboxed workers: the test binary's own address
+/// space (forked children inherit it wholesale — gtest, thread stacks,
+/// allocator arenas) plus 320 MB of real headroom for the allocation bomb
+/// to chew through. An absolute cap would either dwarf the machine or sit
+/// below the parent's footprint and starve healthy jobs.
+[[nodiscard]] std::size_t worker_memory_cap() {
+  std::size_t pages = 0;
+  std::ifstream statm("/proc/self/statm");
+  if (!(statm >> pages) || pages == 0) return std::size_t{2} << 30;
+  return pages * static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)) +
+         (std::size_t{320} << 20);
+}
+
+/// Handlers whose faults no thread can survive: they crash, stall, or
+/// freeze the worker *process*. "hard_fault" drives a FaultDevice inside a
+/// real transient so the crash happens mid-solve, exactly where a buggy
+/// device model would fire; "sleepy" and "freeze" give lifecycle tests a
+/// busy resp. heartbeat-silent worker to shoot at.
+void register_hard_fault_handlers(ss::Server& server) {
+  server.register_handler(
+      "hard_fault", [](const ss::Request& req, ss::JobContext& ctx) {
+        namespace sd = softfet::devices;
+        namespace sim = softfet::sim;
+        using softfet::testing::FaultMode;
+        const std::string mode_name = req.payload.string_or("mode", "");
+        FaultMode mode = FaultMode::kCrashAbort;
+        if (mode_name == "abort") {
+          mode = FaultMode::kCrashAbort;
+        } else if (mode_name == "segv") {
+          mode = FaultMode::kCrashNullDeref;
+        } else if (mode_name == "alloc_bomb") {
+          mode = FaultMode::kAllocBomb;
+        } else if (mode_name == "spin") {
+          mode = FaultMode::kInfiniteLoop;
+        } else {
+          throw softfet::Error("unknown hard_fault mode '" + mode_name + "'");
+        }
+        sim::Circuit circuit;
+        const auto in = circuit.node("in");
+        const auto out = circuit.node("out");
+        circuit.add<sd::VSource>(
+            "Vin", in, sim::kGroundNode,
+            sd::SourceSpec::ramp(0.0, 1.0, 100e-12, 30e-12));
+        circuit.add<sd::Resistor>("R1", in, out, 1e3);
+        circuit.add<sd::Capacitor>("C1", out, sim::kGroundNode, 1e-15);
+        circuit.add<softfet::testing::FaultDevice>("FLT1", out, mode, 200e-12,
+                                                   1e-9, 1);
+        circuit.prepare();
+        const auto tran = sim::run_transient(circuit, 2e-9, ctx.options);
+        ss::JsonValue result = ss::JsonValue::object();
+        result.set("accepted_steps",
+                   ss::JsonValue::number(
+                       static_cast<double>(tran.accepted_steps)));
+        ctx.finish(std::move(result));
+      });
+  server.register_handler(
+      "sleepy", [](const ss::Request& req, ss::JobContext& ctx) {
+        const int ms = static_cast<int>(req.payload.number_or("ms", 500));
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+        while (std::chrono::steady_clock::now() < deadline &&
+               !ctx.cancel->requested()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        ss::JsonValue result = ss::JsonValue::object();
+        result.set("slept", ss::JsonValue::number(ms));
+        ctx.finish(std::move(result));
+      });
+  server.register_handler("freeze", [](const ss::Request&, ss::JobContext&) {
+    // SIGSTOP freezes the whole worker process — heartbeats included — so
+    // only the supervisor's heartbeat-silence SIGKILL can reclaim the slot.
+    ::raise(SIGSTOP);
+  });
+}
+
 }  // namespace
 
 TEST(ServiceSoak, ThousandsOfFaultInjectedJobsKeepTheContract) {
@@ -366,9 +462,13 @@ TEST(ServiceSoak, ThousandsOfFaultInjectedJobsKeepTheContract) {
   EXPECT_EQ(after.count("after", "result"), 1u);
 }
 
-TEST(ServiceSoak, NetlistResultsAreBitwiseEqualToDirectCalls) {
-  ss::ServerConfig config;
-  config.workers = 1;
+namespace {
+
+/// Stream one RC netlist through a server under `config` and demand the
+/// reassembled chunked waveform be bitwise-equal to the direct library
+/// call. Shared by the thread-mode and process-isolation cases: the
+/// client-visible numbers must not depend on where the handler ran.
+void check_netlist_bitwise(ss::ServerConfig config) {
   config.chunk_rows = 7;  // force multi-chunk reassembly
   const auto owned = std::make_unique<ss::Server>(config);
   ss::Server& server = *owned;
@@ -442,16 +542,19 @@ TEST(ServiceSoak, NetlistResultsAreBitwiseEqualToDirectCalls) {
             static_cast<double>(tran.accepted_steps));
 }
 
-TEST(ServiceSoak, KilledDaemonResumesMonteCarloBitwise) {
+/// Kill-and-restart Monte-Carlo resume under `config` (state_dir is filled
+/// in here, keyed by `tag` so concurrent cases never share a directory).
+/// The resumed result must be bitwise-identical to the uninterrupted
+/// direct library call, whichever isolation mode ran the attempts.
+void check_mc_resume(ss::ServerConfig config, const std::string& tag) {
   const std::string state_dir =
-      (fs::path(::testing::TempDir()) / "softfet-soak-state").string();
+      (fs::path(::testing::TempDir()) / ("softfet-soak-" + tag)).string();
   fs::remove_all(state_dir);
 
   const char* kJob =
       R"({"id":"mc1","type":"monte_carlo","samples":12,"seed":9,"lanes":1,)"
       R"("checkpoint_every":1,"timeout_seconds":240})";
 
-  ss::ServerConfig config;
   config.workers = 1;
   config.state_dir = state_dir;
   config.max_timeout_seconds = 300.0;
@@ -525,4 +628,292 @@ TEST(ServiceSoak, KilledDaemonResumesMonteCarloBitwise) {
             direct.fraction_below_baseline);
 
   fs::remove_all(state_dir);
+}
+
+}  // namespace
+
+TEST(ServiceSoak, NetlistResultsAreBitwiseEqualToDirectCalls) {
+  ss::ServerConfig config;
+  config.workers = 1;
+  check_netlist_bitwise(config);
+}
+
+TEST(ServiceSoak, KilledDaemonResumesMonteCarloBitwise) {
+  ss::ServerConfig config;
+  check_mc_resume(config, "thread");
+}
+
+// ---------------------------------------------------------------------------
+// Hard-fault containment (process isolation). These cases fork sandboxed
+// workers and then kill, crash, starve, and freeze them; they carry the
+// service-soak label and the ServiceHardFault prefix so sanitizer CI can
+// exclude them (fork + instrumentation interact badly) while the Release
+// job runs them as a dedicated smoke step.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceHardFault, MixedHardFaultWorkloadIsContained) {
+  ss::ServerConfig config = process_config(3);
+  config.queue_capacity = 256;
+  config.worker_memory_bytes = worker_memory_cap();
+  config.retry.max_attempts = 3;
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+  register_fault_handlers(server);
+  register_hard_fault_handlers(server);
+
+  Transcript out;
+  const ss::Sink sink = out.sink();
+
+  // 120 jobs: 10 aborts, 10 null derefs, 5 infinite loops, 5 allocation
+  // bombs, 10 netlist sims, 10 flaky, 10 fatal, 70 healthy — every worker
+  // slot dies several times with healthy traffic interleaved throughout.
+  constexpr int kJobs = 120;
+  std::vector<std::string> job_ids;
+  std::map<std::string, std::string> kind_of;
+  for (int i = 0; i < kJobs; ++i) {
+    const std::string id = "h" + std::to_string(i);
+    const std::string idq = "\"id\":\"" + id + "\"";
+    std::string kind;
+    switch (i % 12) {
+      case 0:
+        kind = "abort";
+        server.handle_line(
+            "{" + idq + ",\"type\":\"hard_fault\",\"mode\":\"abort\"}", sink);
+        break;
+      case 1:
+        kind = "segv";
+        server.handle_line(
+            "{" + idq + ",\"type\":\"hard_fault\",\"mode\":\"segv\"}", sink);
+        break;
+      case 2:
+        if (i % 24 == 2) {
+          // The spin never heartbeat-starves (the worker's reader thread
+          // keeps beating) — only the job deadline reclaims the slot, so
+          // give it a small timeout.
+          kind = "spin";
+          server.handle_line("{" + idq +
+                                 ",\"type\":\"hard_fault\",\"mode\":\"spin\","
+                                 "\"timeout_seconds\":0.3}",
+                             sink);
+        } else {
+          kind = "bomb";
+          server.handle_line(
+              "{" + idq + ",\"type\":\"hard_fault\",\"mode\":\"alloc_bomb\"}",
+              sink);
+        }
+        break;
+      case 3:
+        kind = "netlist";
+        server.handle_line("{" + idq + ",\"type\":\"netlist\",\"netlist\":\"" +
+                               rc_netlist(i % 3) + "\"}",
+                           sink);
+        break;
+      case 4:
+        kind = "flaky";
+        server.handle_line("{" + idq + ",\"type\":\"flaky\"}", sink);
+        break;
+      case 5:
+        kind = "fatal";
+        server.handle_line("{" + idq + ",\"type\":\"fatal\"}", sink);
+        break;
+      default:
+        kind = "ok";
+        server.handle_line(
+            "{" + idq + ",\"type\":\"ok\",\"n\":" + std::to_string(i) + "}",
+            sink);
+        break;
+    }
+    job_ids.push_back(id);
+    kind_of[id] = kind;
+  }
+  server.wait_idle();
+
+  // Every job — including the ones whose worker died mid-attempt — keeps
+  // the lifecycle contract: exactly one terminal, contiguous seq.
+  const auto transcript = out.by_id();
+  for (const auto& id : job_ids) {
+    const auto it = transcript.find(id);
+    ASSERT_NE(it, transcript.end()) << id << " left no transcript";
+    const std::string last = check_lifecycle(id, it->second);
+    const std::string& kind = kind_of[id];
+    const ss::JsonValue& fin = it->second.back();
+    if (kind == "abort" || kind == "segv") {
+      // Crash forensics: the faulting signal and stage come from the
+      // worker's own last-gasp record, not just the wait status.
+      if (last != "error") {
+        for (const auto& ev : it->second) {
+          ADD_FAILURE() << id << " transcript: " << ev.dump();
+        }
+      }
+      ASSERT_EQ(last, "error") << id;
+      EXPECT_EQ(fin.string_or("code", ""), "worker_crashed") << id;
+      const ss::JsonValue* crash = fin.get("crash");
+      ASSERT_NE(crash, nullptr) << id;
+      EXPECT_EQ(crash->string_or("reason", ""), "signal") << id;
+      const int expected = kind == "abort" ? SIGABRT : SIGSEGV;
+      EXPECT_EQ(crash->number_or("signal", -1),
+                static_cast<double>(expected))
+          << id;
+      EXPECT_EQ(crash->string_or("signal_name", ""),
+                kind == "abort" ? "SIGABRT" : "SIGSEGV")
+          << id;
+      EXPECT_EQ(crash->string_or("stage", ""), "handler:hard_fault") << id;
+      EXPECT_EQ(crash->string_or("job", ""), id) << id;
+    } else if (kind == "spin") {
+      ASSERT_EQ(last, "error") << id;
+      EXPECT_EQ(fin.string_or("code", ""), "worker_crashed") << id;
+      const ss::JsonValue* crash = fin.get("crash");
+      ASSERT_NE(crash, nullptr) << id;
+      EXPECT_EQ(crash->string_or("reason", ""), "deadline_timeout") << id;
+    } else if (kind == "bomb") {
+      // Contained by RLIMIT_AS: the bomb degrades to std::bad_alloc inside
+      // the worker and surfaces as an ordinary handler error — the worker
+      // process survives to serve the next job.
+      ASSERT_EQ(last, "error") << id;
+    } else if (kind == "fatal") {
+      ASSERT_EQ(last, "error") << id;
+      EXPECT_NE(fin.string_or("code", ""), "worker_crashed") << id;
+    } else if (kind == "ok") {
+      // Bitwise identity for survivors: the echoed value is exactly the
+      // submitted integer.
+      ASSERT_EQ(last, "result") << id;
+      EXPECT_EQ(fin.number_or("value", -1),
+                static_cast<double>(std::stoi(id.substr(1))))
+          << id;
+    } else {
+      ASSERT_EQ(last, "result") << id << " (" << kind << ")";
+    }
+  }
+
+  const ss::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.admitted, stats.completed + stats.failed + stats.cancelled);
+  EXPECT_GE(stats.worker_crashes, 25u);  // 10 aborts + 10 segvs + 5 spins
+  EXPECT_GE(stats.deadline_kills, 5u);
+  EXPECT_GE(stats.workers_spawned, 3u);
+  // Every crash but (at most) the final one per slot is followed by more
+  // work, so nearly every death was also a respawn.
+  EXPECT_GE(stats.workers_respawned, 22u);
+  EXPECT_GT(stats.retries, 0u);  // flaky jobs retried across attempts
+
+  // The daemon is still healthy after the storm.
+  Transcript after;
+  server.handle_line(R"({"id":"after","type":"ok","n":7})", after.sink());
+  server.wait_idle();
+  ASSERT_EQ(after.count("after", "result"), 1u);
+}
+
+TEST(ServiceHardFault, SigkilledWorkerLeavesOthersUntouchedAndRespawns) {
+  ss::ServerConfig config = process_config(3);
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+  register_fault_handlers(server);
+  register_hard_fault_handlers(server);
+
+  // Occupy all three slots with long sleepers, then shoot slot 0's worker.
+  Transcript out;
+  const ss::Sink sink = out.sink();
+  for (int i = 0; i < 3; ++i) {
+    server.handle_line("{\"id\":\"s" + std::to_string(i) +
+                           "\",\"type\":\"sleepy\",\"ms\":1500}",
+                       sink);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (out.count("s0", "started") + out.count("s1", "started") +
+                 out.count("s2", "started") <
+             3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(server.supervisor(), nullptr);
+  const std::vector<pid_t> pids = server.supervisor()->worker_pids();
+  ASSERT_EQ(pids.size(), 3u);
+  for (const pid_t pid : pids) ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+  server.wait_idle();
+
+  // Exactly the job on the murdered worker errors — with SIGKILL forensics
+  // — and the two bystander jobs finish untouched.
+  int crashed = 0;
+  int finished = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "s" + std::to_string(i);
+    const auto events = out.events(id);
+    const std::string last = check_lifecycle(id, events);
+    if (last == "error") {
+      ++crashed;
+      const ss::JsonValue& fin = events.back();
+      EXPECT_EQ(fin.string_or("code", ""), "worker_crashed") << id;
+      const ss::JsonValue* crash = fin.get("crash");
+      ASSERT_NE(crash, nullptr) << id;
+      EXPECT_EQ(crash->string_or("reason", ""), "signal") << id;
+      EXPECT_EQ(crash->number_or("signal", -1),
+                static_cast<double>(SIGKILL))
+          << id;
+      EXPECT_EQ(crash->string_or("signal_name", ""), "SIGKILL") << id;
+    } else {
+      EXPECT_EQ(last, "result") << id;
+      ++finished;
+    }
+  }
+  EXPECT_EQ(crashed, 1);
+  EXPECT_EQ(finished, 2);
+  EXPECT_EQ(server.stats().worker_crashes, 1u);
+
+  // A second full round occupies every slot again: slot 0 respawns (after
+  // its backoff) and the surviving workers are reused as-is.
+  Transcript second;
+  for (int i = 0; i < 3; ++i) {
+    server.handle_line("{\"id\":\"t" + std::to_string(i) +
+                           "\",\"type\":\"sleepy\",\"ms\":1500}",
+                       second.sink());
+  }
+  server.wait_idle();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(second.count("t" + std::to_string(i), "result"), 1u);
+  }
+  const std::vector<pid_t> after = server.supervisor()->worker_pids();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_NE(after[0], pids[0]);  // replaced
+  EXPECT_EQ(after[1], pids[1]);  // untouched
+  EXPECT_EQ(after[2], pids[2]);  // untouched
+  EXPECT_GE(server.stats().workers_respawned, 1u);
+}
+
+TEST(ServiceHardFault, FrozenWorkerIsKilledForHeartbeatSilence) {
+  ss::ServerConfig config = process_config(1);
+  config.heartbeat_timeout_seconds = 0.5;
+  const auto owned = std::make_unique<ss::Server>(config);
+  ss::Server& server = *owned;
+  register_fault_handlers(server);
+  register_hard_fault_handlers(server);
+
+  Transcript out;
+  server.handle_line(R"({"id":"frozen","type":"freeze"})", out.sink());
+  server.wait_idle();
+
+  const auto events = out.events("frozen");
+  ASSERT_EQ(check_lifecycle("frozen", events), "error");
+  const ss::JsonValue& fin = events.back();
+  EXPECT_EQ(fin.string_or("code", ""), "worker_crashed");
+  const ss::JsonValue* crash = fin.get("crash");
+  ASSERT_NE(crash, nullptr);
+  EXPECT_EQ(crash->string_or("reason", ""), "heartbeat_timeout");
+  EXPECT_EQ(crash->number_or("signal", -1), static_cast<double>(SIGKILL));
+  EXPECT_GE(server.stats().heartbeat_kills, 1u);
+
+  // The slot recovers: the next job forks a fresh worker and completes.
+  Transcript after;
+  server.handle_line(R"({"id":"thaw","type":"ok","n":1})", after.sink());
+  server.wait_idle();
+  EXPECT_EQ(after.count("thaw", "result"), 1u);
+}
+
+TEST(ServiceHardFault, NetlistResultsBitwiseUnderProcessIsolation) {
+  check_netlist_bitwise(process_config(1));
+}
+
+TEST(ServiceHardFault, KilledDaemonResumesBitwiseUnderProcessIsolation) {
+  check_mc_resume(process_config(1), "process");
 }
